@@ -1,0 +1,277 @@
+// Package rats_test holds the benchmark harness that regenerates every
+// table and figure of the paper's evaluation (run with
+// `go test -bench=. -benchmem`), plus ablation benches for the design
+// choices DESIGN.md calls out. Each benchmark simulates a workload and
+// reports the simulated execution time as the custom metric
+// "sim-cycles" (wall time measures simulator speed, sim-cycles measures
+// the machine being simulated).
+package rats_test
+
+import (
+	"fmt"
+	"testing"
+
+	"rats/internal/core"
+	"rats/internal/harness"
+	"rats/internal/litmus"
+	"rats/internal/memmodel"
+	"rats/internal/sim/memsys"
+	"rats/internal/sim/system"
+	"rats/internal/workloads"
+)
+
+// runSim benchmarks one (workload, config) cell and reports sim-cycles.
+func runSim(b *testing.B, entry workloads.Entry, cfg memsys.Config) {
+	b.Helper()
+	var cycles int64
+	for i := 0; i < b.N; i++ {
+		res, err := system.RunTrace(cfg, entry.Build(workloads.Test))
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = res.Stats.Cycles
+	}
+	b.ReportMetric(float64(cycles), "sim-cycles")
+}
+
+// BenchmarkFigure1 reproduces Figure 1: each sub-benchmark runs one of
+// the nine atomic-heavy applications on the discrete-GPU configuration
+// with SC atomics and with relaxed atomics, reporting the speedup.
+func BenchmarkFigure1(b *testing.B) {
+	for _, app := range workloads.Figure1Apps() {
+		app := app
+		b.Run(app.Name, func(b *testing.B) {
+			var speedup float64
+			for i := 0; i < b.N; i++ {
+				sc, err := system.RunTrace(memsys.Discrete(core.DRF0), app.Build(workloads.Test))
+				if err != nil {
+					b.Fatal(err)
+				}
+				rlx, err := system.RunTrace(memsys.Discrete(core.DRFrlx), app.Build(workloads.Test))
+				if err != nil {
+					b.Fatal(err)
+				}
+				speedup = float64(sc.Stats.Cycles) / float64(rlx.Stats.Cycles)
+			}
+			b.ReportMetric(speedup, "speedup")
+		})
+	}
+}
+
+// figureCells benchmarks every (workload, config) cell of a figure.
+func figureCells(b *testing.B, entries []workloads.Entry) {
+	for _, e := range entries {
+		for _, c := range harness.ConfigOrder {
+			e, c := e, c
+			b.Run(fmt.Sprintf("%s/%s", e.Name, c), func(b *testing.B) {
+				cfg, err := harness.ConfigFor(c)
+				if err != nil {
+					b.Fatal(err)
+				}
+				runSim(b, e, cfg)
+			})
+		}
+	}
+}
+
+// BenchmarkFigure3 reproduces Figure 3's 7x6 grid (microbenchmark
+// execution time and energy under GD0..DDR).
+func BenchmarkFigure3(b *testing.B) { figureCells(b, workloads.Micro()) }
+
+// BenchmarkFigure4 reproduces Figure 4's 9x6 grid (UTS, BC 1-4, PR 1-4).
+func BenchmarkFigure4(b *testing.B) { figureCells(b, workloads.Benchmarks()) }
+
+// BenchmarkTable1LitmusSuite measures the programmer-centric model
+// (Listing 7) over the Table 1 use cases: full SC enumeration plus the
+// five race detectors, under DRFrlx.
+func BenchmarkTable1LitmusSuite(b *testing.B) {
+	for _, tc := range litmus.Suite() {
+		if tc.UseCase == "" {
+			continue
+		}
+		tc := tc
+		b.Run(tc.Prog.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := memmodel.CheckProgram(tc.Prog, core.DRFrlx); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFigure2 measures the non-ordering detector on the Figure 2
+// litmus tests (program/conflict-graph path analysis).
+func BenchmarkFigure2(b *testing.B) {
+	for _, p := range []*litmus.Program{litmus.Figure2a(), litmus.Figure2b()} {
+		p := p
+		b.Run(p.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				execs, err := memmodel.Enumerate(p, memmodel.EnumOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, ex := range execs {
+					memmodel.Analyze(ex)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTable2SystemBuild measures machine construction (the Table 2
+// system: 16 nodes, caches, NoC).
+func BenchmarkTable2SystemBuild(b *testing.B) {
+	cfg := memsys.Default(memsys.ProtoDeNovo, core.DRFrlx)
+	for i := 0; i < b.N; i++ {
+		system.New(cfg)
+	}
+}
+
+// BenchmarkTable3TraceGeneration measures workload generation for every
+// Table 3 entry.
+func BenchmarkTable3TraceGeneration(b *testing.B) {
+	for _, e := range workloads.All() {
+		e := e
+		b.Run(e.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e.Build(workloads.Test)
+			}
+		})
+	}
+}
+
+// BenchmarkTable4Theorem runs the system-centric model validation behind
+// Table 4's guarantees (Theorem 3.1) on the primary use cases.
+func BenchmarkTable4Theorem(b *testing.B) {
+	for _, p := range []*litmus.Program{litmus.WorkQueue(), litmus.SplitCounter(), litmus.Seqlocks()} {
+		p := p
+		b.Run(p.Name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := memmodel.ValidateTheorem(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Ablations (DESIGN.md "Key design decisions") ---
+
+// BenchmarkAblationAtomicPlacement isolates the protocol axis on the
+// contended histogram: atomics at the L2 bank (GPU) vs. at the L1 with
+// ownership (DeNovo), same consistency model.
+func BenchmarkAblationAtomicPlacement(b *testing.B) {
+	e := *workloads.ByName("HG")
+	for _, proto := range []memsys.Protocol{memsys.ProtoGPU, memsys.ProtoDeNovo} {
+		proto := proto
+		b.Run(proto.String(), func(b *testing.B) {
+			runSim(b, e, memsys.Default(proto, core.DRFrlx))
+		})
+	}
+}
+
+// BenchmarkAblationCoalescing toggles DeNovo's MSHR atomic coalescing
+// (1 target = no coalescing) on the contended histogram.
+func BenchmarkAblationCoalescing(b *testing.B) {
+	e := *workloads.ByName("HG")
+	for _, targets := range []int{1, 2, 4, 8, 16} {
+		targets := targets
+		b.Run(fmt.Sprintf("targets-%d", targets), func(b *testing.B) {
+			cfg := memsys.Default(memsys.ProtoDeNovo, core.DRFrlx)
+			cfg.L1MSHRTargets = targets
+			runSim(b, e, cfg)
+		})
+	}
+}
+
+// BenchmarkAblationFlushInval isolates the acquire/release costs DRF1
+// removes: BC's reuse-heavy kernel under DRF0 (invalidate + flush per
+// atomic) vs DRF1 (neither), same protocol.
+func BenchmarkAblationFlushInval(b *testing.B) {
+	e := *workloads.ByName("BC-4")
+	for _, m := range []core.Model{core.DRF0, core.DRF1} {
+		m := m
+		b.Run(m.String(), func(b *testing.B) {
+			runSim(b, e, memsys.Default(memsys.ProtoGPU, m))
+		})
+	}
+}
+
+// BenchmarkAblationOverlap sweeps the per-warp relaxed-atomic overlap
+// degree (the DRFrlx lever) on PageRank.
+func BenchmarkAblationOverlap(b *testing.B) {
+	e := *workloads.ByName("PR-4")
+	for _, mlp := range []int{1, 2, 4, 8} {
+		mlp := mlp
+		b.Run(fmt.Sprintf("outstanding-%d", mlp), func(b *testing.B) {
+			cfg := memsys.Default(memsys.ProtoGPU, core.DRFrlx)
+			cfg.MaxOutstandingAtomicsPerWarp = mlp
+			runSim(b, e, cfg)
+		})
+	}
+}
+
+// BenchmarkAblationReleaseAcquire contrasts SC seqlock readers with the
+// Section 7 acquire/release variant under both protocols (DRFrlx).
+func BenchmarkAblationReleaseAcquire(b *testing.B) {
+	for _, proto := range []memsys.Protocol{memsys.ProtoGPU, memsys.ProtoDeNovo} {
+		for _, variant := range []string{"SC", "RA"} {
+			proto, variant := proto, variant
+			b.Run(fmt.Sprintf("%s/%s", proto, variant), func(b *testing.B) {
+				var cycles int64
+				for i := 0; i < b.N; i++ {
+					params := workloads.DefaultSeqlocks(workloads.Test)
+					tr := workloads.Seqlocks(params)
+					if variant == "RA" {
+						tr = workloads.SeqlocksRA(params)
+					}
+					res, err := system.RunTrace(memsys.Default(proto, core.DRFrlx), tr)
+					if err != nil {
+						b.Fatal(err)
+					}
+					cycles = res.Stats.Cycles
+				}
+				b.ReportMetric(float64(cycles), "sim-cycles")
+			})
+		}
+	}
+}
+
+// BenchmarkExtensionHRFScopes quantifies the Section 7 scoped-
+// synchronization alternative on UTS (one of the two workloads the paper
+// says could benefit from HRF scopes): GPU coherence with HRF work-group
+// scopes vs. the unscoped models vs. DeNovo — reproducing the prior-work
+// claim that DeNovo reaches scoped-class performance without scopes.
+func BenchmarkExtensionHRFScopes(b *testing.B) {
+	run := func(b *testing.B, cfg memsys.Config, scoped bool) {
+		var cycles int64
+		for i := 0; i < b.N; i++ {
+			p := workloads.DefaultUTS(workloads.Test)
+			p.HRFScopes = scoped
+			res, err := system.RunTrace(cfg, workloads.UTS(p))
+			if err != nil {
+				b.Fatal(err)
+			}
+			cycles = res.Stats.Cycles
+		}
+		b.ReportMetric(float64(cycles), "sim-cycles")
+	}
+	b.Run("GD0", func(b *testing.B) { run(b, memsys.Default(memsys.ProtoGPU, core.DRF0), false) })
+	b.Run("GD0-HRF", func(b *testing.B) { run(b, memsys.Default(memsys.ProtoGPU, core.DRF0), true) })
+	b.Run("GD1", func(b *testing.B) { run(b, memsys.Default(memsys.ProtoGPU, core.DRF1), false) })
+	b.Run("DD1", func(b *testing.B) { run(b, memsys.Default(memsys.ProtoDeNovo, core.DRF1), false) })
+}
+
+// BenchmarkAblationScopesFreeDeNovo contrasts the protocols under DRF0 on
+// the full benchmark set's most reuse-heavy entry — the "DeNovo without
+// scopes" claim inherited from the paper's prior work.
+func BenchmarkAblationScopesFreeDeNovo(b *testing.B) {
+	e := *workloads.ByName("BC-2")
+	for _, proto := range []memsys.Protocol{memsys.ProtoGPU, memsys.ProtoDeNovo} {
+		proto := proto
+		b.Run(proto.String(), func(b *testing.B) {
+			runSim(b, e, memsys.Default(proto, core.DRF0))
+		})
+	}
+}

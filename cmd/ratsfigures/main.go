@@ -1,0 +1,100 @@
+// Command ratsfigures regenerates every table and figure of the paper's
+// evaluation: Figure 1 (discrete-GPU speedups), Figure 2 (via the litmus
+// engine), Figure 3 (microbenchmarks), Figure 4 (benchmarks), Tables 1-4,
+// and the Section 6 summary aggregates.
+//
+// Usage:
+//
+//	ratsfigures                 # everything, test scale
+//	ratsfigures -scale paper    # paper-scale inputs (slower)
+//	ratsfigures -only fig3      # one artifact: fig1|fig3|fig4|table1..table4|summary
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rats/internal/core"
+	"rats/internal/harness"
+	"rats/internal/litmus"
+	"rats/internal/memmodel"
+	"rats/internal/workloads"
+)
+
+func main() {
+	var (
+		scaleName = flag.String("scale", "test", "workload scale: test or paper")
+		only      = flag.String("only", "", "render a single artifact")
+	)
+	flag.Parse()
+	scale := workloads.Test
+	if *scaleName == "paper" {
+		scale = workloads.Paper
+	}
+
+	want := func(name string) bool { return *only == "" || *only == name }
+	die := func(err error) {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ratsfigures:", err)
+			os.Exit(1)
+		}
+	}
+
+	if want("table1") {
+		fmt.Println("Table 1: GPU relaxed atomic use cases")
+		fmt.Printf("  %-28s %s\n", "category", "application")
+		for _, tc := range litmus.Suite() {
+			if tc.UseCase != "" {
+				fmt.Printf("  %-28s %s\n", tc.UseCase, tc.App)
+			}
+		}
+		fmt.Println()
+	}
+	if want("table2") {
+		fmt.Println(harness.Table2())
+	}
+	if want("table3") {
+		fmt.Println(harness.Table3())
+	}
+	if want("table4") {
+		fmt.Println(harness.Table4())
+	}
+	if want("profile") {
+		fmt.Println(workloads.ProfileTable(scale))
+	}
+	if want("fig1") {
+		rows, err := harness.Figure1(scale)
+		die(err)
+		fmt.Println(harness.RenderFigure1(rows))
+	}
+	if want("fig2") {
+		fmt.Println("Figure 2: non-ordering race detection")
+		for _, p := range []*litmus.Program{litmus.Figure2a(), litmus.Figure2b()} {
+			v, err := memmodel.CheckProgram(p, core.DRFrlx)
+			die(err)
+			fmt.Printf("  %s\n", v.Summary())
+		}
+		fmt.Println()
+	}
+	var fig3, fig4 *harness.Figure
+	if want("fig3") || want("summary") {
+		var err error
+		fig3, err = harness.Figure3(scale)
+		die(err)
+		if want("fig3") {
+			fmt.Println(fig3.Render())
+		}
+	}
+	if want("fig4") || want("summary") {
+		var err error
+		fig4, err = harness.Figure4(scale)
+		die(err)
+		if want("fig4") {
+			fmt.Println(fig4.Render())
+		}
+	}
+	if want("summary") && fig3 != nil && fig4 != nil {
+		fmt.Println(harness.Summarize(fig3, fig4).Render())
+	}
+}

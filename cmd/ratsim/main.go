@@ -1,0 +1,96 @@
+// Command ratsim runs one workload under one configuration and prints the
+// timing, event, and energy statistics.
+//
+// Usage:
+//
+//	ratsim -workload PR-3 -config DDR [-scale paper] [-energy]
+//	ratsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rats/internal/harness"
+	"rats/internal/sim/system"
+	"rats/internal/trace"
+	"rats/internal/workloads"
+)
+
+func main() {
+	var (
+		workload  = flag.String("workload", "H", "workload short name (see -list)")
+		config    = flag.String("config", "GD0", "configuration: GD0, GD1, GDR, DD0, DD1, DDR")
+		scaleName = flag.String("scale", "test", "workload scale: test or paper")
+		list      = flag.Bool("list", false, "list workloads and exit")
+		showEn    = flag.Bool("energy", true, "print the energy breakdown")
+		dump      = flag.String("dump", "", "write the generated trace as JSON to this file and exit")
+		replay    = flag.String("replay", "", "run a JSON trace file instead of a generated workload")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(harness.Table3())
+		return
+	}
+	scale := workloads.Test
+	if *scaleName == "paper" {
+		scale = workloads.Paper
+	}
+	cfg, err := harness.ConfigFor(*config)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ratsim:", err)
+		os.Exit(1)
+	}
+	var tr *trace.Trace
+	if *replay != "" {
+		f, err := os.Open(*replay)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ratsim:", err)
+			os.Exit(1)
+		}
+		tr, err = trace.DecodeJSON(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ratsim:", err)
+			os.Exit(1)
+		}
+	} else {
+		entry := workloads.ByName(*workload)
+		if entry == nil {
+			fmt.Fprintf(os.Stderr, "ratsim: unknown workload %q (use -list)\n", *workload)
+			os.Exit(1)
+		}
+		tr = entry.Build(scale)
+	}
+	if *dump != "" {
+		f, err := os.Create(*dump)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ratsim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := tr.EncodeJSON(f); err != nil {
+			fmt.Fprintln(os.Stderr, "ratsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d warps, %d ops)\n", *dump, len(tr.Warps), tr.NumOps())
+		return
+	}
+	fmt.Printf("running %s (%d warps, %d ops) under %s/%s\n",
+		tr.Name, len(tr.Warps), tr.NumOps(), cfg.Protocol, cfg.Model)
+	res, err := system.RunTrace(cfg, tr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ratsim:", err)
+		os.Exit(1)
+	}
+	fmt.Println(res.Stats.String())
+	if *showEn {
+		fmt.Println("energy breakdown (pJ):")
+		for _, c := range res.Energy.Components() {
+			fmt.Printf("  %-10s %16.0f\n", c.Name, c.Value)
+		}
+		fmt.Printf("  %-10s %16.0f\n", "total", res.Energy.Total())
+	}
+}

@@ -1,0 +1,172 @@
+// Command ratslitmus runs the litmus suite through both the
+// programmer-centric race-classification model (Listing 7 of the paper)
+// and the system-centric relaxed-execution model, reporting per-test
+// verdicts under DRF0, DRF1, and DRFrlx, plus the Theorem 3.1 validation.
+//
+// Usage:
+//
+//	ratslitmus                   # full suite
+//	ratslitmus -table1           # Table 1 (use cases and applications)
+//	ratslitmus -theorem          # Theorem 3.1 validation only
+//	ratslitmus -file t.litmus    # check a litmus file (with -witness for
+//	                             # a concrete racy execution)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rats/internal/core"
+	"rats/internal/litmus"
+	"rats/internal/memmodel"
+)
+
+func main() {
+	var (
+		table1  = flag.Bool("table1", false, "print Table 1 and exit")
+		theorem = flag.Bool("theorem", false, "run only the Theorem 3.1 validation")
+		file    = flag.String("file", "", "check a single litmus file instead of the suite")
+		witness = flag.Bool("witness", false, "with -file: print a witness execution for the first illegal race")
+		infer   = flag.Bool("infer", false, "with -file: infer the cheapest legal atomic labelling")
+	)
+	flag.Parse()
+
+	if *file != "" {
+		checkFile(*file, *witness, *infer)
+		return
+	}
+
+	suite := litmus.Suite()
+	if *table1 {
+		fmt.Println("Table 1: GPU relaxed atomic use cases")
+		fmt.Printf("  %-28s %s\n", "category", "application")
+		for _, tc := range suite {
+			if tc.UseCase != "" {
+				fmt.Printf("  %-28s %s\n", tc.UseCase, tc.App)
+			}
+		}
+		return
+	}
+
+	fail := 0
+	for _, tc := range suite {
+		if !*theorem {
+			fmt.Printf("%-26s %s\n", tc.Prog.Name, tc.Notes)
+			for i, m := range core.Models() {
+				v, err := memmodel.CheckProgram(tc.Prog, m)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "ratslitmus:", err)
+					os.Exit(1)
+				}
+				status := "ok"
+				if v.Legal != tc.Legal[i] {
+					status = "MISMATCH"
+					fail++
+				}
+				fmt.Printf("  %-8s legal=%-5v expected=%-5v %-9s %s\n",
+					m, v.Legal, tc.Legal[i], status, raceSummary(v))
+			}
+		}
+		rep, err := memmodel.ValidateTheorem(tc.Prog)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ratslitmus:", err)
+			os.Exit(1)
+		}
+		ok := !rep.Legal || rep.SystemSC
+		status := "theorem holds"
+		if !ok {
+			status = "THEOREM VIOLATED"
+			fail++
+		}
+		fmt.Printf("  %-8s system results=%d SC results=%d: %s\n", "sys", rep.SystemCount, rep.SCCount, status)
+	}
+	if fail > 0 {
+		fmt.Printf("\n%d mismatches\n", fail)
+		os.Exit(1)
+	}
+	fmt.Println("\nall litmus verdicts match and Theorem 3.1 holds on every legal test")
+}
+
+func raceSummary(v *memmodel.Verdict) string {
+	if v.Legal {
+		return ""
+	}
+	out := ""
+	for _, k := range memmodel.RaceKinds() {
+		if n := len(v.Races[k]); n > 0 {
+			if out != "" {
+				out += ", "
+			}
+			out += fmt.Sprintf("%d %s(s)", n, k)
+		}
+	}
+	return out
+}
+
+// checkFile parses and checks one litmus file under all three models.
+func checkFile(path string, witness, infer bool) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ratslitmus:", err)
+		os.Exit(1)
+	}
+	p, err := litmus.Parse(string(src))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ratslitmus:", err)
+		os.Exit(1)
+	}
+	for _, m := range core.Models() {
+		v, err := memmodel.CheckProgram(p, m)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ratslitmus:", err)
+			os.Exit(1)
+		}
+		fmt.Println(v.Summary())
+		if witness && !v.Legal {
+			w, err := memmodel.FindWitness(p, m)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ratslitmus:", err)
+				os.Exit(1)
+			}
+			if w != nil {
+				fmt.Println(w)
+			}
+		}
+	}
+	if infer {
+		fmt.Println("\nannotatable sites:")
+		for i, s := range memmodel.Sites(p) {
+			fmt.Printf("  %d: %s\n", i, s)
+		}
+		labels, err := memmodel.InferLabels(p, memmodel.InferOptions{})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ratslitmus:", err)
+			os.Exit(1)
+		}
+		if len(labels) == 0 {
+			fmt.Println("no legal labelling exists (data races?)")
+		} else {
+			fmt.Printf("minimum-cost legal labellings (%d):\n", len(labels))
+			for _, l := range labels {
+				fmt.Println("  ", l)
+			}
+		}
+	}
+
+	rep, err := memmodel.ValidateTheorem(p)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ratslitmus:", err)
+		os.Exit(1)
+	}
+	if rep.Legal {
+		if rep.SystemSC {
+			fmt.Println("system model: all relaxed executions SC (Theorem 3.1 holds)")
+		} else {
+			fmt.Println("system model: THEOREM VIOLATED — relaxed executions escape SC")
+		}
+	} else {
+		fmt.Printf("system model: %d reachable results (illegal program; %d outside SC)\n",
+			rep.SystemCount, len(rep.NonSCResults))
+	}
+}

@@ -1,0 +1,3 @@
+module rats
+
+go 1.22

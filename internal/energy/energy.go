@@ -1,0 +1,89 @@
+// Package energy computes the per-component energy breakdown the paper
+// reports (Figures 3(b) and 4(b)): GPU core+, scratchpad, L1, L2, and
+// network. Like GPUWattch/McPAT it is an event-based model: each counted
+// event costs a fixed per-access energy, plus static power integrated
+// over execution time. Absolute values are arbitrary-but-fixed picojoule
+// scale; only relative comparisons across configurations are meaningful,
+// matching how the paper presents energy (normalized to GD0).
+package energy
+
+import "rats/internal/stats"
+
+// Model holds per-event energies (picojoules) and per-cycle static power
+// (picojoules per cycle) for each component.
+type Model struct {
+	// Dynamic per-event energies.
+	CoreOp        float64
+	ScratchAccess float64
+	L1Access      float64
+	L2Access      float64
+	DRAMAccess    float64 // accounted to the L2 component (off-chip port)
+	FlitHop       float64
+
+	// Static power per cycle.
+	CoreStatic    float64
+	ScratchStatic float64
+	L1Static      float64
+	L2Static      float64
+	NoCStatic     float64
+}
+
+// DefaultModel returns energies loosely calibrated to GPUWattch/McPAT
+// relative magnitudes: DRAM ≫ L2 > NoC hop ≈ L1 > scratchpad ≈ core op.
+func DefaultModel() Model {
+	return Model{
+		CoreOp:        12,
+		ScratchAccess: 8,
+		L1Access:      20,
+		L2Access:      55,
+		DRAMAccess:    320,
+		FlitHop:       6,
+
+		CoreStatic:    1.6,
+		ScratchStatic: 0.2,
+		L1Static:      0.4,
+		L2Static:      1.0,
+		NoCStatic:     0.6,
+	}
+}
+
+// Breakdown is the per-component energy of one run, in picojoules.
+type Breakdown struct {
+	Core    float64
+	Scratch float64
+	L1      float64
+	L2      float64
+	NoC     float64
+}
+
+// Total returns the summed energy.
+func (b Breakdown) Total() float64 { return b.Core + b.Scratch + b.L1 + b.L2 + b.NoC }
+
+// Components lists the breakdown in the paper's order.
+func (b Breakdown) Components() []struct {
+	Name  string
+	Value float64
+} {
+	return []struct {
+		Name  string
+		Value float64
+	}{
+		{"GPU core+", b.Core},
+		{"Scratch", b.Scratch},
+		{"L1", b.L1},
+		{"L2", b.L2},
+		{"NoC", b.NoC},
+	}
+}
+
+// Compute evaluates the model over a run's statistics.
+func Compute(s *stats.Stats, m Model) Breakdown {
+	cyc := float64(s.Cycles)
+	return Breakdown{
+		Core:    float64(s.CoreOps)*m.CoreOp + cyc*m.CoreStatic,
+		Scratch: float64(s.ScratchAccesses)*m.ScratchAccess + cyc*m.ScratchStatic,
+		L1:      float64(s.L1Accesses)*m.L1Access + cyc*m.L1Static,
+		L2:      float64(s.L2Accesses)*m.L2Access + float64(s.DRAMAccesses)*m.DRAMAccess + cyc*m.L2Static,
+		NoC:     float64(s.NoCFlitHops)*m.FlitHop + cyc*m.NoCStatic,
+	}
+}

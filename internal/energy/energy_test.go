@@ -1,0 +1,86 @@
+package energy
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rats/internal/stats"
+)
+
+func TestComputeBreakdown(t *testing.T) {
+	m := Model{
+		CoreOp: 10, ScratchAccess: 5, L1Access: 20, L2Access: 50, DRAMAccess: 300, FlitHop: 6,
+		CoreStatic: 1, ScratchStatic: 1, L1Static: 1, L2Static: 1, NoCStatic: 1,
+	}
+	s := &stats.Stats{
+		Cycles: 100, CoreOps: 10, ScratchAccesses: 4, L1Accesses: 3,
+		L2Accesses: 2, DRAMAccesses: 1, NoCFlitHops: 5,
+	}
+	b := Compute(s, m)
+	if b.Core != 10*10+100 {
+		t.Errorf("Core = %f", b.Core)
+	}
+	if b.Scratch != 4*5+100 {
+		t.Errorf("Scratch = %f", b.Scratch)
+	}
+	if b.L1 != 3*20+100 {
+		t.Errorf("L1 = %f", b.L1)
+	}
+	if b.L2 != 2*50+1*300+100 {
+		t.Errorf("L2 = %f", b.L2)
+	}
+	if b.NoC != 5*6+100 {
+		t.Errorf("NoC = %f", b.NoC)
+	}
+	if b.Total() != b.Core+b.Scratch+b.L1+b.L2+b.NoC {
+		t.Error("total mismatch")
+	}
+}
+
+func TestComponentsOrder(t *testing.T) {
+	b := Breakdown{Core: 1, Scratch: 2, L1: 3, L2: 4, NoC: 5}
+	comps := b.Components()
+	want := []string{"GPU core+", "Scratch", "L1", "L2", "NoC"}
+	for i, c := range comps {
+		if c.Name != want[i] {
+			t.Errorf("component %d = %s, want %s", i, c.Name, want[i])
+		}
+		if c.Value != float64(i+1) {
+			t.Errorf("component %s = %f", c.Name, c.Value)
+		}
+	}
+}
+
+func TestDefaultModelRelativeMagnitudes(t *testing.T) {
+	m := DefaultModel()
+	if !(m.DRAMAccess > m.L2Access && m.L2Access > m.L1Access && m.L1Access > m.ScratchAccess) {
+		t.Error("energy hierarchy violated: DRAM > L2 > L1 > scratch expected")
+	}
+	if m.CoreOp <= 0 || m.FlitHop <= 0 {
+		t.Error("degenerate model")
+	}
+}
+
+// TestMonotonicity: more events never reduce energy.
+func TestMonotonicity(t *testing.T) {
+	m := DefaultModel()
+	f := func(a, b uint16) bool {
+		s1 := &stats.Stats{Cycles: 10, L1Accesses: int64(a)}
+		s2 := &stats.Stats{Cycles: 10, L1Accesses: int64(a) + int64(b)}
+		return Compute(s2, m).Total() >= Compute(s1, m).Total()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStaticScalesWithCycles: a longer run at identical event counts
+// costs more energy (leakage).
+func TestStaticScalesWithCycles(t *testing.T) {
+	m := DefaultModel()
+	s1 := &stats.Stats{Cycles: 100, L1Accesses: 5}
+	s2 := &stats.Stats{Cycles: 200, L1Accesses: 5}
+	if Compute(s2, m).Total() <= Compute(s1, m).Total() {
+		t.Error("static power not integrated over cycles")
+	}
+}

@@ -1,0 +1,224 @@
+// Package graphs generates the synthetic input graphs the benchmark
+// workloads (BC, PageRank) run on. The paper uses University of Florida
+// sparse-matrix collection graphs (rome99, nasa1824, ex33, c-22, c-37,
+// c-36, ex3, c-40); this package provides deterministic generators that
+// span the same structural space — road networks (low degree, huge
+// diameter), FEM meshes (moderate local degree), and optimization
+// matrices with dense hub rows (high contention) — and a catalog mapping
+// each paper input to a generator instance (see catalog.go).
+package graphs
+
+import "math/rand"
+
+// Graph is a directed graph in adjacency-list form (undirected inputs
+// store both arcs).
+type Graph struct {
+	Name string
+	Adj  [][]int32
+}
+
+// N returns the vertex count.
+func (g *Graph) N() int { return len(g.Adj) }
+
+// Edges returns the arc count.
+func (g *Graph) Edges() int {
+	n := 0
+	for _, a := range g.Adj {
+		n += len(a)
+	}
+	return n
+}
+
+// MaxDegree returns the maximum out-degree.
+func (g *Graph) MaxDegree() int {
+	m := 0
+	for _, a := range g.Adj {
+		if len(a) > m {
+			m = len(a)
+		}
+	}
+	return m
+}
+
+// addUndirected inserts both arcs.
+func (g *Graph) addUndirected(u, v int) {
+	if u == v {
+		return
+	}
+	g.Adj[u] = append(g.Adj[u], int32(v))
+	g.Adj[v] = append(g.Adj[v], int32(u))
+}
+
+// Road generates a road-network-like graph: a jittered 2D grid with a
+// fraction of diagonal shortcuts. Low average degree (~2.7), large
+// diameter — the shape of rome99.
+func Road(name string, side int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	n := side * side
+	g := &Graph{Name: name, Adj: make([][]int32, n)}
+	id := func(x, y int) int { return y*side + x }
+	for y := 0; y < side; y++ {
+		for x := 0; x < side; x++ {
+			// Sparse grid: drop some street segments.
+			if x+1 < side && rng.Float64() < 0.75 {
+				g.addUndirected(id(x, y), id(x+1, y))
+			}
+			if y+1 < side && rng.Float64() < 0.75 {
+				g.addUndirected(id(x, y), id(x, y+1))
+			}
+			if x+1 < side && y+1 < side && rng.Float64() < 0.08 {
+				g.addUndirected(id(x, y), id(x+1, y+1))
+			}
+		}
+	}
+	ensureConnectedSpine(g)
+	return g
+}
+
+// FEM generates a finite-element-mesh-like graph: vertices connected to a
+// band of near neighbours, moderate uniform degree — the shape of
+// nasa1824 / ex33 / ex3.
+func FEM(name string, n, band int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := &Graph{Name: name, Adj: make([][]int32, n)}
+	for u := 0; u < n; u++ {
+		deg := 3 + rng.Intn(band)
+		for k := 1; k <= deg; k++ {
+			v := u + k
+			if v < n && rng.Float64() < 0.8 {
+				g.addUndirected(u, v)
+			}
+		}
+		// Occasional long-range element coupling.
+		if rng.Float64() < 0.1 {
+			g.addUndirected(u, rng.Intn(n))
+		}
+	}
+	ensureConnectedSpine(g)
+	return g
+}
+
+// Hub generates an optimization-matrix-like graph: mostly sparse rows
+// plus a few dense hub rows touching a large fraction of vertices — the
+// contended shape of the c-* inputs.
+func Hub(name string, n, hubs int, hubFrac float64, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := &Graph{Name: name, Adj: make([][]int32, n)}
+	for u := 0; u < n; u++ {
+		deg := 1 + rng.Intn(4)
+		for k := 0; k < deg; k++ {
+			g.addUndirected(u, rng.Intn(n))
+		}
+	}
+	for h := 0; h < hubs; h++ {
+		hub := rng.Intn(n)
+		for u := 0; u < n; u++ {
+			if u != hub && rng.Float64() < hubFrac {
+				g.addUndirected(hub, u)
+			}
+		}
+	}
+	ensureConnectedSpine(g)
+	return g
+}
+
+// Uniform generates a uniform random graph with average degree d.
+func Uniform(name string, n, d int, seed int64) *Graph {
+	rng := rand.New(rand.NewSource(seed))
+	g := &Graph{Name: name, Adj: make([][]int32, n)}
+	arcs := n * d / 2
+	for i := 0; i < arcs; i++ {
+		g.addUndirected(rng.Intn(n), rng.Intn(n))
+	}
+	ensureConnectedSpine(g)
+	return g
+}
+
+// ensureConnectedSpine links i to i+1 wherever vertex i is isolated, so
+// BFS-based workloads reach every vertex.
+func ensureConnectedSpine(g *Graph) {
+	for u := 0; u < g.N()-1; u++ {
+		if len(g.Adj[u]) == 0 {
+			g.addUndirected(u, u+1)
+		}
+	}
+	if n := g.N(); n > 1 && len(g.Adj[n-1]) == 0 {
+		g.addUndirected(n-1, n-2)
+	}
+}
+
+// BFS returns per-vertex level (distance from src, -1 unreachable) and
+// the vertices grouped by level.
+func (g *Graph) BFS(src int) (level []int, levels [][]int32) {
+	level = make([]int, g.N())
+	for i := range level {
+		level[i] = -1
+	}
+	level[src] = 0
+	frontier := []int32{int32(src)}
+	levels = append(levels, frontier)
+	for len(frontier) > 0 {
+		var next []int32
+		for _, u := range frontier {
+			for _, v := range g.Adj[u] {
+				if level[v] < 0 {
+					level[v] = level[u] + 1
+					next = append(next, v)
+				}
+			}
+		}
+		if len(next) > 0 {
+			levels = append(levels, next)
+		}
+		frontier = next
+	}
+	return level, levels
+}
+
+// SigmaCounts runs the forward phase of Brandes' betweenness centrality
+// from src: sigma[v] = number of shortest paths from src to v.
+func (g *Graph) SigmaCounts(src int) []int64 {
+	level, levels := g.BFS(src)
+	sigma := make([]int64, g.N())
+	sigma[src] = 1
+	for _, frontier := range levels {
+		for _, u := range frontier {
+			for _, v := range g.Adj[u] {
+				if level[v] == level[u]+1 {
+					sigma[v] += sigma[u]
+				}
+			}
+		}
+	}
+	return sigma
+}
+
+// PageRank runs fixed-point integer PageRank for iters iterations with
+// damping factor 0.85 (scaled by 2^16) and returns the final ranks. This
+// is the sequential reference the simulated workload must reproduce.
+func (g *Graph) PageRank(iters int) []int64 {
+	const scale = 1 << 16
+	n := g.N()
+	rank := make([]int64, n)
+	for i := range rank {
+		rank[i] = scale
+	}
+	next := make([]int64, n)
+	for it := 0; it < iters; it++ {
+		base := int64(scale) * 15 / 100
+		for i := range next {
+			next[i] = base
+		}
+		for u := 0; u < n; u++ {
+			if len(g.Adj[u]) == 0 {
+				continue
+			}
+			contrib := rank[u] * 85 / 100 / int64(len(g.Adj[u]))
+			for _, v := range g.Adj[u] {
+				next[v] += contrib
+			}
+		}
+		rank, next = next, rank
+	}
+	return rank
+}

@@ -1,0 +1,42 @@
+package litmus_test
+
+import (
+	"fmt"
+
+	"rats/internal/core"
+	"rats/internal/litmus"
+)
+
+// ExampleParse reads a litmus test from its textual form.
+func ExampleParse() {
+	p, err := litmus.Parse(`
+litmus "store_buffering"
+thread t0
+  store X 1 paired
+  r0 = load Y paired
+thread t1
+  store Y 1 paired
+  r1 = load X paired
+`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(p.Name, len(p.Threads), "threads,", p.NumOps(), "ops")
+	// Output:
+	// store_buffering 2 threads, 4 ops
+}
+
+// ExampleFormat renders a builder-constructed program back to text.
+func ExampleFormat() {
+	p := litmus.New("mp")
+	prod := p.Thread("producer")
+	prod.Store("D", 1, core.Data)
+	prod.Store("F", 1, core.Release)
+	fmt.Print(litmus.Format(p))
+	// Output:
+	// litmus "mp"
+	//
+	// thread producer
+	//   store D 1 data
+	//   store F 1 release
+}

@@ -1,0 +1,216 @@
+package litmus
+
+import (
+	"testing"
+
+	"rats/internal/core"
+)
+
+func TestExprEval(t *testing.T) {
+	rf := []int64{10, 20, 30}
+	if v := ConstExpr(5).Eval(rf); v != 5 {
+		t.Errorf("const = %d", v)
+	}
+	if v := RegExpr(1).Eval(rf); v != 20 {
+		t.Errorf("reg = %d", v)
+	}
+	e := Expr{Const: 1, Regs: []Reg{0, 2}}
+	if v := e.Eval(rf); v != 41 {
+		t.Errorf("mixed = %d", v)
+	}
+	if !e.DependsOn(0) || e.DependsOn(1) {
+		t.Error("DependsOn wrong")
+	}
+}
+
+func TestGuards(t *testing.T) {
+	rf := []int64{0, 4, 4, 5}
+	for _, tc := range []struct {
+		g    Guard
+		want bool
+	}{
+		{NZ(0), false},
+		{NZ(1), true},
+		{EQZ(0), true},
+		{EQZ(1), false},
+		{EQConst(3, 5), true},
+		{EQConst(3, 4), false},
+		{EQReg(1, 2), true},
+		{EQReg(1, 3), false},
+		{EQEvenReg(1, 2), true},  // equal and even
+		{EQEvenReg(3, 3), false}, // equal but odd
+	} {
+		if got := tc.g.Holds(rf); got != tc.want {
+			t.Errorf("guard %+v = %v, want %v", tc.g, got, tc.want)
+		}
+	}
+}
+
+func TestBuilderRegistersAndGuards(t *testing.T) {
+	p := New("t")
+	th := p.Thread("t0")
+	r0 := th.Load("X", core.Paired)
+	r1 := th.RMW(core.OpAdd, "Y", 3, core.Commutative)
+	th.WithGuards(NZ(r0), EQConst(r1, 1))
+	th.Store("Z", 1, core.Data)
+	th.EndGuards()
+	th.Store("W", 1, core.Data)
+
+	if th.NumRegs() != 2 {
+		t.Fatalf("regs = %d", th.NumRegs())
+	}
+	if len(th.Ops[2].Guards) != 2 {
+		t.Fatalf("guarded op has %d guards", len(th.Ops[2].Guards))
+	}
+	if len(th.Ops[3].Guards) != 0 {
+		t.Fatal("EndGuards did not clear")
+	}
+	if !th.Ops[2].GuardUsesReg(r0) || !th.Ops[2].GuardUsesReg(r1) {
+		t.Error("guard register uses missing")
+	}
+	if !th.Ops[2].UsesReg(r0) {
+		t.Error("UsesReg must include guards")
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesErrors(t *testing.T) {
+	// Undefined register use.
+	p := New("bad1")
+	th := p.Thread("t")
+	th.StoreExpr("X", RegExpr(3), core.Data)
+	if err := p.Validate(); err == nil {
+		t.Error("undefined register not caught")
+	}
+	// Undefined guard register.
+	p2 := New("bad2")
+	t2 := p2.Thread("t")
+	t2.WithGuards(NZ(7))
+	t2.Store("X", 1, core.Data)
+	if err := p2.Validate(); err == nil {
+		t.Error("undefined guard register not caught")
+	}
+	// No threads.
+	if err := New("empty").Validate(); err == nil {
+		t.Error("empty program not caught")
+	}
+}
+
+func TestRelabelAndUnder(t *testing.T) {
+	p := New("orig")
+	th := p.Thread("t")
+	th.Inc("C", core.Commutative)
+	th.Store("D", 1, core.Data)
+	p.SetInit("C", 5)
+	p.QuantumDomain = []int64{0, 1}
+
+	q := p.Under(core.DRF0)
+	if q.Threads[0].Ops[0].Class != core.Paired {
+		t.Error("DRF0 should strengthen commutative to paired")
+	}
+	if q.Threads[0].Ops[1].Class != core.Data {
+		t.Error("data must stay data")
+	}
+	if q.Init["C"] != 5 || len(q.QuantumDomain) != 1+1 {
+		t.Error("metadata not copied")
+	}
+	// Original untouched.
+	if p.Threads[0].Ops[0].Class != core.Commutative {
+		t.Error("Relabel mutated the original")
+	}
+	if q.Name == p.Name {
+		t.Error("Under should rename")
+	}
+}
+
+func TestLocsAndHasClass(t *testing.T) {
+	p := New("t")
+	th := p.Thread("t")
+	th.Store("B", 1, core.Data)
+	th.Store("A", 1, core.Quantum)
+	th.Use(th.Load("C", core.Paired))
+	p.SetInit("Z", 0)
+	locs := p.Locs()
+	want := []Loc{"A", "B", "C", "Z"}
+	if len(locs) != len(want) {
+		t.Fatalf("locs = %v", locs)
+	}
+	for i := range want {
+		if locs[i] != want[i] {
+			t.Fatalf("locs = %v, want %v", locs, want)
+		}
+	}
+	if !p.HasClass(core.Quantum) || p.HasClass(core.Speculative) {
+		t.Error("HasClass wrong")
+	}
+	if p.NumOps() != 4 { // 3 memory ops + 1 branch
+		t.Errorf("NumOps = %d", p.NumOps())
+	}
+}
+
+func TestOpPredicatesAndString(t *testing.T) {
+	p := New("t")
+	th := p.Thread("t")
+	r := th.Load("X", core.Paired)
+	th.Branch(RegExpr(r))
+	th.LoadDep("Y", r, core.Data)
+	th.CAS("Z", 0, 1, core.Paired)
+	th.Dec("W", core.Quantum)
+	th.LoadDiscard("V", core.Unpaired)
+
+	load, branch, dep, cas := th.Ops[0], th.Ops[1], th.Ops[2], th.Ops[3]
+	if !load.Reads() || load.Writes() {
+		t.Error("load predicates")
+	}
+	if branch.Reads() || branch.Writes() || !branch.IsBranch {
+		t.Error("branch predicates")
+	}
+	if !branch.UsesReg(r) {
+		t.Error("branch must use its condition register")
+	}
+	if !dep.UsesReg(r) {
+		t.Error("LoadDep must record address dependency")
+	}
+	if !cas.Reads() || !cas.Writes() {
+		t.Error("CAS predicates")
+	}
+	if load.String() == "" || branch.String() == "" {
+		t.Error("empty op strings")
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSuiteValidates: every suite program passes structural validation
+// and carries the classes its category implies.
+func TestSuiteValidates(t *testing.T) {
+	suite := Suite()
+	if len(suite) < 20 {
+		t.Fatalf("suite has only %d cases", len(suite))
+	}
+	seen := map[string]bool{}
+	for _, tc := range suite {
+		if err := tc.Prog.Validate(); err != nil {
+			t.Errorf("%s: %v", tc.Prog.Name, err)
+		}
+		if seen[tc.Prog.Name] {
+			t.Errorf("duplicate suite test %s", tc.Prog.Name)
+		}
+		seen[tc.Prog.Name] = true
+	}
+	// Table 1 coverage: one use case per category.
+	for c, prog := range map[core.Class]*Program{
+		core.Unpaired:    WorkQueue(),
+		core.Commutative: EventCounter(2, 2),
+		core.NonOrdering: Flags(2),
+		core.Quantum:     SplitCounter(),
+		core.Speculative: Seqlocks(),
+	} {
+		if !prog.HasClass(c) {
+			t.Errorf("%s does not use class %v", prog.Name, c)
+		}
+	}
+}

@@ -1,0 +1,535 @@
+package litmus
+
+import (
+	"fmt"
+
+	"rats/internal/core"
+)
+
+// Case is one entry of the litmus suite: a program plus its expected
+// legality under each model, and its Table 1 classification.
+type Case struct {
+	Prog *Program
+	// Legal[m] is the expected verdict under core.Model(m): whether the
+	// program is a legal DRF0/DRF1/DRFrlx program respectively.
+	Legal [3]bool
+	// UseCase is the paper's relaxed-atomic category (Table 1); empty for
+	// classic litmus shapes and mislabeled variants.
+	UseCase string
+	// App is the application the paper associates with the use case.
+	App string
+	// Notes explains what the test stresses.
+	Notes string
+}
+
+// WorkQueue builds Listing 1: a client enqueues (data write + paired
+// occupancy increment); the service thread polls occupancy with an
+// unpaired atomic and only dequeues — with a paired re-check — when the
+// queue is non-empty.
+func WorkQueue() *Program {
+	p := New("WorkQueue")
+	client := p.Thread("client")
+	client.Store("D", 42, core.Data) // enqueue payload
+	client.Inc("OCC", core.Paired)   // publish occupancy
+	service := p.Thread("service")
+	occ := service.Load("OCC", core.Unpaired) // relaxed occupancy() poll
+	service.WithGuards(NZ(occ))
+	occ2 := service.Load("OCC", core.Paired) // dequeue()'s SC re-check
+	service.WithGuards(NZ(occ2))
+	d := service.Load("D", core.Data) // consume payload
+	service.EndGuards()
+	service.Use(d)
+	return p
+}
+
+// EventCounter builds Listing 2: workers concurrently increment a shared
+// counter with commutative atomics, then signal completion with paired
+// stores; the main thread joins and reads the final count.
+func EventCounter(workers, incs int) *Program {
+	p := New(fmt.Sprintf("EventCounter_%dx%d", workers, incs))
+	for w := 0; w < workers; w++ {
+		t := p.Thread(fmt.Sprintf("worker%d", w))
+		for i := 0; i < incs; i++ {
+			t.Inc("CTR", core.Commutative)
+		}
+		t.Store(Loc(fmt.Sprintf("DONE%d", w)), 1, core.Paired)
+	}
+	main := p.Thread("main")
+	var guards []Guard
+	for w := 0; w < workers; w++ {
+		r := main.Load(Loc(fmt.Sprintf("DONE%d", w)), core.Paired)
+		guards = append(guards, EQConst(r, 1))
+	}
+	main.WithGuards(guards...)
+	c := main.Load("CTR", core.Data) // join ordered: plain read is safe
+	main.EndGuards()
+	main.Use(c)
+	return p
+}
+
+// EventCounterObserved is a mislabeled Event Counter whose racing
+// increments feed their old values into later instructions — condition
+// (3) of the commutative-race definition.
+func EventCounterObserved() *Program {
+	p := New("EventCounterObserved")
+	t0 := p.Thread("w0")
+	r := t0.RMW(core.OpInc, "CTR", 0, core.Commutative)
+	t0.Use(r) // old value observed — illegal for a commutative atomic
+	t1 := p.Thread("w1")
+	t1.Inc("CTR", core.Commutative)
+	return p
+}
+
+// EventCounterNonCommutative is a mislabeled Event Counter whose racing
+// updates do not commute (exchange vs. increment).
+func EventCounterNonCommutative() *Program {
+	p := New("EventCounterNonCommutative")
+	t0 := p.Thread("w0")
+	t0.RMWDiscard(core.OpExchange, "CTR", 7, core.Commutative)
+	t1 := p.Thread("w1")
+	t1.Inc("CTR", core.Commutative)
+	return p
+}
+
+// Flags builds Listing 3: workers poll a stop flag (non-ordering) and set
+// a dirty flag (commutative); the main thread raises stop, joins via
+// paired flags, and then reads dirty.
+func Flags(workers int) *Program {
+	p := New(fmt.Sprintf("Flags_%d", workers))
+	for w := 0; w < workers; w++ {
+		t := p.Thread(fmt.Sprintf("worker%d", w))
+		t.LoadDiscard("STOP", core.NonOrdering) // while(!stop) poll
+		t.Store("DIRTY", 1, core.Commutative)
+		t.Store(Loc(fmt.Sprintf("DONE%d", w)), 1, core.Paired)
+	}
+	main := p.Thread("main")
+	main.Store("STOP", 1, core.NonOrdering)
+	var guards []Guard
+	for w := 0; w < workers; w++ {
+		r := main.Load(Loc(fmt.Sprintf("DONE%d", w)), core.Paired)
+		guards = append(guards, EQConst(r, 1))
+	}
+	main.WithGuards(guards...)
+	d := main.Load("DIRTY", core.NonOrdering)
+	main.EndGuards()
+	main.Use(d)
+	return p
+}
+
+// NOFlagPublish is the mislabeled Flags variant: a producer publishes an
+// unpaired payload through a non-ordering flag, making the flag's racy
+// edge the only ordering path between the payload accesses — a
+// non-ordering race (the guarded shape of Figure 2(a)).
+func NOFlagPublish() *Program {
+	p := New("NOFlagPublish")
+	prod := p.Thread("producer")
+	prod.Store("DIRTY", 1, core.Unpaired)
+	prod.Store("STOP", 1, core.NonOrdering)
+	cons := p.Thread("consumer")
+	s := cons.Load("STOP", core.NonOrdering)
+	cons.WithGuards(NZ(s))
+	d := cons.Load("DIRTY", core.Unpaired)
+	cons.EndGuards()
+	cons.Use(d)
+	return p
+}
+
+// SplitCounter builds Listing 4: updaters add to their own shard with
+// quantum RMWs; a reader sums the shards with quantum loads into a
+// private location.
+func SplitCounter() *Program {
+	p := New("SplitCounter")
+	t0 := p.Thread("updater0")
+	t0.RMWDiscard(core.OpAdd, "C0", 1, core.Quantum)
+	t1 := p.Thread("updater1")
+	t1.RMWDiscard(core.OpAdd, "C1", 1, core.Quantum)
+	rd := p.Thread("reader")
+	a := rd.Load("C0", core.Quantum)
+	b := rd.Load("C1", core.Quantum)
+	rd.StoreExpr("SUM", Expr{Regs: []Reg{a, b}}, core.Data) // private sum
+	return p
+}
+
+// QuantumMixed is a mislabeled variant: a quantum load racing with a
+// non-quantum atomic store — a quantum race.
+func QuantumMixed() *Program {
+	p := New("QuantumMixed")
+	t0 := p.Thread("t0")
+	t0.Store("C", 1, core.Unpaired)
+	t1 := p.Thread("t1")
+	r := t1.Load("C", core.Quantum)
+	t1.Use(r)
+	return p
+}
+
+// RefCounter builds Listing 5 (single-counter form): both threads
+// increment then decrement a shared reference count with quantum RMWs;
+// whichever sees the count drop to zero marks the object for deletion
+// with a commutative store.
+func RefCounter() *Program {
+	p := New("RefCounter")
+	// Domain covers every value a refcount can take here (0..2) so the
+	// quantum-equivalent enumeration subsumes the real executions.
+	p.QuantumDomain = []int64{0, 1, 2}
+	for i := 0; i < 2; i++ {
+		t := p.Thread(fmt.Sprintf("t%d", i))
+		t.Inc("RC", core.Quantum)
+		old := t.RMW(core.OpDec, "RC", 0, core.Quantum)
+		t.WithGuards(EQConst(old, 1)) // new value == 0: last reference
+		t.Store("MARK", 1, core.Commutative)
+		t.EndGuards()
+	}
+	return p
+}
+
+// RefCounterTwo builds the two-counter essence of Listing 5: the threads
+// release the counters in opposite orders, which quantum atomics permit.
+func RefCounterTwo() *Program {
+	p := New("RefCounterTwo")
+	p.QuantumDomain = []int64{0, 1, 2}
+	t0 := p.Thread("t0")
+	t0.Inc("RC1", core.Quantum)
+	o0 := t0.RMW(core.OpDec, "RC2", 0, core.Quantum)
+	t0.WithGuards(EQConst(o0, 1))
+	t0.Store("MARK2", 1, core.Commutative)
+	t0.EndGuards()
+	t1 := p.Thread("t1")
+	t1.Inc("RC2", core.Quantum)
+	o1 := t1.RMW(core.OpDec, "RC1", 0, core.Quantum)
+	t1.WithGuards(EQConst(o1, 1))
+	t1.Store("MARK1", 1, core.Commutative)
+	t1.EndGuards()
+	return p
+}
+
+// Seqlocks builds Listing 6: a writer CASes the sequence number, updates
+// the data with speculative stores, and publishes; a reader brackets
+// speculative loads with paired sequence reads and uses the values only
+// when the sequence check passes.
+func Seqlocks() *Program {
+	p := New("Seqlocks")
+	w := p.Thread("writer")
+	old := w.CAS("SEQ", 0, 1, core.Paired)
+	w.WithGuards(EQZ(old)) // acquired the seqlock
+	w.Store("D1", 10, core.Speculative)
+	w.Store("D2", 20, core.Speculative)
+	w.Store("SEQ", 2, core.Paired)
+	w.EndGuards()
+	r := p.Thread("reader")
+	s0 := r.Load("SEQ", core.Paired)
+	d1 := r.Load("D1", core.Speculative)
+	d2 := r.Load("D2", core.Speculative)
+	s1 := r.RMW(core.OpAdd, "SEQ", 0, core.Paired) // read-don't-modify-write
+	r.WithGuards(EQEvenReg(s0, s1))                // seq unchanged and even
+	r.StoreExpr("OUT", Expr{Regs: []Reg{d1, d2}}, core.Data)
+	r.EndGuards()
+	return p
+}
+
+// SeqlocksRA is the Section 7 variant: the reader's sequence accesses use
+// acquire/release ordering instead of SC (the paper notes seqlock readers
+// can be relaxed this far; the "read-don't-modify-write" becomes a
+// release RMW).
+func SeqlocksRA() *Program {
+	p := New("SeqlocksRA")
+	w := p.Thread("writer")
+	old := w.CAS("SEQ", 0, 1, core.Paired)
+	w.WithGuards(EQZ(old))
+	w.Store("D1", 10, core.Speculative)
+	w.Store("D2", 20, core.Speculative)
+	w.Store("SEQ", 2, core.Paired)
+	w.EndGuards()
+	r := p.Thread("reader")
+	s0 := r.Load("SEQ", core.Acquire)
+	d1 := r.Load("D1", core.Speculative)
+	d2 := r.Load("D2", core.Speculative)
+	s1 := r.RMW(core.OpAdd, "SEQ", 0, core.Release) // read-don't-modify-write
+	r.WithGuards(EQEvenReg(s0, s1))
+	r.StoreExpr("OUT", Expr{Regs: []Reg{d1, d2}}, core.Data)
+	r.EndGuards()
+	return p
+}
+
+// SeqlocksUnchecked is the mislabeled seqlock: the reader uses the
+// speculative values without the sequence re-check, so racy loads are
+// observed — a speculative race.
+func SeqlocksUnchecked() *Program {
+	p := New("SeqlocksUnchecked")
+	w := p.Thread("writer")
+	w.Store("D1", 10, core.Speculative)
+	r := p.Thread("reader")
+	d1 := r.Load("D1", core.Speculative)
+	r.StoreExpr("OUT", RegExpr(d1), core.Data)
+	return p
+}
+
+// SeqlocksWW is the mislabeled seqlock with two unsynchronized writers:
+// racing speculative stores — a speculative race.
+func SeqlocksWW() *Program {
+	p := New("SeqlocksWW")
+	w0 := p.Thread("writer0")
+	w0.Store("D1", 10, core.Speculative)
+	w1 := p.Thread("writer1")
+	w1.Store("D1", 20, core.Speculative)
+	return p
+}
+
+// Figure2a reproduces Figure 2(a): the non-ordering accesses to Y form
+// the only ordering path between the conflicting accesses to X.
+func Figure2a() *Program {
+	p := New("Figure2a")
+	t0 := p.Thread("t0")
+	t0.Store("X", 3, core.Unpaired)
+	t0.Store("Y", 2, core.NonOrdering)
+	t1 := p.Thread("t1")
+	y := t1.Load("Y", core.NonOrdering)
+	x := t1.Load("X", core.Unpaired)
+	t1.Use(y)
+	t1.Use(x)
+	return p
+}
+
+// Figure2b reproduces Figure 2(b): a paired path through Z absolves the
+// non-ordering accesses of ordering responsibility in the execution the
+// figure shows.
+func Figure2b() *Program {
+	p := New("Figure2b")
+	t0 := p.Thread("t0")
+	t0.Store("X", 3, core.Unpaired)
+	t0.Store("Z", 1, core.Paired)
+	t0.Store("Y", 2, core.NonOrdering)
+	t1 := p.Thread("t1")
+	z := t1.Load("Z", core.Paired)
+	y := t1.Load("Y", core.NonOrdering)
+	x := t1.Load("X", core.Unpaired)
+	t1.Use(z)
+	t1.Use(y)
+	t1.Use(x)
+	return p
+}
+
+// MP builds message passing with the flag at the given class; the data
+// read is guarded on seeing the flag.
+func MP(name string, flagClass core.Class) *Program {
+	p := New(name)
+	t0 := p.Thread("producer")
+	t0.Store("D", 1, core.Data)
+	t0.Store("F", 1, flagClass)
+	t1 := p.Thread("consumer")
+	f := t1.Load("F", flagClass)
+	t1.WithGuards(NZ(f))
+	d := t1.Load("D", core.Data)
+	t1.EndGuards()
+	t1.Use(d)
+	return p
+}
+
+// MPRA builds message passing with a release store and acquire load on
+// the flag — the Section 7 extension ordering data without SC atomics.
+func MPRA() *Program {
+	p := New("MP_release_acquire")
+	t0 := p.Thread("producer")
+	t0.Store("D", 1, core.Data)
+	t0.Store("F", 1, core.Release)
+	t1 := p.Thread("consumer")
+	f := t1.Load("F", core.Acquire)
+	t1.WithGuards(NZ(f))
+	d := t1.Load("D", core.Data)
+	t1.EndGuards()
+	t1.Use(d)
+	return p
+}
+
+// MPData is an unannotated message-passing race: a plain data race.
+func MPData() *Program {
+	p := New("MPData")
+	t0 := p.Thread("producer")
+	t0.Store("D", 1, core.Data)
+	t1 := p.Thread("consumer")
+	d := t1.Load("D", core.Data)
+	t1.Use(d)
+	return p
+}
+
+// SB builds store buffering with both locations at the given class; the
+// loaded values are published to private locations so the final state
+// captures them.
+func SB(name string, c core.Class) *Program {
+	p := New(name)
+	t0 := p.Thread("t0")
+	t0.Store("X", 1, c)
+	r0 := t0.Load("Y", c)
+	t0.StoreExpr("OUT0", RegExpr(r0), core.Data)
+	t1 := p.Thread("t1")
+	t1.Store("Y", 1, c)
+	r1 := t1.Load("X", c)
+	t1.StoreExpr("OUT1", RegExpr(r1), core.Data)
+	return p
+}
+
+// CoRR is the per-location coherence shape: two reads of the same
+// location must not appear to go backwards, even relaxed.
+func CoRR(c core.Class) *Program {
+	p := New(fmt.Sprintf("CoRR_%s", c))
+	t0 := p.Thread("writer")
+	t0.Store("X", 1, c)
+	t1 := p.Thread("reader")
+	a := t1.Load("X", c)
+	b := t1.Load("X", c)
+	t1.StoreExpr("OUT0", RegExpr(a), core.Data)
+	t1.StoreExpr("OUT1", RegExpr(b), core.Data)
+	return p
+}
+
+// IRIW builds independent-reads-of-independent-writes with paired
+// accesses: SC must hold.
+func IRIW() *Program {
+	p := New("IRIW")
+	p.Thread("w0").Store("X", 1, core.Paired)
+	p.Thread("w1").Store("Y", 1, core.Paired)
+	r0 := p.Thread("r0")
+	a := r0.Load("X", core.Paired)
+	b := r0.Load("Y", core.Paired)
+	r0.StoreExpr("OUT0", Expr{Regs: []Reg{a}}, core.Data)
+	r0.StoreExpr("OUT1", Expr{Regs: []Reg{b}}, core.Data)
+	r1 := p.Thread("r1")
+	c := r1.Load("Y", core.Paired)
+	d := r1.Load("X", core.Paired)
+	r1.StoreExpr("OUT2", Expr{Regs: []Reg{c}}, core.Data)
+	r1.StoreExpr("OUT3", Expr{Regs: []Reg{d}}, core.Data)
+	return p
+}
+
+// LB builds load buffering: each thread loads one location and stores
+// the other. The loaded values are published so they are observable.
+func LB(name string, c core.Class) *Program {
+	p := New(name)
+	t0 := p.Thread("t0")
+	r0 := t0.Load("X", c)
+	t0.Store("Y", 1, c)
+	t0.StoreExpr("OUT0", RegExpr(r0), core.Data)
+	t1 := p.Thread("t1")
+	r1 := t1.Load("Y", c)
+	t1.Store("X", 1, c)
+	t1.StoreExpr("OUT1", RegExpr(r1), core.Data)
+	return p
+}
+
+// TwoPlusTwoW builds 2+2W: both threads store to both locations in
+// opposite orders, with the given class and values.
+func TwoPlusTwoW(name string, c core.Class, v0, v1 int64) *Program {
+	p := New(name)
+	t0 := p.Thread("t0")
+	t0.Store("X", v0, c)
+	t0.Store("Y", v0, c)
+	t1 := p.Thread("t1")
+	t1.Store("Y", v1, c)
+	t1.Store("X", v1, c)
+	return p
+}
+
+// WRC builds write-to-read causality with paired flags: T0 publishes,
+// T1 observes and republishes, T2 observes transitively.
+func WRC() *Program {
+	p := New("WRC")
+	p.Thread("t0").Store("X", 1, core.Paired)
+	t1 := p.Thread("t1")
+	a := t1.Load("X", core.Paired)
+	t1.WithGuards(NZ(a))
+	t1.Store("Y", 1, core.Paired)
+	t1.EndGuards()
+	t2 := p.Thread("t2")
+	b := t2.Load("Y", core.Paired)
+	t2.WithGuards(NZ(b))
+	c := t2.Load("X", core.Paired)
+	t2.EndGuards()
+	t2.StoreExpr("OUT", RegExpr(c), core.Data)
+	return p
+}
+
+// CoWW builds same-location write-write-read: per-location SC makes any
+// labelling legal.
+func CoWW(c core.Class) *Program {
+	p := New(fmt.Sprintf("CoWW_%s", c))
+	t0 := p.Thread("t0")
+	t0.Store("X", 1, c)
+	t0.Store("X", 2, c)
+	t1 := p.Thread("t1")
+	r := t1.Load("X", c)
+	t1.StoreExpr("OUT", RegExpr(r), core.Data)
+	return p
+}
+
+// Suite returns the full litmus suite with expected verdicts.
+// Legal is indexed [DRF0, DRF1, DRFrlx].
+func Suite() []Case {
+	all := func() [3]bool { return [3]bool{true, true, true} }
+	return []Case{
+		{Prog: WorkQueue(), Legal: all(), UseCase: "Unpaired", App: "Work Queue",
+			Notes: "Listing 1: relaxed occupancy poll, SC re-check in dequeue"},
+		{Prog: EventCounter(2, 2), Legal: all(), UseCase: "Commutative", App: "Event Counter",
+			Notes: "Listing 2: racing commutative increments, paired join before read"},
+		{Prog: Flags(2), Legal: all(), UseCase: "Non-Ordering", App: "Flags",
+			Notes: "Listing 3: stop/dirty flags never order other accesses"},
+		{Prog: SplitCounter(), Legal: all(), UseCase: "Quantum", App: "Split Counter",
+			Notes: "Listing 4: approximate partial sums via quantum loads"},
+		{Prog: RefCounter(), Legal: all(), UseCase: "Quantum", App: "Reference Counter",
+			Notes: "Listing 5 (single counter): quantum inc/dec, commutative mark"},
+		{Prog: RefCounterTwo(), Legal: all(), UseCase: "Quantum", App: "Reference Counter",
+			Notes: "Listing 5: two counters released in opposite orders"},
+		{Prog: Seqlocks(), Legal: all(), UseCase: "Speculative", App: "Seqlocks",
+			Notes: "Listing 6: speculative data accesses bracketed by sequence checks"},
+		{Prog: SeqlocksRA(), Legal: all(), UseCase: "Speculative", App: "Seqlocks",
+			Notes: "Section 7: reader sequence checks relaxed to acquire/release ordering"},
+
+		// Mislabeled variants: each must be caught by exactly the detector
+		// the paper's model defines. DRF0/DRF1 only forbid data races, so
+		// atomics-only races stay legal there.
+		{Prog: EventCounterObserved(), Legal: [3]bool{true, true, false},
+			Notes: "commutative race: racing increment's value observed"},
+		{Prog: EventCounterNonCommutative(), Legal: [3]bool{true, true, false},
+			Notes: "commutative race: exchange does not commute with increment"},
+		{Prog: NOFlagPublish(), Legal: [3]bool{true, true, false},
+			Notes: "non-ordering race: the NO flag is the only ordering path for the unpaired payload"},
+		{Prog: QuantumMixed(), Legal: [3]bool{true, true, false},
+			Notes: "quantum race: quantum load races with unpaired store"},
+		{Prog: SeqlocksUnchecked(), Legal: [3]bool{true, true, false},
+			Notes: "speculative race: racy speculative load observed"},
+		{Prog: SeqlocksWW(), Legal: [3]bool{true, true, false},
+			Notes: "speculative race: racing speculative stores"},
+		{Prog: Figure2a(), Legal: [3]bool{true, true, false},
+			Notes: "Figure 2(a): unique ordering path through non-ordering atomics"},
+
+		// Classic shapes.
+		{Prog: MP("MP_paired", core.Paired), Legal: all(),
+			Notes: "message passing with paired flag"},
+		{Prog: MP("MP_unpaired", core.Unpaired), Legal: [3]bool{true, false, false},
+			Notes: "unpaired atomics do not order data: data race under DRF1/DRFrlx; legal under DRF0 (flag strengthens to paired)"},
+		{Prog: MPRA(), Legal: all(),
+			Notes: "Section 7 extension: release/acquire flag orders the data read"},
+		{Prog: MPData(), Legal: [3]bool{false, false, false},
+			Notes: "plain data race under every model"},
+		{Prog: SB("SB_paired", core.Paired), Legal: all(),
+			Notes: "store buffering, paired: SC enforced"},
+		{Prog: SB("SB_nonordering", core.NonOrdering), Legal: [3]bool{true, true, false},
+			Notes: "store buffering with non-ordering atomics: the racy edges carry unique ordering paths"},
+		{Prog: IRIW(), Legal: all(),
+			Notes: "independent reads of independent writes, paired"},
+		{Prog: LB("LB_paired", core.Paired), Legal: all(),
+			Notes: "load buffering, paired: SC forbids r0=r1=1"},
+		{Prog: LB("LB_nonordering", core.NonOrdering), Legal: [3]bool{true, true, false},
+			Notes: "load buffering with non-ordering atomics: the racy edges carry unique ordering paths"},
+		{Prog: TwoPlusTwoW("2+2W_paired", core.Paired, 1, 2), Legal: all(),
+			Notes: "2+2W, paired"},
+		{Prog: TwoPlusTwoW("2+2W_commutative", core.Commutative, 1, 2), Legal: [3]bool{true, true, false},
+			Notes: "racing commutative stores of different values do not commute"},
+		{Prog: TwoPlusTwoW("2+2W_samevalue", core.Commutative, 7, 7), Legal: all(),
+			Notes: "racing commutative stores of the same value commute — legal"},
+		{Prog: WRC(), Legal: all(),
+			Notes: "write-to-read causality, paired flags"},
+		{Prog: CoWW(core.NonOrdering), Legal: all(),
+			Notes: "same-location writes: per-location paths are valid ordering paths"},
+		{Prog: CoRR(core.NonOrdering), Legal: all(),
+			Notes: "same-location reads: same-address ordering paths are valid (condition 2), so relaxed coRR is race-free"},
+	}
+}

@@ -1,0 +1,383 @@
+// Package memmodel implements the semantics half of the RAts paper: it
+// enumerates the sequentially consistent executions of a litmus program
+// (including the quantum-equivalent transformation of Section 3.4), builds
+// the relations of Section 2.3/3.3 (program order, conflict order, so1,
+// hb1, the program/conflict graph), detects the paper's five illegal race
+// categories exactly as Listing 7's Herd model does, and provides a
+// system-centric model of a straightforward DRFrlx machine for validating
+// Theorem 3.1 on litmus tests.
+package memmodel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rats/internal/core"
+	"rats/internal/litmus"
+)
+
+// Event is one dynamic memory operation of an execution. Branch markers
+// are not events; their control dependencies are folded into the static
+// dependency analysis.
+type Event struct {
+	// ID is the event's index, stable across executions of the same
+	// program (events are numbered thread by thread, op by op).
+	ID int
+	// Thread is the issuing thread's index.
+	Thread int
+	// OpIndex is the op's index within its thread (including branches).
+	OpIndex int
+	// Op is the static operation.
+	Op litmus.Op
+	// Loaded is the value the event read (loads and RMWs).
+	Loaded int64
+	// Stored is the value the event wrote (stores and RMWs).
+	Stored int64
+	// TPos is the event's position in the SC total order T.
+	TPos int
+	// Randomized marks quantum events whose values were replaced by the
+	// quantum transformation.
+	Randomized bool
+}
+
+// Execution is one SC execution of a program: a total order plus the
+// values transferred.
+type Execution struct {
+	Prog *litmus.Program
+	// Events indexed by event ID.
+	Events []Event
+	// Order lists event IDs in SC total order.
+	Order []int
+	// RF maps each reading event to the writing event it read from, or -1
+	// for the initial value. Randomized quantum reads map to -1.
+	RF []int
+	// Present[id] reports whether the event executed (guarded ops whose
+	// guards failed are absent).
+	Present []bool
+	// Final is the memory state at the end of the execution — the
+	// paper's "result of an execution" (Section 3.2.3).
+	Final map[litmus.Loc]int64
+	// Regs holds each thread's final register file.
+	Regs [][]int64
+}
+
+// ResultKey serializes the final memory state into a comparable string.
+func (e *Execution) ResultKey() string {
+	return resultKey(e.Final)
+}
+
+func resultKey(final map[litmus.Loc]int64) string {
+	locs := make([]string, 0, len(final))
+	for l := range final {
+		locs = append(locs, string(l))
+	}
+	sort.Strings(locs)
+	var b strings.Builder
+	for _, l := range locs {
+		fmt.Fprintf(&b, "%s=%d;", l, final[litmus.Loc(l)])
+	}
+	return b.String()
+}
+
+// EnumOptions configures execution enumeration.
+type EnumOptions struct {
+	// Quantum applies the quantum transformation (Section 3.4.3): quantum
+	// loads return arbitrary domain values, quantum stores write
+	// arbitrary domain values.
+	Quantum bool
+	// Limit bounds the number of executions produced (0 = DefaultLimit).
+	Limit int
+}
+
+// DefaultLimit bounds enumeration to keep litmus tests tractable.
+const DefaultLimit = 500_000
+
+// ErrLimit is returned when enumeration exceeds its execution budget.
+var ErrLimit = fmt.Errorf("memmodel: execution limit exceeded")
+
+// eventLayout precomputes the static event numbering of a program.
+type eventLayout struct {
+	// id[t][i] is the event ID of thread t's op i, or -1 for branches.
+	id [][]int
+	// n is the total number of events.
+	n int
+}
+
+func layout(p *litmus.Program) eventLayout {
+	var l eventLayout
+	l.id = make([][]int, len(p.Threads))
+	for t, th := range p.Threads {
+		l.id[t] = make([]int, len(th.Ops))
+		for i, op := range th.Ops {
+			if op.IsBranch {
+				l.id[t][i] = -1
+				continue
+			}
+			l.id[t][i] = l.n
+			l.n++
+		}
+	}
+	return l
+}
+
+// QuantumDomain returns the value domain used for randomized quantum
+// accesses: the program's explicit domain if set, otherwise every constant
+// appearing in the program plus {0, 1}.
+func QuantumDomain(p *litmus.Program) []int64 {
+	if len(p.QuantumDomain) > 0 {
+		return append([]int64(nil), p.QuantumDomain...)
+	}
+	set := map[int64]bool{0: true, 1: true}
+	for _, v := range p.Init {
+		set[v] = true
+	}
+	for _, t := range p.Threads {
+		for _, o := range t.Ops {
+			if o.IsBranch {
+				continue
+			}
+			set[o.Operand.Const] = true
+			set[o.Expected.Const] = true
+		}
+	}
+	out := make([]int64, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+type enumerator struct {
+	prog   *litmus.Program
+	lay    eventLayout
+	opts   EnumOptions
+	domain []int64
+
+	// mutable search state
+	pc      []int
+	mem     map[litmus.Loc]int64
+	lastW   map[litmus.Loc]int // event ID of last writer, -1 init
+	regs    [][]int64
+	order   []int
+	loaded  []int64
+	stored  []int64
+	rf      []int
+	random  []bool
+	present []bool
+
+	execs []*Execution
+	err   error
+}
+
+// Enumerate produces every SC execution of the program (or of its
+// quantum-equivalent program when opts.Quantum is set).
+func Enumerate(p *litmus.Program, opts EnumOptions) ([]*Execution, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Limit == 0 {
+		opts.Limit = DefaultLimit
+	}
+	e := &enumerator{
+		prog:   p,
+		lay:    layout(p),
+		opts:   opts,
+		domain: QuantumDomain(p),
+		pc:     make([]int, len(p.Threads)),
+		mem:    map[litmus.Loc]int64{},
+		lastW:  map[litmus.Loc]int{},
+		order:  make([]int, 0, 16),
+	}
+	for _, l := range p.Locs() {
+		e.mem[l] = p.Init[l]
+		e.lastW[l] = -1
+	}
+	e.regs = make([][]int64, len(p.Threads))
+	for t, th := range p.Threads {
+		e.regs[t] = make([]int64, th.NumRegs())
+	}
+	n := e.lay.n
+	e.loaded = make([]int64, n)
+	e.stored = make([]int64, n)
+	e.rf = make([]int, n)
+	e.random = make([]bool, n)
+	e.present = make([]bool, n)
+	e.step()
+	if e.err != nil {
+		return nil, e.err
+	}
+	return e.execs, nil
+}
+
+// step is the DFS over interleavings (and quantum value choices).
+func (e *enumerator) step() {
+	if e.err != nil {
+		return
+	}
+	done := true
+	for t := range e.prog.Threads {
+		if e.pc[t] < len(e.prog.Threads[t].Ops) {
+			done = false
+			op := e.prog.Threads[t].Ops[e.pc[t]]
+			// Consume branch markers and disabled guarded ops eagerly:
+			// they are thread-local no-ops (guard values are fixed once
+			// the thread reaches them) and must not multiply
+			// interleavings.
+			if op.IsBranch || (len(op.Guards) > 0 && !op.GuardsHold(e.regs[t])) {
+				e.pc[t]++
+				e.step()
+				e.pc[t]--
+				return
+			}
+		}
+	}
+	if done {
+		e.record()
+		return
+	}
+	for t := range e.prog.Threads {
+		if e.pc[t] >= len(e.prog.Threads[t].Ops) {
+			continue
+		}
+		op := e.prog.Threads[t].Ops[e.pc[t]]
+		if op.IsBranch {
+			continue // handled above; only one branch head processed per level
+		}
+		e.exec(t, op)
+	}
+}
+
+// exec runs thread t's current op with all applicable value choices,
+// recursing after each.
+func (e *enumerator) exec(t int, op litmus.Op) {
+	id := e.lay.id[t][e.pc[t]]
+	quantum := e.opts.Quantum && op.Class == core.Quantum
+	loadChoices := []int64{0}
+	storeChoices := []int64{0}
+	if quantum {
+		if op.Reads() {
+			loadChoices = e.domain
+		}
+		if op.Writes() {
+			storeChoices = e.domain
+		}
+	}
+	for _, lv := range loadChoices {
+		for _, sv := range storeChoices {
+			e.execOne(t, op, id, quantum, lv, sv)
+			if e.err != nil {
+				return
+			}
+		}
+	}
+}
+
+func (e *enumerator) execOne(t int, op litmus.Op, id int, quantum bool, qload, qstore int64) {
+	loc := op.Loc
+	oldMem := e.mem[loc]
+	oldLast := e.lastW[loc]
+	var oldReg int64
+	if op.Dst != litmus.NoReg {
+		oldReg = e.regs[t][op.Dst]
+	}
+
+	// Perform the access.
+	loaded := oldMem
+	e.rf[id] = oldLast
+	if quantum && op.Reads() {
+		loaded = qload
+		e.rf[id] = -1
+	}
+	e.loaded[id] = loaded
+	e.random[id] = quantum
+	if op.Dst != litmus.NoReg {
+		e.regs[t][op.Dst] = loaded
+	}
+	if op.Writes() {
+		var newVal int64
+		if quantum {
+			newVal = qstore
+		} else {
+			operand := op.Operand.Eval(e.regs[t])
+			expected := op.Expected.Eval(e.regs[t])
+			newVal = op.AOp.Apply(oldMem, operand, expected)
+		}
+		e.mem[loc] = newVal
+		e.lastW[loc] = id
+		e.stored[id] = newVal
+	}
+	e.order = append(e.order, id)
+	e.present[id] = true
+	e.pc[t]++
+
+	e.step()
+
+	// Undo.
+	e.pc[t]--
+	e.present[id] = false
+	e.order = e.order[:len(e.order)-1]
+	if op.Writes() {
+		e.mem[loc] = oldMem
+		e.lastW[loc] = oldLast
+	}
+	if op.Dst != litmus.NoReg {
+		e.regs[t][op.Dst] = oldReg
+	}
+}
+
+// record snapshots the completed execution.
+func (e *enumerator) record() {
+	if len(e.execs) >= e.opts.Limit {
+		e.err = fmt.Errorf("%w (limit %d, program %s)", ErrLimit, e.opts.Limit, e.prog.Name)
+		return
+	}
+	ex := &Execution{
+		Prog:    e.prog,
+		Events:  make([]Event, e.lay.n),
+		Order:   append([]int(nil), e.order...),
+		RF:      append([]int(nil), e.rf...),
+		Present: append([]bool(nil), e.present...),
+		Final:   make(map[litmus.Loc]int64, len(e.mem)),
+	}
+	for l, v := range e.mem {
+		ex.Final[l] = v
+	}
+	for t, th := range e.prog.Threads {
+		for i, op := range th.Ops {
+			id := e.lay.id[t][i]
+			if id < 0 {
+				continue
+			}
+			ex.Events[id] = Event{
+				ID: id, Thread: t, OpIndex: i, Op: op, TPos: -1,
+				Loaded: e.loaded[id], Stored: e.stored[id], Randomized: e.random[id],
+			}
+			if !e.present[id] {
+				ex.Events[id].Loaded = 0
+				ex.Events[id].Stored = 0
+				ex.Events[id].Randomized = false
+				ex.RF[id] = -1
+			}
+		}
+	}
+	for pos, id := range ex.Order {
+		ex.Events[id].TPos = pos
+	}
+	ex.Regs = make([][]int64, len(e.regs))
+	for t := range e.regs {
+		ex.Regs[t] = append([]int64(nil), e.regs[t]...)
+	}
+	e.execs = append(e.execs, ex)
+}
+
+// Results returns the set of distinct final memory states over a slice of
+// executions, keyed by ResultKey.
+func Results(execs []*Execution) map[string]map[litmus.Loc]int64 {
+	out := map[string]map[litmus.Loc]int64{}
+	for _, e := range execs {
+		out[e.ResultKey()] = e.Final
+	}
+	return out
+}

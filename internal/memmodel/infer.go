@@ -1,0 +1,160 @@
+package memmodel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rats/internal/core"
+	"rats/internal/litmus"
+)
+
+// Annotation inference: given a program whose atomic operations are
+// identified but not yet classified, search the DRFrlx class space for
+// the cheapest legal labelling. "Cheapest" follows the cost order implied
+// by Table 4: paired atomics pay invalidation + flush + serialization;
+// unpaired atomics pay serialization only; the four relaxed classes are
+// free. This mechanizes the reasoning a programmer performs when deciding
+// which accesses can safely be relaxed.
+
+// classCost ranks classes by the consistency actions they require.
+func classCost(c core.Class) int {
+	switch c {
+	case core.Paired:
+		return 2
+	case core.Unpaired:
+		return 1
+	default:
+		return 0 // the relaxed classes allow identical optimizations
+	}
+}
+
+// atomicSite identifies one annotatable operation.
+type atomicSite struct {
+	thread, op int
+}
+
+// Labelling is one legal class assignment.
+type Labelling struct {
+	// Classes[i] is the class assigned to the i-th atomic site (in
+	// thread-major program order).
+	Classes []core.Class
+	// Cost is the summed class cost (lower = more relaxed).
+	Cost int
+}
+
+// String renders the assignment compactly.
+func (l Labelling) String() string {
+	parts := make([]string, len(l.Classes))
+	for i, c := range l.Classes {
+		parts[i] = c.String()
+	}
+	return fmt.Sprintf("[%s] cost=%d", strings.Join(parts, ", "), l.Cost)
+}
+
+// InferOptions bounds the search.
+type InferOptions struct {
+	// MaxSites caps the number of annotatable sites (the search is
+	// exponential); defaults to 6.
+	MaxSites int
+	// Candidates restricts the classes tried per site. The default
+	// excludes quantum: quantum labelling is always race-minimal (quantum
+	// accesses may race with each other freely) but changes the value
+	// guarantee to "any value" — whether the program tolerates that is a
+	// judgement inference cannot make, so quantum is opt-in.
+	Candidates []core.Class
+}
+
+// InferLabels finds every minimum-cost legal labelling of the program's
+// atomic sites under DRFrlx. Data operations are left untouched; existing
+// atomic classes are ignored (every atomic site is re-searched). Returns
+// the minimal labellings sorted lexicographically.
+func InferLabels(p *litmus.Program, opts InferOptions) ([]Labelling, error) {
+	if opts.MaxSites == 0 {
+		opts.MaxSites = 6
+	}
+	if len(opts.Candidates) == 0 {
+		opts.Candidates = []core.Class{
+			core.Paired, core.Unpaired, core.Commutative,
+			core.NonOrdering, core.Speculative,
+		}
+	}
+	var sites []atomicSite
+	for ti, th := range p.Threads {
+		for oi, op := range th.Ops {
+			if !op.IsBranch && op.Class.IsAtomic() {
+				sites = append(sites, atomicSite{ti, oi})
+			}
+		}
+	}
+	if len(sites) > opts.MaxSites {
+		return nil, fmt.Errorf("memmodel: %d atomic sites exceeds inference cap %d", len(sites), opts.MaxSites)
+	}
+
+	assign := make([]core.Class, len(sites))
+	var best []Labelling
+	bestCost := 1 << 30
+
+	var search func(i, cost int) error
+	search = func(i, cost int) error {
+		if cost > bestCost {
+			return nil
+		}
+		if i == len(sites) {
+			q := p.Relabel(func(c core.Class) core.Class { return c })
+			for si, s := range sites {
+				q.Threads[s.thread].Ops[s.op].Class = assign[si]
+			}
+			v, err := CheckProgram(q, core.DRFrlx)
+			if err != nil {
+				return err
+			}
+			if !v.Legal {
+				return nil
+			}
+			if cost < bestCost {
+				bestCost = cost
+				best = best[:0]
+			}
+			best = append(best, Labelling{Classes: append([]core.Class(nil), assign...), Cost: cost})
+			return nil
+		}
+		for _, c := range opts.Candidates {
+			assign[i] = c
+			if err := search(i+1, cost+classCost(c)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := search(0, 0); err != nil {
+		return nil, err
+	}
+	sort.Slice(best, func(a, b int) bool {
+		for i := range best[a].Classes {
+			if best[a].Classes[i] != best[b].Classes[i] {
+				return best[a].Classes[i] < best[b].Classes[i]
+			}
+		}
+		return false
+	})
+	return best, nil
+}
+
+// Sites lists the annotatable operations of a program in the order
+// InferLabels assigns them, as human-readable strings.
+func Sites(p *litmus.Program) []string {
+	var out []string
+	for ti, th := range p.Threads {
+		for oi, op := range th.Ops {
+			if !op.IsBranch && op.Class.IsAtomic() {
+				name := th.Name
+				if name == "" {
+					name = fmt.Sprintf("t%d", ti)
+				}
+				out = append(out, fmt.Sprintf("%s.%d: %v", name, oi, op))
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,170 @@
+package memmodel
+
+import (
+	"strings"
+	"testing"
+
+	"rats/internal/core"
+	"rats/internal/litmus"
+)
+
+// TestInferMP: message passing needs its flag paired (so1 is the only
+// ordering mechanism for the guarded data read); the cheapest legal
+// labelling must therefore put the flag accesses at paired.
+func TestInferMP(t *testing.T) {
+	p := litmus.MP("mp", core.Paired)
+	labels, err := InferLabels(p, InferOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(labels) == 0 {
+		t.Fatal("no legal labelling found")
+	}
+	// Sites: producer's flag store, consumer's flag load.
+	for _, l := range labels {
+		if l.Cost != 4 { // both paired
+			t.Errorf("labelling %v: expected cost 4 (paired/paired)", l)
+		}
+		for _, c := range l.Classes {
+			if c != core.Paired {
+				t.Errorf("labelling %v: MP flag must be paired", l)
+			}
+		}
+	}
+}
+
+// TestInferEventCounter: racing increments whose values are discarded can
+// be fully relaxed — the minimum cost is 0.
+func TestInferEventCounter(t *testing.T) {
+	p := litmus.New("counter")
+	p.Thread("w0").Inc("CTR", core.Paired)
+	p.Thread("w1").Inc("CTR", core.Paired)
+	labels, err := InferLabels(p, InferOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(labels) == 0 {
+		t.Fatal("no labelling")
+	}
+	if labels[0].Cost != 0 {
+		t.Errorf("racing discarded increments should relax to cost 0, got %v", labels[0])
+	}
+	// Commutative must be among the minimal labellings for both sites.
+	foundComm := false
+	for _, l := range labels {
+		if l.Classes[0] == core.Commutative && l.Classes[1] == core.Commutative {
+			foundComm = true
+		}
+	}
+	if !foundComm {
+		t.Errorf("commutative/commutative missing from %v", labels)
+	}
+}
+
+// TestInferObservedIncrement: an increment whose old value is used cannot
+// be commutative; quantum still works (value-resilient), so cost stays 0
+// but the class set shrinks.
+func TestInferObservedIncrement(t *testing.T) {
+	p := litmus.New("obs")
+	t0 := p.Thread("w0")
+	r := t0.RMW(core.OpInc, "CTR", 0, core.Paired)
+	t0.Use(r)
+	p.Thread("w1").Inc("CTR", core.Paired)
+	labels, err := InferLabels(p, InferOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range labels {
+		if l.Classes[0] == core.Commutative {
+			t.Errorf("observed increment labelled commutative: %v", l)
+		}
+		if l.Classes[0] == core.Speculative {
+			t.Errorf("observed racy RMW labelled speculative: %v", l)
+		}
+	}
+	// With quantum opted in, the value-resilient labelling reaches cost 0.
+	withQ, err := InferLabels(p, InferOptions{Candidates: []core.Class{
+		core.Paired, core.Unpaired, core.Commutative, core.NonOrdering,
+		core.Quantum, core.Speculative,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(withQ) == 0 || withQ[0].Cost != 0 {
+		t.Errorf("quantum labelling should reach cost 0: %v", withQ)
+	}
+	foundQ := false
+	for _, l := range withQ {
+		if l.Cost == 0 && l.Classes[0] == core.Quantum {
+			foundQ = true
+		}
+	}
+	if !foundQ {
+		t.Error("quantum labelling missing for the observed increment")
+	}
+}
+
+// TestInferSiteCap: the exponential search refuses oversized programs.
+func TestInferSiteCap(t *testing.T) {
+	p := litmus.New("big")
+	th := p.Thread("t")
+	for i := 0; i < 8; i++ {
+		th.Inc("C", core.Paired)
+	}
+	if _, err := InferLabels(p, InferOptions{}); err == nil {
+		t.Fatal("expected site-cap error")
+	}
+	if _, err := InferLabels(p, InferOptions{MaxSites: 8, Candidates: []core.Class{core.Commutative}}); err != nil {
+		t.Fatalf("restricted candidate search should fit: %v", err)
+	}
+}
+
+// TestInferenceMatchesSuite: for each legal suite program, re-inferring
+// with its own classes as candidates must find a labelling no more
+// expensive than the author's.
+func TestInferenceMatchesSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	// The search is exponential in atomic sites; restrict candidates to
+	// keep the test fast while still comparing against the author's cost.
+	candidates := []core.Class{core.Paired, core.Unpaired, core.Quantum}
+	for _, tc := range []struct {
+		prog *litmus.Program
+	}{
+		{litmus.WorkQueue()},
+		{litmus.SplitCounter()},
+	} {
+		var authorCost int
+		var sites int
+		for _, th := range tc.prog.Threads {
+			for _, op := range th.Ops {
+				if !op.IsBranch && op.Class.IsAtomic() {
+					authorCost += classCost(op.Class)
+					sites++
+				}
+			}
+		}
+		labels, err := InferLabels(tc.prog, InferOptions{MaxSites: sites, Candidates: candidates})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.prog.Name, err)
+		}
+		if len(labels) == 0 {
+			t.Fatalf("%s: no legal labelling (author's exists!)", tc.prog.Name)
+		}
+		if labels[0].Cost > authorCost {
+			t.Errorf("%s: inferred cost %d worse than author's %d", tc.prog.Name, labels[0].Cost, authorCost)
+		}
+	}
+}
+
+func TestSitesListing(t *testing.T) {
+	sites := Sites(litmus.WorkQueue())
+	if len(sites) != 3 { // OCC inc, unpaired poll, paired re-check
+		t.Fatalf("sites = %v", sites)
+	}
+	joined := strings.Join(sites, "\n")
+	if !strings.Contains(joined, "client") || !strings.Contains(joined, "service") {
+		t.Errorf("sites missing thread names: %v", sites)
+	}
+}

@@ -1,0 +1,279 @@
+package memmodel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rats/internal/core"
+	"rats/internal/litmus"
+	"rats/internal/memmodel/rel"
+)
+
+// RaceKind is one of the paper's illegal race categories.
+type RaceKind uint8
+
+const (
+	DataRace RaceKind = iota
+	CommutativeRace
+	NonOrderingRace
+	QuantumRace
+	SpeculativeRace
+)
+
+func (k RaceKind) String() string {
+	switch k {
+	case DataRace:
+		return "data race"
+	case CommutativeRace:
+		return "commutative race"
+	case NonOrderingRace:
+		return "non-ordering race"
+	case QuantumRace:
+		return "quantum race"
+	case SpeculativeRace:
+		return "speculative race"
+	}
+	return fmt.Sprintf("RaceKind(%d)", uint8(k))
+}
+
+// RaceKinds lists all kinds in precedence order.
+func RaceKinds() []RaceKind {
+	return []RaceKind{DataRace, CommutativeRace, NonOrderingRace, QuantumRace, SpeculativeRace}
+}
+
+// Analysis holds the per-execution race analysis: for each kind, the
+// unordered event pairs (i < j) that form such a race.
+type Analysis struct {
+	Exec  *Execution
+	Rel   *Relations
+	Races map[RaceKind][][2]int
+}
+
+// Illegal reports whether the execution contains any illegal race under
+// the given model (DRF0/DRF1 forbid data races; DRFrlx forbids all five).
+func (a *Analysis) Illegal(m core.Model) bool {
+	if len(a.Races[DataRace]) > 0 {
+		return true
+	}
+	if m != core.DRFrlx {
+		return false
+	}
+	for _, k := range []RaceKind{CommutativeRace, NonOrderingRace, QuantumRace, SpeculativeRace} {
+		if len(a.Races[k]) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// canonical folds a symmetric relation to unordered (i<j) pairs.
+func canonical(r rel.Rel) [][2]int {
+	seen := map[[2]int]bool{}
+	for _, p := range r.Pairs() {
+		i, j := p[0], p[1]
+		if i > j {
+			i, j = j, i
+		}
+		seen[[2]int{i, j}] = true
+	}
+	out := make([][2]int, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if out[a][0] != out[b][0] {
+			return out[a][0] < out[b][0]
+		}
+		return out[a][1] < out[b][1]
+	})
+	return out
+}
+
+// Analyze runs the programmer-centric model of Listing 7 on one SC
+// execution: it computes data, commutative, non-ordering, quantum, and
+// speculative races.
+func Analyze(ex *Execution) *Analysis {
+	r := BuildRelations(ex)
+	n := r.N
+	races := map[RaceKind][][2]int{}
+
+	classSet := func(c core.Class) []bool {
+		out := make([]bool, n)
+		for i := range out {
+			out[i] = r.Class[i] == c
+		}
+		return out
+	}
+	alo := func(c core.Class) rel.Rel {
+		s := classSet(c)
+		any := make([]bool, n)
+		for i := range any {
+			any[i] = true
+		}
+		return rel.Cross(s, any).Union(rel.Cross(any, s))
+	}
+
+	// data-race = race & (at-least-one Data)
+	dataRace := r.Race.Inter(alo(core.Data))
+	races[DataRace] = canonical(dataRace)
+
+	// Commutative race (Section 3.2.3): race with at least one commutative
+	// access where (a) the accesses are not pairwise commutative, or
+	// (b) either access's loaded value is observed.
+	commRace := rel.New(n)
+	for _, p := range r.Race.Inter(alo(core.Commutative)).Pairs() {
+		i, j := p[0], p[1]
+		ei, ej := ex.Events[i], ex.Events[j]
+		pairwise := core.Commutes(ei.Op.AOp, ei.Op.Operand.Const, ej.Op.AOp, ej.Op.Operand.Const)
+		observed := (r.IsR[i] && r.Observed[i]) || (r.IsR[j] && r.Observed[j])
+		if !pairwise || observed {
+			commRace.Set(i, j)
+		}
+	}
+	races[CommutativeRace] = canonical(commRace)
+
+	// Non-ordering race (Section 3.3.3): a racing atomic pair (X, Y) with
+	// at least one non-ordering access, whose conflict-order edge lies on
+	// an ordering path from some conflicting (A, B) that has no valid
+	// ordering path. Per Listing 7, pairs already flagged as data or
+	// commutative races are excluded.
+	noRace := rel.New(n)
+	bothAtomic := rel.Cross(r.IsAtomic, r.IsAtomic)
+	candidates := r.Race.Inter(alo(core.NonOrdering)).Inter(bothAtomic).
+		Diff(dataRace).Diff(commRace)
+	for _, p := range candidates.Pairs() {
+		x, y := p[0], p[1]
+		if !r.CO.Has(x, y) {
+			continue // consider the T-ordered direction only
+		}
+		if noPathIsUnique(r, x, y) {
+			noRace.Set(x, y)
+		}
+	}
+	races[NonOrderingRace] = canonical(noRace)
+
+	// Quantum race (Section 3.4.3): race between a quantum access and a
+	// non-quantum access.
+	quantumSet := classSet(core.Quantum)
+	qRace := r.Race.Inter(alo(core.Quantum)).Diff(rel.Cross(quantumSet, quantumSet))
+	races[QuantumRace] = canonical(qRace)
+
+	// Speculative race (Section 3.5.3): race with at least one speculative
+	// access where both are writes, or the racy load's value is observed.
+	specRace := rel.New(n)
+	for _, p := range r.Race.Inter(alo(core.Speculative)).Pairs() {
+		i, j := p[0], p[1]
+		bothWrites := r.IsW[i] && r.IsW[j]
+		observed := (r.IsR[i] && r.Observed[i]) || (r.IsR[j] && r.Observed[j])
+		if bothWrites || observed {
+			specRace.Set(i, j)
+		}
+	}
+	races[SpeculativeRace] = canonical(specRace)
+
+	return &Analysis{Exec: ex, Rel: r, Races: races}
+}
+
+// noPathIsUnique reports whether the conflict-order edge (x → y) lies on
+// an ordering path from some conflicting pair (A, B) that has no valid
+// ordering path — i.e. the non-ordering edge carries ordering
+// responsibility it is not allowed to carry.
+func noPathIsUnique(r *Relations, x, y int) bool {
+	for a := 0; a < r.N; a++ {
+		for b := 0; b < r.N; b++ {
+			if a == b || !r.CO.Has(a, b) {
+				continue
+			}
+			// A path A →* x → y →* B containing at least one po edge.
+			// Reach is reflexive, so A==x / y==B degenerate into the
+			// shorter path; the po edge must still exist on one side
+			// (the bare conflict edge x → y is never an ordering path).
+			reachable := r.Reach.Has(a, x) && r.Reach.Has(y, b)
+			hasPO := r.POPath.Has(a, x) || r.POPath.Has(y, b)
+			if !reachable || !hasPO {
+				continue
+			}
+			if !r.ValidPath.Has(a, b) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Verdict is the program-level outcome of checking every SC execution of
+// the (quantum-equivalent) program.
+type Verdict struct {
+	Prog  string
+	Model core.Model
+	// Legal reports whether the program is race-free under the model
+	// (a "DRF0/DRF1/DRFrlx program" per the respective definitions).
+	Legal bool
+	// Races collects, per kind, the distinct racy op pairs found across
+	// executions, described as "thread.opindex" strings.
+	Races map[RaceKind][]string
+	// Execs is the number of SC executions analyzed.
+	Execs int
+	// SCResults is the set of final memory states over all SC executions
+	// of the (quantum-equivalent) program.
+	SCResults map[string]bool
+}
+
+// CheckProgram enumerates the SC executions of the program's
+// quantum-equivalent form (as model m distinguishes its accesses) and
+// classifies every race. DRF0 and DRF1 forbid data races only; DRFrlx
+// forbids all five categories. The returned verdict aggregates races
+// across executions.
+func CheckProgram(p0 *litmus.Program, m core.Model) (*Verdict, error) {
+	p := p0.Under(m)
+	execs, err := Enumerate(p, EnumOptions{Quantum: true})
+	if err != nil {
+		return nil, err
+	}
+	v := &Verdict{
+		Prog: p0.Name, Model: m, Legal: true,
+		Races: map[RaceKind][]string{}, Execs: len(execs),
+		SCResults: map[string]bool{},
+	}
+	kinds := []RaceKind{DataRace}
+	if m == core.DRFrlx {
+		kinds = RaceKinds()
+	}
+	seen := map[string]bool{}
+	for _, ex := range execs {
+		v.SCResults[ex.ResultKey()] = true
+		a := Analyze(ex)
+		for _, k := range kinds {
+			for _, pr := range a.Races[k] {
+				v.Legal = false
+				ei, ej := ex.Events[pr[0]], ex.Events[pr[1]]
+				desc := fmt.Sprintf("T%d.%d(%s)~T%d.%d(%s)",
+					ei.Thread, ei.OpIndex, ei.Op.Class, ej.Thread, ej.OpIndex, ej.Op.Class)
+				key := k.String() + ":" + desc
+				if !seen[key] {
+					seen[key] = true
+					v.Races[k] = append(v.Races[k], desc)
+				}
+			}
+		}
+	}
+	for k := range v.Races {
+		sort.Strings(v.Races[k])
+	}
+	return v, nil
+}
+
+// Summary renders the verdict as a one-line description for reports.
+func (v *Verdict) Summary() string {
+	if v.Legal {
+		return fmt.Sprintf("%s under %s: LEGAL (%d SC executions)", v.Prog, v.Model, v.Execs)
+	}
+	var parts []string
+	for _, k := range RaceKinds() {
+		if n := len(v.Races[k]); n > 0 {
+			parts = append(parts, fmt.Sprintf("%d %s(s)", n, k))
+		}
+	}
+	return fmt.Sprintf("%s under %s: ILLEGAL — %s", v.Prog, v.Model, strings.Join(parts, ", "))
+}

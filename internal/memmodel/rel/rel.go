@@ -1,0 +1,226 @@
+// Package rel implements the small relational algebra over execution
+// events that the Herd memory-model tool exposes (union, intersection,
+// difference, sequential composition, transitive closure, inverses,
+// cartesian products of event sets). Relations are dense boolean matrices;
+// litmus executions have at most a few dozen events, so density is the
+// right trade-off.
+package rel
+
+import "fmt"
+
+// Rel is a binary relation over events 0..n-1.
+type Rel struct {
+	n int
+	m []bool
+}
+
+// New returns an empty relation over n events.
+func New(n int) Rel { return Rel{n: n, m: make([]bool, n*n)} }
+
+// Identity returns the identity relation over n events.
+func Identity(n int) Rel {
+	r := New(n)
+	for i := 0; i < n; i++ {
+		r.Set(i, i)
+	}
+	return r
+}
+
+// FromPairs builds a relation from explicit (i, j) pairs.
+func FromPairs(n int, pairs [][2]int) Rel {
+	r := New(n)
+	for _, p := range pairs {
+		r.Set(p[0], p[1])
+	}
+	return r
+}
+
+// Cross returns the relation {(i, j) : a[i] && b[j]} — Herd's set product
+// (e.g. PairedW * PairedR).
+func Cross(a, b []bool) Rel {
+	if len(a) != len(b) {
+		panic("rel: Cross on sets of different sizes")
+	}
+	r := New(len(a))
+	for i, ai := range a {
+		if !ai {
+			continue
+		}
+		for j, bj := range b {
+			if bj {
+				r.Set(i, j)
+			}
+		}
+	}
+	return r
+}
+
+// Size returns the number of events the relation ranges over.
+func (r Rel) Size() int { return r.n }
+
+// Set adds the pair (i, j).
+func (r Rel) Set(i, j int) { r.m[i*r.n+j] = true }
+
+// Clear removes the pair (i, j).
+func (r Rel) Clear(i, j int) { r.m[i*r.n+j] = false }
+
+// Has reports whether (i, j) is in the relation.
+func (r Rel) Has(i, j int) bool { return r.m[i*r.n+j] }
+
+// Clone returns a deep copy.
+func (r Rel) Clone() Rel {
+	c := New(r.n)
+	copy(c.m, r.m)
+	return c
+}
+
+func (r Rel) check(o Rel) {
+	if r.n != o.n {
+		panic(fmt.Sprintf("rel: size mismatch %d vs %d", r.n, o.n))
+	}
+}
+
+// Union returns r ∪ o.
+func (r Rel) Union(o Rel) Rel {
+	r.check(o)
+	c := r.Clone()
+	for i, v := range o.m {
+		if v {
+			c.m[i] = true
+		}
+	}
+	return c
+}
+
+// Inter returns r ∩ o.
+func (r Rel) Inter(o Rel) Rel {
+	r.check(o)
+	c := New(r.n)
+	for i := range c.m {
+		c.m[i] = r.m[i] && o.m[i]
+	}
+	return c
+}
+
+// Diff returns r \ o.
+func (r Rel) Diff(o Rel) Rel {
+	r.check(o)
+	c := New(r.n)
+	for i := range c.m {
+		c.m[i] = r.m[i] && !o.m[i]
+	}
+	return c
+}
+
+// Compose returns the sequential composition r ; o
+// ({(i, k) : ∃j. r(i,j) ∧ o(j,k)}).
+func (r Rel) Compose(o Rel) Rel {
+	r.check(o)
+	c := New(r.n)
+	for i := 0; i < r.n; i++ {
+		for j := 0; j < r.n; j++ {
+			if !r.m[i*r.n+j] {
+				continue
+			}
+			for k := 0; k < r.n; k++ {
+				if o.m[j*r.n+k] {
+					c.m[i*r.n+k] = true
+				}
+			}
+		}
+	}
+	return c
+}
+
+// Inverse returns r⁻¹.
+func (r Rel) Inverse() Rel {
+	c := New(r.n)
+	for i := 0; i < r.n; i++ {
+		for j := 0; j < r.n; j++ {
+			if r.Has(i, j) {
+				c.Set(j, i)
+			}
+		}
+	}
+	return c
+}
+
+// TransClosure returns r⁺ (irreflexive transitive closure) via
+// Floyd–Warshall reachability.
+func (r Rel) TransClosure() Rel {
+	c := r.Clone()
+	n := c.n
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			if !c.m[i*n+k] {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if c.m[k*n+j] {
+					c.m[i*n+j] = true
+				}
+			}
+		}
+	}
+	return c
+}
+
+// ReflTransClosure returns r* = r⁺ ∪ id.
+func (r Rel) ReflTransClosure() Rel {
+	return r.TransClosure().Union(Identity(r.n))
+}
+
+// Restrict keeps only pairs (i, j) with a[i] && b[j] (Herd's
+// "r & (A * B)").
+func (r Rel) Restrict(a, b []bool) Rel {
+	return r.Inter(Cross(a, b))
+}
+
+// Sym returns r ∪ r⁻¹.
+func (r Rel) Sym() Rel { return r.Union(r.Inverse()) }
+
+// Empty reports whether the relation has no pairs.
+func (r Rel) Empty() bool {
+	for _, v := range r.m {
+		if v {
+			return false
+		}
+	}
+	return true
+}
+
+// Acyclic reports whether the relation contains no cycle (including
+// self-loops after closure).
+func (r Rel) Acyclic() bool {
+	c := r.TransClosure()
+	for i := 0; i < c.n; i++ {
+		if c.Has(i, i) {
+			return false
+		}
+	}
+	return true
+}
+
+// Pairs lists the relation's pairs in row-major order.
+func (r Rel) Pairs() [][2]int {
+	var out [][2]int
+	for i := 0; i < r.n; i++ {
+		for j := 0; j < r.n; j++ {
+			if r.Has(i, j) {
+				out = append(out, [2]int{i, j})
+			}
+		}
+	}
+	return out
+}
+
+// Count returns the number of pairs.
+func (r Rel) Count() int {
+	n := 0
+	for _, v := range r.m {
+		if v {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,139 @@
+package rel
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicOps(t *testing.T) {
+	r := New(3)
+	r.Set(0, 1)
+	r.Set(1, 2)
+	if !r.Has(0, 1) || r.Has(2, 0) {
+		t.Fatal("Set/Has broken")
+	}
+	if r.Count() != 2 {
+		t.Fatalf("Count = %d", r.Count())
+	}
+	tc := r.TransClosure()
+	if !tc.Has(0, 2) {
+		t.Error("transitive closure missing (0,2)")
+	}
+	if tc.Has(2, 0) {
+		t.Error("transitive closure has spurious (2,0)")
+	}
+	if !r.Acyclic() {
+		t.Error("chain should be acyclic")
+	}
+	r.Set(2, 0)
+	if r.Acyclic() {
+		t.Error("cycle not detected")
+	}
+}
+
+func TestComposeInverse(t *testing.T) {
+	a := FromPairs(4, [][2]int{{0, 1}, {1, 2}})
+	b := FromPairs(4, [][2]int{{1, 3}, {2, 3}})
+	c := a.Compose(b)
+	want := FromPairs(4, [][2]int{{0, 3}, {1, 3}})
+	if len(c.Diff(want).Pairs()) != 0 || len(want.Diff(c).Pairs()) != 0 {
+		t.Errorf("compose = %v, want %v", c.Pairs(), want.Pairs())
+	}
+	inv := a.Inverse()
+	if !inv.Has(1, 0) || !inv.Has(2, 1) || inv.Count() != 2 {
+		t.Errorf("inverse wrong: %v", inv.Pairs())
+	}
+}
+
+func TestCross(t *testing.T) {
+	a := []bool{true, false, true}
+	b := []bool{false, true, true}
+	c := Cross(a, b)
+	want := FromPairs(3, [][2]int{{0, 1}, {0, 2}, {2, 1}, {2, 2}})
+	if len(c.Diff(want).Pairs()) != 0 || len(want.Diff(c).Pairs()) != 0 {
+		t.Errorf("cross = %v", c.Pairs())
+	}
+}
+
+func TestEmptyIdentity(t *testing.T) {
+	if !New(5).Empty() {
+		t.Error("new relation not empty")
+	}
+	id := Identity(3)
+	if id.Count() != 3 || !id.Has(1, 1) {
+		t.Error("identity wrong")
+	}
+	r := FromPairs(3, [][2]int{{0, 1}})
+	rt := r.ReflTransClosure()
+	if !rt.Has(0, 0) || !rt.Has(0, 1) || !rt.Has(2, 2) {
+		t.Error("reflexive transitive closure wrong")
+	}
+}
+
+func randRel(rng *rand.Rand, n int, density float64) Rel {
+	r := New(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if rng.Float64() < density {
+				r.Set(i, j)
+			}
+		}
+	}
+	return r
+}
+
+// Algebraic laws, property-based.
+func TestAlgebraicLaws(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed + rng.Int63()))
+		n := 2 + r.Intn(5)
+		a, b, c := randRel(r, n, 0.3), randRel(r, n, 0.3), randRel(r, n, 0.3)
+
+		// Union commutes, intersection commutes.
+		if a.Union(b).Diff(b.Union(a)).Count() != 0 {
+			return false
+		}
+		if a.Inter(b).Diff(b.Inter(a)).Count() != 0 {
+			return false
+		}
+		// Composition is associative.
+		l := a.Compose(b).Compose(c)
+		rr := a.Compose(b.Compose(c))
+		if l.Diff(rr).Count() != 0 || rr.Diff(l).Count() != 0 {
+			return false
+		}
+		// (a;b)⁻¹ = b⁻¹;a⁻¹.
+		x := a.Compose(b).Inverse()
+		y := b.Inverse().Compose(a.Inverse())
+		if x.Diff(y).Count() != 0 || y.Diff(x).Count() != 0 {
+			return false
+		}
+		// Closure is idempotent and contains the original.
+		tc := a.TransClosure()
+		if tc.TransClosure().Diff(tc).Count() != 0 {
+			return false
+		}
+		if a.Diff(tc).Count() != 0 {
+			return false
+		}
+		// Closure is transitive: tc;tc ⊆ tc.
+		if tc.Compose(tc).Diff(tc).Count() != 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSizeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on size mismatch")
+		}
+	}()
+	New(2).Union(New(3))
+}

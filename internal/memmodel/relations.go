@@ -1,0 +1,209 @@
+package memmodel
+
+import (
+	"rats/internal/core"
+	"rats/internal/litmus"
+
+	"rats/internal/memmodel/rel"
+)
+
+// Relations bundles the per-execution relations of Sections 2.3 and 3.3:
+// program order, the paper's conflict order (all conflicting accesses
+// ordered by the SC total order T — a superset of Herd's co/rf/fr),
+// synchronization order so1, happens-before hb1, and the derived
+// program/conflict-graph reachability relations the non-ordering detector
+// needs.
+type Relations struct {
+	N int
+	// Core relations.
+	PO       rel.Rel // program order
+	Conflict rel.Rel // symmetric conflict (same loc, ≥1 write)
+	CO       rel.Rel // conflict order: conflict ∩ (T-earlier × T-later)
+	SO1      rel.Rel // synchronization order 1 (paired W → paired R)
+	HB1      rel.Rel // happens-before-1 = (po ∪ so1)+
+	Race     rel.Rel // symmetric: conflict, cross-thread, hb1-unordered
+
+	// Program/conflict graph reachability.
+	G      rel.Rel // po ∪ co (graph edges)
+	Reach  rel.Rel // G* (reflexive)
+	POPath rel.Rel // G* ; po ; G*  (paths containing ≥1 po edge)
+
+	// Event sets.
+	Present        []bool
+	IsW, IsR       []bool
+	IsAtomic, IsPU []bool // PU: paired or unpaired
+	Class          []core.Class
+	Observed       []bool // loaded value feeds a later dependency
+	SameLoc        rel.Rel
+	ValidPath      rel.Rel // hb1 ∪ homogeneous valid ordering paths
+}
+
+// set builds a predicate vector over the execution's present events.
+func set(ex *Execution, pred func(ev Event) bool) []bool {
+	out := make([]bool, len(ex.Events))
+	for i, ev := range ex.Events {
+		out[i] = ex.Present[i] && pred(ev)
+	}
+	return out
+}
+
+// observedSet computes, per the paper's Herd approximation of
+// observability, which events' loaded values are observed: the destination
+// register feeds the address, data, or control (branch/guard) inputs of a
+// later instruction of its thread. The analysis is execution-aware: an op
+// skipped by a failed guard does not use its operand registers in that
+// execution (the misspeculated seqlock read whose value is discarded),
+// but guard conditions themselves are always evaluated and therefore
+// always count as uses.
+func observedSet(ex *Execution, lay eventLayout) []bool {
+	p := ex.Prog
+	out := make([]bool, lay.n)
+	for t, th := range p.Threads {
+		for i, op := range th.Ops {
+			if op.IsBranch || op.Dst == litmus.NoReg {
+				continue
+			}
+			id := lay.id[t][i]
+			if !ex.Present[id] {
+				continue
+			}
+			for j := i + 1; j < len(th.Ops); j++ {
+				later := th.Ops[j]
+				if later.IsBranch {
+					if later.Cond.DependsOn(op.Dst) {
+						out[id] = true
+						break
+					}
+					continue
+				}
+				if later.GuardUsesReg(op.Dst) {
+					out[id] = true
+					break
+				}
+				if ex.Present[lay.id[t][j]] && later.UsesReg(op.Dst) {
+					out[id] = true
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// BuildRelations computes all relations for one execution.
+func BuildRelations(ex *Execution) *Relations {
+	n := len(ex.Events)
+	r := &Relations{N: n}
+	lay := layout(ex.Prog)
+
+	r.IsW = set(ex, func(ev Event) bool { return ev.Op.Writes() })
+	r.IsR = set(ex, func(ev Event) bool { return ev.Op.Reads() })
+	r.IsAtomic = set(ex, func(ev Event) bool { return ev.Op.Class.IsAtomic() })
+	r.IsPU = set(ex, func(ev Event) bool {
+		return ev.Op.Class == core.Paired || ev.Op.Class == core.Unpaired
+	})
+	r.Present = append([]bool(nil), ex.Present...)
+	r.Class = make([]core.Class, n)
+	for i, ev := range ex.Events {
+		r.Class[i] = ev.Op.Class
+	}
+	r.Observed = observedSet(ex, lay)
+
+	// Program order, same-location, conflict.
+	r.PO = rel.New(n)
+	r.SameLoc = rel.New(n)
+	r.Conflict = rel.New(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j || !ex.Present[i] || !ex.Present[j] {
+				continue
+			}
+			ei, ej := ex.Events[i], ex.Events[j]
+			if ei.Thread == ej.Thread && ei.OpIndex < ej.OpIndex {
+				r.PO.Set(i, j)
+			}
+			if ei.Op.Loc == ej.Op.Loc {
+				r.SameLoc.Set(i, j)
+				if ei.Op.Writes() || ej.Op.Writes() {
+					r.Conflict.Set(i, j)
+				}
+			}
+		}
+	}
+
+	// Conflict order: conflicting accesses in T order.
+	tBefore := rel.New(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j || !ex.Present[i] || !ex.Present[j] {
+				continue
+			}
+			if ex.Events[i].TPos < ex.Events[j].TPos {
+				tBefore.Set(i, j)
+			}
+		}
+	}
+	r.CO = r.Conflict.Inter(tBefore)
+
+	// so1: paired write → paired read, conflicting, T-ordered. The
+	// Section 7 extension classes participate: a release write
+	// synchronizes with a paired/acquire read (sound on the simulated
+	// multi-copy-atomic machine).
+	pairedW := make([]bool, n)
+	pairedR := make([]bool, n)
+	for i := 0; i < n; i++ {
+		switch r.Class[i] {
+		case core.Paired:
+			pairedW[i] = r.IsW[i]
+			pairedR[i] = r.IsR[i]
+		case core.Release:
+			pairedW[i] = r.IsW[i]
+		case core.Acquire:
+			pairedR[i] = r.IsR[i]
+		}
+	}
+	r.SO1 = rel.Cross(pairedW, pairedR).Inter(r.CO)
+
+	// hb1 = (po ∪ so1)+.
+	r.HB1 = r.PO.Union(r.SO1).TransClosure()
+
+	// Race: conflicting, different threads, hb1-unordered (symmetric).
+	crossThread := rel.New(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j || !ex.Present[i] || !ex.Present[j] {
+				continue
+			}
+			if ex.Events[i].Thread != ex.Events[j].Thread {
+				crossThread.Set(i, j)
+			}
+		}
+	}
+	r.Race = r.Conflict.Inter(crossThread).Diff(r.HB1.Sym())
+
+	// Program/conflict graph reachability.
+	r.G = r.PO.Union(r.CO)
+	r.Reach = r.G.ReflTransClosure()
+	r.POPath = r.Reach.Compose(r.PO).Compose(r.Reach)
+
+	// Valid ordering paths (per Listing 7's operational encoding, which
+	// resolves the prose definition): a valid path is an ordering path
+	// (it contains a program-order edge) made entirely of hb1 edges
+	// (po ∪ so1 — each individually enforced by the system), entirely of
+	// same-location edges, or entirely of edges between paired/unpaired
+	// accesses. Note it is the path's *edges* that must be in po ∪ so1 —
+	// merely having hb1-ordered endpoints is NOT enough: a bare so1 edge
+	// is not an ordering path, and crediting it would declare programs
+	// legal whose non-ordering stores a compliant system can reorder into
+	// non-SC results (found by the exhaustive theorem fuzzer).
+	h1 := r.G.Inter(r.SameLoc)
+	vo1 := h1.ReflTransClosure().Compose(r.PO.Inter(r.SameLoc)).Compose(h1.ReflTransClosure())
+	puCross := rel.Cross(r.IsPU, r.IsPU)
+	h2 := r.G.Inter(puCross)
+	vo2 := h2.ReflTransClosure().Compose(r.PO.Inter(puCross)).Compose(h2.ReflTransClosure())
+	h3 := r.PO.Union(r.SO1)
+	vo3 := h3.ReflTransClosure().Compose(r.PO).Compose(h3.ReflTransClosure())
+	r.ValidPath = vo3.Union(vo1).Union(vo2)
+
+	return r
+}

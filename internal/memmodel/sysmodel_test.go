@@ -1,0 +1,251 @@
+package memmodel
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"rats/internal/core"
+	"rats/internal/litmus"
+)
+
+func TestSystemModelSBPaired(t *testing.T) {
+	// Paired store buffering: the system must not produce OUT0=OUT1=0.
+	sys, err := SystemResults(litmus.SB("sb", core.Paired), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys["OUT0=0;OUT1=0;X=1;Y=1;"] {
+		t.Error("paired SB produced the forbidden 0,0 outcome")
+	}
+	if len(sys) == 0 {
+		t.Fatal("no system results")
+	}
+}
+
+func TestSystemModelSBRelaxed(t *testing.T) {
+	// Non-ordering store buffering: the relaxed system reorders the
+	// store and load, producing the non-SC 0,0 outcome — consistent with
+	// the program being illegal (it has a non-ordering race).
+	sys, err := SystemResults(litmus.SB("sb_no", core.NonOrdering), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sys["OUT0=0;OUT1=0;X=1;Y=1;"] {
+		t.Errorf("relaxed SB never produced 0,0: %v", sys)
+	}
+}
+
+func TestSystemModelPerLocationSC(t *testing.T) {
+	// CoRR: even with fully relaxed accesses, two same-location reads
+	// must not observe values going backwards (per-location SC).
+	sys, err := SystemResults(litmus.CoRR(core.NonOrdering), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys["OUT0=1;OUT1=0;X=1;"] {
+		t.Error("per-location SC violated: read of 1 then 0")
+	}
+}
+
+func TestSystemModelMPPaired(t *testing.T) {
+	// Paired MP: the guarded data read must never miss the payload, in
+	// the relaxed system too (acquire/release preserved).
+	p := litmus.New("mp_out")
+	t0 := p.Thread("producer")
+	t0.Store("D", 1, core.Data)
+	t0.Store("F", 1, core.Paired)
+	t1 := p.Thread("consumer")
+	f := t1.Load("F", core.Paired)
+	t1.StoreExpr("OUTF", litmus.RegExpr(f), core.Data)
+	t1.WithGuards(litmus.NZ(f))
+	d := t1.Load("D", core.Data)
+	t1.StoreExpr("OUT", litmus.RegExpr(d), core.Data)
+	t1.EndGuards()
+	sys, err := SystemResults(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// OUTF=1 means the flag was observed; OUT must then be 1.
+	if sys["D=1;F=1;OUT=0;OUTF=1;"] {
+		t.Error("paired MP lost the payload in the system model")
+	}
+}
+
+func TestSystemModelMPUnpairedWeak(t *testing.T) {
+	// Unpaired MP: unpaired atomics do not order data, so the system may
+	// reorder the payload store after the flag store and the consumer
+	// can observe F=1 with D=0. (That is why MP_unpaired is illegal.)
+	p := litmus.New("mp_unpaired_out")
+	t0 := p.Thread("producer")
+	t0.Store("D", 1, core.Data)
+	t0.Store("F", 1, core.Unpaired)
+	t1 := p.Thread("consumer")
+	f := t1.Load("F", core.Unpaired)
+	t1.StoreExpr("OUTF", litmus.RegExpr(f), core.Data)
+	t1.WithGuards(litmus.NZ(f))
+	d := t1.Load("D", core.Data)
+	t1.StoreExpr("OUT", litmus.RegExpr(d), core.Data)
+	t1.EndGuards()
+	sys, err := SystemResults(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sys["D=1;F=1;OUT=0;OUTF=1;"] {
+		t.Errorf("unpaired MP never exhibited the weak outcome: %v", sys)
+	}
+}
+
+// TestTheoremOnSuite validates Theorem 3.1 on every legal program of the
+// suite: everything the straightforward DRFrlx system can produce is an
+// SC result of the quantum-equivalent program.
+func TestTheoremOnSuite(t *testing.T) {
+	for _, tc := range litmus.Suite() {
+		tc := tc
+		t.Run(tc.Prog.Name, func(t *testing.T) {
+			rep, err := ValidateTheorem(tc.Prog)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Legal && !rep.SystemSC {
+				t.Errorf("Theorem 3.1 violated for legal program %s: non-SC results %v",
+					tc.Prog.Name, rep.NonSCResults)
+			}
+		})
+	}
+}
+
+// TestTheoremConverseOnRacyPrograms: the racy SB variant must actually
+// exhibit non-SC behaviour (the theorem's contrapositive sanity check —
+// our system model is not vacuously strong).
+func TestTheoremConverseOnRacyPrograms(t *testing.T) {
+	rep, err := ValidateTheorem(litmus.SB("sb_no", core.NonOrdering))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Legal {
+		t.Fatal("SB with non-ordering labels should be illegal")
+	}
+	if rep.SystemSC {
+		t.Error("racy SB produced only SC results — system model too strong to be a useful check")
+	}
+}
+
+// randomProgram generates a small random litmus program over two
+// locations with random classes — no guards, constants in {0,1}.
+func randomProgram(seed int64) *litmus.Program {
+	rng := rand.New(rand.NewSource(seed))
+	classes := core.Classes()
+	locs := []litmus.Loc{"X", "Y"}
+	p := litmus.New("random")
+	nThreads := 2 + rng.Intn(2)
+	for t := 0; t < nThreads; t++ {
+		th := p.Thread("t")
+		nOps := 2 + rng.Intn(2)
+		for i := 0; i < nOps; i++ {
+			c := classes[rng.Intn(len(classes))]
+			loc := locs[rng.Intn(len(locs))]
+			switch rng.Intn(3) {
+			case 0:
+				r := th.Load(loc, c)
+				if rng.Intn(2) == 0 {
+					th.Use(r)
+				}
+			case 1:
+				th.Store(loc, int64(rng.Intn(2)), c)
+			default:
+				th.RMWDiscard(core.OpInc, loc, 0, c)
+			}
+		}
+	}
+	p.QuantumDomain = []int64{0, 1, 2}
+	return p
+}
+
+// TestTheoremPropertyRandom is the property-based form of Theorem 3.1:
+// for random programs, legality under DRFrlx implies the system model
+// produces only SC (quantum-equivalent) results.
+func TestTheoremPropertyRandom(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	checked, legal := 0, 0
+	f := func(seed int64) bool {
+		p := randomProgram(seed)
+		rep, err := ValidateTheorem(p)
+		if err != nil {
+			return true // enumeration blowup: skip, not a failure
+		}
+		checked++
+		if rep.Legal {
+			legal++
+			if !rep.SystemSC {
+				t.Logf("seed %d: legal program with non-SC system results %v", seed, rep.NonSCResults)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+	if checked == 0 || legal == 0 {
+		t.Fatalf("property vacuous: checked=%d legal=%d", checked, legal)
+	}
+}
+
+// TestPreservedPOSubsetOfPO: ppo must be a sub-relation of program order.
+func TestPreservedPOSubsetOfPO(t *testing.T) {
+	for _, tc := range litmus.Suite() {
+		p := tc.Prog
+		ppo := PreservedPO(p)
+		lay := layout(p)
+		thread := make([]int, lay.n)
+		opIdx := make([]int, lay.n)
+		for ti, th := range p.Threads {
+			for i := range th.Ops {
+				if id := lay.id[ti][i]; id >= 0 {
+					thread[id] = ti
+					opIdx[id] = i
+				}
+			}
+		}
+		for _, pr := range ppo.Pairs() {
+			i, j := pr[0], pr[1]
+			if thread[i] != thread[j] || opIdx[i] >= opIdx[j] {
+				t.Fatalf("%s: ppo edge (%d,%d) not in program order", p.Name, i, j)
+			}
+		}
+	}
+}
+
+// TestSystemModelMPReleaseAcquire: the Section 7 extension — a release
+// store to the flag and an acquire load of it order the data payload, so
+// the weak MP outcome is impossible in the system model.
+func TestSystemModelMPReleaseAcquire(t *testing.T) {
+	p := litmus.New("mp_ra_out")
+	t0 := p.Thread("producer")
+	t0.Store("D", 1, core.Data)
+	t0.Store("F", 1, core.Release)
+	t1 := p.Thread("consumer")
+	f := t1.Load("F", core.Acquire)
+	t1.StoreExpr("OUTF", litmus.RegExpr(f), core.Data)
+	t1.WithGuards(litmus.NZ(f))
+	d := t1.Load("D", core.Data)
+	t1.StoreExpr("OUT", litmus.RegExpr(d), core.Data)
+	t1.EndGuards()
+	sys, err := SystemResults(p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys["D=1;F=1;OUT=0;OUTF=1;"] {
+		t.Error("release/acquire MP lost the payload in the system model")
+	}
+	v, err := CheckProgram(p, core.DRFrlx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.Legal {
+		t.Errorf("release/acquire MP should be race-free: %s", v.Summary())
+	}
+}

@@ -1,0 +1,66 @@
+package cache
+
+// MSHR is a miss-status holding register file keyed by line address.
+// Multiple requests to the same line coalesce into one entry — the
+// mechanism that lets DeNovo's L1 absorb bursts of overlapped atomics to
+// a hot address with a single ownership request (Section 5 of the paper).
+// Like hardware MSHRs, each entry holds a bounded number of coalescing
+// targets.
+type MSHR struct {
+	capacity int
+	targets  int
+	entries  map[uint64]*MSHREntry
+}
+
+// MSHREntry tracks one outstanding line request.
+type MSHREntry struct {
+	LineAddr uint64
+	// Waiters are opaque requests parked on the entry, drained when the
+	// response arrives.
+	Waiters []any
+	// WantOwnership marks the entry as an ownership (store/atomic) miss
+	// rather than a read miss.
+	WantOwnership bool
+}
+
+// NewMSHR builds an MSHR file with the given entry capacity and
+// per-entry target count.
+func NewMSHR(capacity, targets int) *MSHR {
+	return &MSHR{capacity: capacity, targets: targets, entries: make(map[uint64]*MSHREntry)}
+}
+
+// CanCoalesce reports whether the entry has a free target slot.
+func (m *MSHR) CanCoalesce(e *MSHREntry) bool { return len(e.Waiters) < m.targets }
+
+// Lookup returns the entry for a line, or nil.
+func (m *MSHR) Lookup(lineAddr uint64) *MSHREntry { return m.entries[lineAddr] }
+
+// Full reports whether a new entry cannot be allocated.
+func (m *MSHR) Full() bool { return len(m.entries) >= m.capacity }
+
+// Allocate creates an entry for the line. The caller must have checked
+// Full and Lookup.
+func (m *MSHR) Allocate(lineAddr uint64, wantOwnership bool) *MSHREntry {
+	if m.Full() {
+		panic("cache: MSHR allocate when full")
+	}
+	if m.entries[lineAddr] != nil {
+		panic("cache: MSHR double allocate")
+	}
+	e := &MSHREntry{LineAddr: lineAddr, WantOwnership: wantOwnership}
+	m.entries[lineAddr] = e
+	return e
+}
+
+// Release removes the entry and returns its waiters.
+func (m *MSHR) Release(lineAddr uint64) []any {
+	e := m.entries[lineAddr]
+	if e == nil {
+		panic("cache: MSHR release of absent entry")
+	}
+	delete(m.entries, lineAddr)
+	return e.Waiters
+}
+
+// Outstanding returns the number of live entries.
+func (m *MSHR) Outstanding() int { return len(m.entries) }

@@ -1,0 +1,70 @@
+package cache
+
+// StoreBuffer models the per-core FIFO of stores that have issued but not
+// yet become globally visible. Under GPU coherence entries drain as
+// write-throughs to the LLC; under DeNovo they drain as ownership
+// requests. A release (paired store or barrier) must wait until the
+// buffer is empty and all drained entries have been acknowledged — the
+// "store buffer flush" cost that DRF1 and DRFrlx avoid for relaxed
+// atomics (Table 4).
+type StoreBuffer struct {
+	capacity int
+	queue    []any
+	// unacked counts entries drained into the memory system whose
+	// completion acknowledgements are still pending.
+	unacked int
+}
+
+// NewStoreBuffer builds a buffer with the given capacity.
+func NewStoreBuffer(capacity int) *StoreBuffer {
+	return &StoreBuffer{capacity: capacity}
+}
+
+// Full reports whether a new store cannot be accepted.
+func (b *StoreBuffer) Full() bool { return len(b.queue) >= b.capacity }
+
+// Len returns the number of queued (not yet drained) entries.
+func (b *StoreBuffer) Len() int { return len(b.queue) }
+
+// Push appends a store. The caller must have checked Full.
+func (b *StoreBuffer) Push(e any) {
+	if b.Full() {
+		panic("cache: store buffer push when full")
+	}
+	b.queue = append(b.queue, e)
+}
+
+// Pop drains the oldest entry into the memory system, incrementing the
+// unacked count. Returns nil when empty.
+func (b *StoreBuffer) Pop() any {
+	if len(b.queue) == 0 {
+		return nil
+	}
+	e := b.queue[0]
+	b.queue = b.queue[1:]
+	b.unacked++
+	return e
+}
+
+// Ack records completion of a drained entry.
+func (b *StoreBuffer) Ack() {
+	if b.unacked == 0 {
+		panic("cache: store buffer ack without outstanding drain")
+	}
+	b.unacked--
+}
+
+// Drained reports whether the buffer is empty and every drained entry has
+// been acknowledged — the flush condition.
+func (b *StoreBuffer) Drained() bool { return len(b.queue) == 0 && b.unacked == 0 }
+
+// Unacked returns the in-flight drained count.
+func (b *StoreBuffer) Unacked() int { return b.unacked }
+
+// Peek returns the oldest entry without draining it, or nil.
+func (b *StoreBuffer) Peek() any {
+	if len(b.queue) == 0 {
+		return nil
+	}
+	return b.queue[0]
+}

@@ -1,0 +1,388 @@
+// Package cu models the compute units (GPU CUs and the CPU core) that
+// issue trace operations into the memory system. This is where the
+// consistency model acts: the per-class Behavior from internal/core
+// decides whether an atomic self-invalidates the L1 (acquire), flushes
+// the store buffer (release), and how much it may overlap with other
+// outstanding accesses (Table 4 of the paper).
+package cu
+
+import (
+	"rats/internal/core"
+	"rats/internal/sim/memsys"
+	"rats/internal/stats"
+	"rats/internal/trace"
+)
+
+// warpState tracks one warp's progress through its op stream.
+type warpState struct {
+	ops *trace.Warp
+	pc  int
+
+	// busyUntil blocks issue during compute/scratch ops.
+	busyUntil int64
+	// outLoads / outAtomics count outstanding memory *instructions* (a
+	// 32-lane atomic is one instruction whose lanes are all in flight at
+	// once, as on a real SIMT pipeline).
+	outLoads   int
+	outAtomics int
+	// fence blocks all issue until an SC (OverlapNone) access completes.
+	fence bool
+	// waitingFlush blocks the current op until the store buffer drains.
+	waitingFlush bool
+	// flushDone is set by the flush callback.
+	flushDone bool
+	// atBarrier marks the warp parked at a device-wide barrier.
+	atBarrier bool
+	// atEnd marks the op stream exhausted; the warp retires (done) once
+	// trailing compute and outstanding memory operations finish.
+	atEnd bool
+	done  bool
+}
+
+// CU drives the warps placed on one node.
+type CU struct {
+	env  *memsys.Env
+	node int
+	l1   *memsys.L1
+
+	warps []*warpState
+	rr    int
+
+	// coalescer is the queue of line transactions awaiting L1 issue.
+	coalescer []*memsys.Txn
+	txnSeq    *int64
+
+	st *stats.Stats
+
+	// barrierWaiters counts warps currently parked at a barrier; the
+	// system driver releases them.
+	barrierWaiters int
+}
+
+// New builds a CU on the given node over its L1.
+func New(env *memsys.Env, node int, l1 *memsys.L1, txnSeq *int64) *CU {
+	return &CU{env: env, node: node, l1: l1, txnSeq: txnSeq, st: env.Stats}
+}
+
+// AddWarp assigns a warp to this CU.
+func (c *CU) AddWarp(w *trace.Warp) {
+	ws := &warpState{ops: w}
+	if len(w.Ops) == 0 {
+		ws.atEnd = true
+		ws.done = true
+	}
+	c.warps = append(c.warps, ws)
+}
+
+// NumWarps returns the warp count.
+func (c *CU) NumWarps() int { return len(c.warps) }
+
+// Done reports whether every warp has retired and all transactions
+// completed.
+func (c *CU) Done() bool {
+	if len(c.coalescer) > 0 {
+		return false
+	}
+	for _, w := range c.warps {
+		if !w.done || w.outLoads > 0 || w.outAtomics > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// BarrierWaiters returns the number of warps parked at a barrier.
+func (c *CU) BarrierWaiters() int { return c.barrierWaiters }
+
+// ReleaseBarrier resumes every parked warp (called by the system driver
+// once all warps in the device have arrived and stores have drained).
+func (c *CU) ReleaseBarrier() {
+	for _, w := range c.warps {
+		if w.atBarrier {
+			w.atBarrier = false
+			w.pc++
+			if w.pc >= len(w.ops.Ops) {
+				w.atEnd = true
+			}
+		}
+	}
+	c.barrierWaiters = 0
+}
+
+// L1 exposes the CU's cache controller (for the barrier protocol).
+func (c *CU) L1() *memsys.L1 { return c.l1 }
+
+// lineOf groups addresses by cache line, preserving first-touch order.
+func (c *CU) linesOf(addrs []uint64) []uint64 {
+	seen := map[uint64]bool{}
+	var lines []uint64
+	for _, a := range addrs {
+		l := a / c.env.Cfg.LineSize
+		if !seen[l] {
+			seen[l] = true
+			lines = append(lines, l)
+		}
+	}
+	return lines
+}
+
+// canIssue evaluates the consistency gates for a warp's next op.
+func (c *CU) canIssue(w *warpState, op *trace.Op) bool {
+	if !op.Kind.IsMem() && op.Kind != trace.Barrier && op.Kind != trace.Join {
+		return true
+	}
+	if op.Kind == trace.Barrier || op.Kind == trace.Join {
+		// Barriers carry paired semantics; joins model register
+		// dependencies: both wait for everything outstanding.
+		return w.outLoads == 0 && w.outAtomics == 0
+	}
+	b := c.env.Cfg.Behavior(op.Class)
+	if b.Overlap == core.OverlapNone {
+		if w.outLoads > 0 || w.outAtomics > 0 {
+			return false
+		}
+	}
+	if b.Overlap == core.OverlapAtomicSerial && op.Kind == trace.Atomic && w.outAtomics > 0 {
+		return false
+	}
+	// Bound per-warp MLP (instructions in flight).
+	if w.outLoads+w.outAtomics >= c.env.Cfg.MaxOutstandingPerWarp {
+		return false
+	}
+	if op.Kind == trace.Atomic && w.outAtomics >= c.env.Cfg.MaxOutstandingAtomicsPerWarp {
+		return false
+	}
+	return true
+}
+
+// issueOp performs the consistency actions and enqueues the op's
+// transactions. Returns false if the coalescer lacks space (retry).
+func (c *CU) issueOp(cycle int64, w *warpState, op *trace.Op) bool {
+	b := c.env.Cfg.Behavior(op.Class)
+	if op.Scope == trace.ScopeLocal {
+		// HRF work-group scope: ordering is only required within this CU,
+		// which sees its own accesses in order — no invalidation or
+		// flush; overlap still follows the class.
+		b.InvalidateOnLoad = false
+		b.FlushOnStore = false
+	}
+	writes := op.AOp.Writes() || op.Kind == trace.Store
+	reads := op.AOp.Reads() && op.Kind != trace.Store
+
+	// Release: the store buffer must drain before the access performs.
+	if b.FlushOnStore && writes && op.Kind.IsMem() {
+		if !w.waitingFlush {
+			w.waitingFlush = true
+			w.flushDone = false
+			c.st.ReleaseFlushes++
+			c.l1.Flush(cycle, func(int64) { w.flushDone = true })
+		}
+		if !w.flushDone {
+			return false
+		}
+		w.waitingFlush = false
+	}
+
+	// Estimate transaction count and check coalescer space.
+	var txns int
+	switch op.Kind {
+	case trace.Load, trace.Store:
+		txns = len(c.linesOf(op.Addrs))
+	case trace.Atomic:
+		txns = len(op.Addrs)
+	}
+	if len(c.coalescer)+txns > c.env.Cfg.CoalescerQueue {
+		return false
+	}
+
+	// Acquire: self-invalidate before subsequent reads can hit stale data.
+	if b.InvalidateOnLoad && reads && op.Kind == trace.Atomic {
+		c.l1.AcquireInvalidate()
+	}
+
+	switch op.Kind {
+	case trace.Load:
+		lines := c.linesOf(op.Addrs)
+		w.outLoads++
+		remaining := len(lines)
+		for _, line := range lines {
+			c.push(&memsys.Txn{
+				Kind: memsys.TxnLoad, Addr: line * c.env.Cfg.LineSize, Class: op.Class,
+				AOp: core.OpLoad,
+				Done: func(int64, int64) {
+					remaining--
+					if remaining == 0 {
+						w.outLoads--
+						c.clearFence(w)
+					}
+				},
+			})
+		}
+	case trace.Store:
+		for _, line := range c.linesOf(op.Addrs) {
+			// Stores complete into the store buffer; they do not hold the
+			// warp. Flush semantics make them visible.
+			c.push(&memsys.Txn{
+				Kind: memsys.TxnStore, Addr: line * c.env.Cfg.LineSize, Class: op.Class,
+				AOp:  core.OpStore,
+				Done: func(int64, int64) {},
+			})
+		}
+	case trace.Atomic:
+		w.outAtomics++
+		remaining := len(op.Addrs)
+		for i, a := range op.Addrs {
+			operand := op.Operand
+			if op.Operands != nil {
+				operand = op.Operands[i]
+			}
+			c.push(&memsys.Txn{
+				Kind: memsys.TxnAtomic, Addr: a, Class: op.Class,
+				LocalScope: op.Scope == trace.ScopeLocal,
+				AOp:        op.AOp, Operand: operand,
+				Done: func(int64, int64) {
+					remaining--
+					if remaining == 0 {
+						w.outAtomics--
+						c.clearFence(w)
+					}
+				},
+			})
+		}
+	}
+
+	if op.Kind.IsMem() && b.Overlap == core.OverlapNone {
+		// SC access: block the warp until it completes.
+		w.fence = true
+		c.clearFence(w) // store-only SC ops hold no transactions
+	}
+	return true
+}
+
+func (c *CU) clearFence(w *warpState) {
+	if w.fence && w.outLoads == 0 && w.outAtomics == 0 {
+		w.fence = false
+	}
+}
+
+func (c *CU) push(t *memsys.Txn) {
+	*c.txnSeq++
+	t.ID = *c.txnSeq
+	c.coalescer = append(c.coalescer, t)
+}
+
+// Tick advances the CU one cycle: retire finished warps, drain the
+// coalescer into the L1, then issue at most one warp op (CPU nodes may
+// issue several, reflecting the faster CPU clock).
+func (c *CU) Tick(cycle int64) {
+	// Retirement: the op stream is exhausted, trailing compute has
+	// elapsed, and no memory operations remain in flight.
+	for _, w := range c.warps {
+		if w.atEnd && !w.done && w.busyUntil <= cycle && w.outLoads == 0 && w.outAtomics == 0 {
+			w.done = true
+		}
+	}
+	// Coalescer → L1 (one transaction per cycle port).
+	if len(c.coalescer) > 0 {
+		if c.l1.TryIssue(cycle, c.coalescer[0]) {
+			c.coalescer = c.coalescer[1:]
+		}
+	}
+
+	issues := 1
+	if len(c.warps) > 0 && c.warps[0].ops.IsCPU {
+		issues = c.env.Cfg.CPUIssuePerCycle
+	}
+	for n := 0; n < issues; n++ {
+		if !c.issueOne(cycle) {
+			break
+		}
+	}
+}
+
+// issueOne finds one ready warp round-robin and issues its next op.
+func (c *CU) issueOne(cycle int64) bool {
+	nw := len(c.warps)
+	if nw == 0 {
+		return false
+	}
+	for k := 0; k < nw; k++ {
+		w := c.warps[(c.rr+k)%nw]
+		if w.done || w.atEnd || w.atBarrier || w.fence || w.busyUntil > cycle {
+			continue
+		}
+		op := &w.ops.Ops[w.pc]
+		if !c.canIssue(w, op) {
+			c.st.WarpIssueStalls++
+			continue
+		}
+		switch op.Kind {
+		case trace.Compute:
+			w.busyUntil = cycle + int64(op.Cycles)
+			c.st.CoreOps++
+		case trace.ScratchLoad, trace.ScratchStore:
+			w.busyUntil = cycle + int64(op.Cycles)
+			c.st.CoreOps++
+			c.st.ScratchAccesses++
+		case trace.Barrier:
+			w.atBarrier = true
+			c.barrierWaiters++
+			c.rr = (c.rr + k + 1) % nw
+			return true
+		case trace.Join:
+			// Pure dependency marker: free once issuable.
+		default:
+			if !c.issueOp(cycle, w, op) {
+				c.st.WarpIssueStalls++
+				continue
+			}
+			c.st.CoreOps++
+		}
+		w.pc++
+		if w.pc >= len(w.ops.Ops) {
+			w.atEnd = true
+		}
+		c.rr = (c.rr + k + 1) % nw
+		return true
+	}
+	return false
+}
+
+// NextWake returns the earliest cycle at which this CU could make
+// progress on its own (compute completions), or -1 if it is entirely
+// waiting on external events.
+func (c *CU) NextWake(cycle int64) int64 {
+	if len(c.coalescer) > 0 {
+		return cycle + 1
+	}
+	wake := int64(-1)
+	for _, w := range c.warps {
+		if w.done || w.atBarrier {
+			continue
+		}
+		if w.fence || w.waitingFlush || w.outLoads > 0 || w.outAtomics > 0 {
+			// Waiting on memory: progress comes from events/mesh.
+			continue
+		}
+		// Retiring warps need one wake after their trailing compute.
+		t := w.busyUntil
+		if t <= cycle {
+			t = cycle + 1
+		}
+		if wake < 0 || t < wake {
+			wake = t
+		}
+	}
+	return wake
+}
+
+// RetiredWarps counts warps that have finished their op streams.
+func (c *CU) RetiredWarps() int {
+	n := 0
+	for _, w := range c.warps {
+		if w.done {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,78 @@
+package memsys
+
+import (
+	"rats/internal/core"
+	"rats/internal/sim/noc"
+	"rats/internal/stats"
+)
+
+// Env bundles the shared infrastructure every memory-system component
+// uses: the interconnect, the statistics sink, the global functional
+// value layer, and the event scheduler provided by the system driver.
+type Env struct {
+	Cfg   *Config
+	Mesh  *noc.Mesh
+	Stats *stats.Stats
+	// Values is the functional value layer, keyed by word address.
+	// Atomic operations read-modify-write it at the point (and simulated
+	// time) they perform — at the L2 bank under GPU coherence, at the
+	// owning L1 under DeNovo — so workload functional checks hold under
+	// every configuration.
+	Values map[uint64]int64
+	// At schedules fn to run at the given cycle (>= current).
+	At func(cycle int64, fn func(int64))
+}
+
+// ApplyAtomic performs an atomic on the value layer and returns the old
+// value.
+func (e *Env) ApplyAtomic(addr uint64, aop core.AtomicOp, operand int64) int64 {
+	w := e.Cfg.WordAddr(addr)
+	old := e.Values[w]
+	e.Values[w] = aop.Apply(old, operand, 0)
+	return old
+}
+
+// Read returns the current functional value of a word.
+func (e *Env) Read(addr uint64) int64 { return e.Values[e.Cfg.WordAddr(addr)] }
+
+// Txn is one memory transaction handed from a compute unit to its L1:
+// either a coalesced per-line load, a coalesced per-line store, or a
+// per-lane atomic.
+type Txn struct {
+	ID      int64
+	Kind    TxnKind
+	Addr    uint64 // byte address (line-representative for loads/stores)
+	Class   core.Class
+	AOp     core.AtomicOp
+	Operand int64
+	// LocalScope marks an HRF work-group-scoped atomic: it may perform at
+	// the L1 without coherence actions (the programmer guarantees no
+	// cross-CU access between global synchronizations).
+	LocalScope bool
+	// Done is invoked exactly once when the transaction completes; value
+	// is meaningful for atomics.
+	Done func(cycle int64, value int64)
+}
+
+// TxnKind distinguishes transaction types at the L1.
+type TxnKind uint8
+
+const (
+	// TxnLoad is a coalesced data load of one line.
+	TxnLoad TxnKind = iota
+	// TxnStore is a coalesced data store to one line.
+	TxnStore
+	// TxnAtomic is a single-lane atomic operation.
+	TxnAtomic
+)
+
+func (k TxnKind) String() string {
+	switch k {
+	case TxnLoad:
+		return "load"
+	case TxnStore:
+		return "store"
+	default:
+		return "atomic"
+	}
+}

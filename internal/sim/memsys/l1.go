@@ -1,0 +1,382 @@
+package memsys
+
+import (
+	"fmt"
+
+	"rats/internal/sim/cache"
+	"rats/internal/sim/noc"
+)
+
+// sbStore is a store parked in the store buffer (or, under DeNovo, parked
+// on an MSHR entry awaiting ownership).
+type sbStore struct {
+	line uint64
+}
+
+// L1 is a per-node first-level cache controller. Protocol behaviour
+// (GPU coherence vs. DeNovo) is selected by the configuration:
+//
+//	GPU:    write-through no-allocate; atomics forwarded to the home L2
+//	        bank; acquire flash-invalidates everything.
+//	DeNovo: writeback with ownership; stores and atomics obtain ownership
+//	        and then perform locally; same-line requests coalesce in the
+//	        MSHR; acquire invalidates only non-owned lines.
+type L1 struct {
+	env  *Env
+	node int
+
+	array *cache.Array
+	mshr  *cache.MSHR
+	sb    *cache.StoreBuffer
+
+	// pendingAtomics tracks GPU-coherence atomics in flight to L2 banks.
+	pendingAtomics map[int64]*Txn
+	// atomicFree is the cycle the local (DeNovo) atomic unit frees up.
+	atomicFree int64
+	// pendingFwds queues ownership-yield requests that arrived while this
+	// L1's own ownership request for the line was still in flight (the
+	// L2 registry can hand ownership onward before the previous grant
+	// lands). The yield is performed once ownership arrives and the
+	// queued local operations have drained.
+	pendingFwds map[uint64][]fwdOwn
+
+	flushCbs []func(int64)
+}
+
+// NewL1 builds the controller for a node.
+func NewL1(env *Env, node int) *L1 {
+	return &L1{
+		env:            env,
+		node:           node,
+		array:          cache.NewArray(env.Cfg.L1Sets, env.Cfg.L1Ways),
+		mshr:           cache.NewMSHR(env.Cfg.L1MSHRs, env.Cfg.L1MSHRTargets),
+		sb:             cache.NewStoreBuffer(env.Cfg.StoreBuffer),
+		pendingAtomics: map[int64]*Txn{},
+		pendingFwds:    map[uint64][]fwdOwn{},
+	}
+}
+
+func (l *L1) send(cycle int64, dst, flits int, payload any) {
+	l.env.Mesh.Send(cycle, noc.Message{Src: l.node, Dst: dst, Flits: flits, Payload: payload})
+}
+
+func (l *L1) home(line uint64) int { return l.env.Cfg.HomeNode(line) }
+
+// insertLine fills a line, writing back an evicted owned victim.
+func (l *L1) insertLine(cycle int64, line uint64, st cache.State, dirty bool) {
+	v, evicted := l.array.Insert(line, st, dirty)
+	if evicted && v.State == cache.Owned {
+		l.env.Stats.Writebacks++
+		l.send(cycle, l.home(v.LineAddr), l.env.Cfg.DataFlits, wbReq{Line: v.LineAddr, Requester: l.node})
+	}
+}
+
+// TryIssue accepts one transaction from the compute unit. It returns
+// false when a resource (MSHR, store buffer, atomic tracker) is full; the
+// caller retries next cycle.
+func (l *L1) TryIssue(cycle int64, txn *Txn) bool {
+	cfg := l.env.Cfg
+	st := l.env.Stats
+	line := txn.Addr / cfg.LineSize
+
+	switch txn.Kind {
+	case TxnLoad:
+		if l.array.Lookup(line) != cache.Invalid {
+			st.L1Accesses++
+			st.L1Hits++
+			l.env.At(cycle+cfg.L1HitLat, func(c int64) { txn.Done(c, l.env.Read(txn.Addr)) })
+			return true
+		}
+		if e := l.mshr.Lookup(line); e != nil {
+			if !l.mshr.CanCoalesce(e) {
+				st.WarpIssueStalls++
+				return false
+			}
+			st.L1Accesses++
+			st.L1Misses++
+			st.MSHRCoalesced++
+			e.Waiters = append(e.Waiters, txn)
+			return true
+		}
+		if l.mshr.Full() {
+			st.WarpIssueStalls++
+			return false
+		}
+		st.L1Accesses++
+		st.L1Misses++
+		e := l.mshr.Allocate(line, false)
+		e.Waiters = append(e.Waiters, txn)
+		l.send(cycle, l.home(line), cfg.ControlFlits, readReq{Line: line, Requester: l.node})
+		return true
+
+	case TxnStore:
+		if l.sb.Full() {
+			st.StoreBufferFullStalls++
+			return false
+		}
+		l.sb.Push(sbStore{line: line})
+		l.env.At(cycle+1, func(c int64) { txn.Done(c, 0) })
+		return true
+
+	case TxnAtomic:
+		if txn.LocalScope {
+			// HRF work-group scope: the atomic is private to this CU
+			// until the next global synchronization, so it performs at
+			// the L1 with no coherence traffic under either protocol.
+			st.L1Accesses++
+			st.L1Hits++
+			l.performLocalAtomic(cycle, txn)
+			return true
+		}
+		if cfg.Protocol == ProtoGPU {
+			if len(l.pendingAtomics) >= cfg.L1MSHRs {
+				st.WarpIssueStalls++
+				return false
+			}
+			l.pendingAtomics[txn.ID] = txn
+			l.send(cycle, l.home(line), cfg.ControlFlits, atomicReq{
+				ID: txn.ID, Addr: txn.Addr, AOp: txn.AOp, Operand: txn.Operand, Requester: l.node,
+			})
+			return true
+		}
+		// DeNovo: perform locally once owned.
+		if l.array.Lookup(line) == cache.Owned {
+			st.L1Accesses++
+			st.L1Hits++
+			l.performLocalAtomic(cycle, txn)
+			return true
+		}
+		if e := l.mshr.Lookup(line); e != nil {
+			if !l.mshr.CanCoalesce(e) {
+				st.WarpIssueStalls++
+				return false
+			}
+			st.L1Accesses++
+			st.L1Misses++
+			st.MSHRCoalesced++
+			e.Waiters = append(e.Waiters, txn)
+			e.WantOwnership = true
+			return true
+		}
+		if l.mshr.Full() {
+			st.WarpIssueStalls++
+			return false
+		}
+		st.L1Accesses++
+		st.L1Misses++
+		e := l.mshr.Allocate(line, true)
+		e.Waiters = append(e.Waiters, txn)
+		l.send(cycle, l.home(line), cfg.ControlFlits, ownReq{Line: line, Requester: l.node})
+		return true
+	}
+	panic("memsys: unknown txn kind")
+}
+
+// performLocalAtomic runs a DeNovo atomic through the L1 atomic unit.
+func (l *L1) performLocalAtomic(cycle int64, txn *Txn) {
+	cfg := l.env.Cfg
+	start := cycle + cfg.L1HitLat
+	if l.atomicFree > start {
+		start = l.atomicFree
+	}
+	done := start + cfg.L1AtomicOccupancy
+	l.atomicFree = done
+	l.env.At(done, func(c int64) {
+		l.env.Stats.Atomics++
+		l.env.Stats.AtomicsAtL1++
+		old := l.env.ApplyAtomic(txn.Addr, txn.AOp, txn.Operand)
+		txn.Done(c, old)
+	})
+}
+
+// yieldOwnership invalidates the local copy and grants ownership to the
+// forwarded requester.
+func (l *L1) yieldOwnership(cycle int64, m fwdOwn) {
+	if l.array.Peek(m.Line) == cache.Owned {
+		l.array.Invalidate(m.Line)
+	}
+	l.send(cycle+l.env.Cfg.L1HitLat, m.Requester, l.env.Cfg.DataFlits, ownResp{Line: m.Line})
+}
+
+// Handle processes a delivered network message.
+func (l *L1) Handle(cycle int64, payload any) {
+	cfg := l.env.Cfg
+	st := l.env.Stats
+	switch m := payload.(type) {
+	case readResp:
+		l.insertLine(cycle, m.Line, cache.Valid, false)
+		waiters := l.mshr.Release(m.Line)
+		var needOwn []any
+		for _, w := range waiters {
+			switch w := w.(type) {
+			case *Txn:
+				if w.Kind == TxnLoad {
+					txn := w
+					l.env.At(cycle+1, func(c int64) { txn.Done(c, l.env.Read(txn.Addr)) })
+				} else {
+					needOwn = append(needOwn, w)
+				}
+			case sbStore:
+				needOwn = append(needOwn, w)
+			}
+		}
+		if len(needOwn) > 0 {
+			// The read raced with writers that joined the entry: the line
+			// arrived readable but the writers still need ownership.
+			e := l.mshr.Allocate(m.Line, true)
+			e.Waiters = needOwn
+			l.send(cycle, l.home(m.Line), cfg.ControlFlits, ownReq{Line: m.Line, Requester: l.node})
+		}
+
+	case ownResp:
+		l.insertLine(cycle, m.Line, cache.Owned, true)
+		for _, w := range l.mshr.Release(m.Line) {
+			switch w := w.(type) {
+			case *Txn:
+				if w.Kind == TxnLoad {
+					txn := w
+					l.env.At(cycle+1, func(c int64) { txn.Done(c, l.env.Read(txn.Addr)) })
+				} else {
+					l.performLocalAtomic(cycle, w)
+				}
+			case sbStore:
+				l.sb.Ack()
+			}
+		}
+		// Ownership was already handed onward by the L2 while our request
+		// was in flight: yield after the queued local work drains.
+		if fwds := l.pendingFwds[m.Line]; len(fwds) > 0 {
+			delete(l.pendingFwds, m.Line)
+			when := cycle + 1
+			if l.atomicFree > when {
+				when = l.atomicFree
+			}
+			l.env.At(when, func(c int64) {
+				for _, f := range fwds {
+					l.yieldOwnership(c, f)
+				}
+			})
+		}
+
+	case fwdRead:
+		// Serve a remote reader from the owned copy; keep ownership.
+		st.L1Accesses++
+		l.send(cycle+cfg.L1HitLat, m.Requester, cfg.DataFlits, readResp{Line: m.Line})
+
+	case fwdOwn:
+		st.L1Accesses++
+		if e := l.mshr.Lookup(m.Line); e != nil && e.WantOwnership && l.array.Peek(m.Line) != cache.Owned {
+			// Our own ownership request is still in flight: defer the
+			// yield until it lands (otherwise two L1s would both believe
+			// they own the line).
+			l.pendingFwds[m.Line] = append(l.pendingFwds[m.Line], m)
+			break
+		}
+		l.yieldOwnership(cycle, m)
+
+	case wtAck:
+		l.sb.Ack()
+
+	//nolint:gocritic // keep message cases together
+
+	case atomicResp:
+		txn := l.pendingAtomics[m.ID]
+		if txn == nil {
+			panic(fmt.Sprintf("memsys: node %d atomic response for unknown id %d", l.node, m.ID))
+		}
+		delete(l.pendingAtomics, m.ID)
+		val := m.Value
+		l.env.At(cycle+1, func(c int64) { txn.Done(c, val) })
+
+	default:
+		panic("memsys: L1 received unknown message")
+	}
+}
+
+// Tick drains the store buffer (one entry per cycle) and fires flush
+// callbacks once drained.
+func (l *L1) Tick(cycle int64) {
+	cfg := l.env.Cfg
+	st := l.env.Stats
+	if e := l.sb.Peek(); e != nil {
+		entry := e.(sbStore)
+		if cfg.Protocol == ProtoGPU {
+			st.L1Accesses++
+			l.sb.Pop()
+			l.send(cycle, l.home(entry.line), cfg.DataFlits, wtReq{Line: entry.line, Requester: l.node})
+		} else {
+			switch {
+			case l.array.Lookup(entry.line) == cache.Owned:
+				st.L1Accesses++
+				st.L1Hits++
+				l.array.SetDirty(entry.line)
+				l.sb.Pop()
+				l.sb.Ack()
+			case l.mshr.Lookup(entry.line) != nil && l.mshr.CanCoalesce(l.mshr.Lookup(entry.line)):
+				st.L1Accesses++
+				st.L1Misses++
+				st.MSHRCoalesced++
+				e := l.mshr.Lookup(entry.line)
+				e.Waiters = append(e.Waiters, entry)
+				e.WantOwnership = true
+				l.sb.Pop()
+			case !l.mshr.Full():
+				st.L1Accesses++
+				st.L1Misses++
+				me := l.mshr.Allocate(entry.line, true)
+				me.Waiters = append(me.Waiters, entry)
+				l.sb.Pop()
+				l.send(cycle, l.home(entry.line), cfg.ControlFlits, ownReq{Line: entry.line, Requester: l.node})
+			default:
+				// MSHR full: retry next cycle.
+			}
+		}
+	}
+	if len(l.flushCbs) > 0 && l.sb.Drained() {
+		cbs := l.flushCbs
+		l.flushCbs = nil
+		for _, cb := range cbs {
+			cb(cycle)
+		}
+	}
+}
+
+// Flush registers a callback fired when the store buffer has fully
+// drained (a release action).
+func (l *L1) Flush(cycle int64, cb func(int64)) {
+	if l.sb.Drained() {
+		cb(cycle)
+		return
+	}
+	l.flushCbs = append(l.flushCbs, cb)
+}
+
+// SBDrained reports whether the store buffer is empty and acknowledged.
+func (l *L1) SBDrained() bool { return l.sb.Drained() }
+
+// AcquireInvalidate performs the acquire-side self-invalidation: GPU
+// coherence drops everything; DeNovo keeps owned lines.
+func (l *L1) AcquireInvalidate() {
+	st := l.env.Stats
+	st.AcquireInvalidations++
+	var keep func(cache.Line) bool
+	if l.env.Cfg.Protocol == ProtoDeNovo {
+		keep = func(ln cache.Line) bool { return ln.State == cache.Owned }
+	}
+	st.LinesInvalidated += int64(l.array.FlashInvalidate(keep))
+}
+
+// Quiesced reports whether the controller has no outstanding work.
+func (l *L1) Quiesced() bool {
+	return l.mshr.Outstanding() == 0 && l.sb.Drained() &&
+		len(l.pendingAtomics) == 0 && len(l.flushCbs) == 0 &&
+		len(l.pendingFwds) == 0
+}
+
+// OwnsLine reports whether the L1 currently holds the line in Owned
+// state (test introspection).
+func (l *L1) OwnsLine(line uint64) bool { return l.array.Peek(line) == cache.Owned }
+
+// HoldsLine reports whether the L1 holds the line in any readable state
+// (test introspection).
+func (l *L1) HoldsLine(line uint64) bool { return l.array.Peek(line) != cache.Invalid }

@@ -1,0 +1,138 @@
+package memsys
+
+import (
+	"rats/internal/sim/cache"
+	"rats/internal/sim/noc"
+)
+
+// L2Bank is one NUCA slice of the shared last-level cache, co-located
+// with a node. It serves line reads, ownership registrations (DeNovo),
+// write-throughs (GPU coherence), and hosts the bank atomic unit that
+// performs GPU-coherence atomics. Each bank has a private DRAM port with
+// fixed latency and bounded bandwidth.
+type L2Bank struct {
+	env  *Env
+	node int
+
+	array *cache.Array
+	// registry maps a line to the L1 node that owns (is registered for)
+	// it under DeNovo; absent means the L2 owns the line.
+	registry map[uint64]int
+
+	// atomicFree is the cycle at which the bank's atomic unit frees up.
+	atomicFree int64
+	// dramFree is the cycle at which the DRAM port frees up.
+	dramFree int64
+}
+
+// NewL2Bank builds the bank at the given node.
+func NewL2Bank(env *Env, node int) *L2Bank {
+	return &L2Bank{
+		env:      env,
+		node:     node,
+		array:    cache.NewArray(env.Cfg.L2SetsPerBank, env.Cfg.L2Ways),
+		registry: map[uint64]int{},
+	}
+}
+
+// Owner returns the registered owner of a line, or -1.
+func (b *L2Bank) Owner(line uint64) int {
+	if o, ok := b.registry[line]; ok {
+		return o
+	}
+	return -1
+}
+
+// serveLine ensures the line is present in the bank, returning the cycle
+// at which its data is available. Misses go to the bank's DRAM port.
+func (b *L2Bank) serveLine(cycle int64, line uint64, dirty bool) int64 {
+	st := b.env.Stats
+	if b.array.Lookup(line) != cache.Invalid {
+		st.L2Hits++
+		if dirty {
+			b.array.SetDirty(line)
+		}
+		return cycle + b.env.Cfg.L2Lat
+	}
+	st.L2Misses++
+	st.DRAMAccesses++
+	start := cycle + b.env.Cfg.L2Lat
+	if b.dramFree > start {
+		start = b.dramFree
+	}
+	b.dramFree = start + b.env.Cfg.DRAMOcc
+	ready := start + b.env.Cfg.DRAMLat
+	if v, evicted := b.array.Insert(line, cache.Valid, dirty); evicted && v.Dirty {
+		// Dirty victim: one more DRAM write (bandwidth only).
+		st.DRAMAccesses++
+		b.dramFree += b.env.Cfg.DRAMOcc
+	}
+	return ready
+}
+
+func (b *L2Bank) send(cycle int64, dst, flits int, payload any) {
+	b.env.Mesh.Send(cycle, noc.Message{Src: b.node, Dst: dst, Flits: flits, Payload: payload})
+}
+
+// Handle processes one delivered network request at the given cycle.
+func (b *L2Bank) Handle(cycle int64, payload any) {
+	cfg := b.env.Cfg
+	st := b.env.Stats
+	switch m := payload.(type) {
+	case readReq:
+		st.L2Accesses++
+		if owner := b.Owner(m.Line); cfg.Protocol == ProtoDeNovo && owner >= 0 && owner != m.Requester {
+			// Three-hop: ask the owning L1 to supply the requester.
+			st.RemoteL1Forwards++
+			b.send(cycle+cfg.L2TagLat, owner, cfg.ControlFlits, fwdRead{Line: m.Line, Requester: m.Requester})
+			return
+		}
+		ready := b.serveLine(cycle, m.Line, false)
+		b.send(ready, m.Requester, cfg.DataFlits, readResp{Line: m.Line})
+
+	case ownReq:
+		st.L2Accesses++
+		st.OwnershipRequests++
+		prev := b.Owner(m.Line)
+		b.registry[m.Line] = m.Requester
+		if prev >= 0 && prev != m.Requester {
+			st.RemoteL1Forwards++
+			b.send(cycle+cfg.L2TagLat, prev, cfg.ControlFlits, fwdOwn{Line: m.Line, Requester: m.Requester})
+			return
+		}
+		ready := b.serveLine(cycle, m.Line, false)
+		b.send(ready, m.Requester, cfg.DataFlits, ownResp{Line: m.Line})
+
+	case wtReq:
+		st.L2Accesses++
+		ready := b.serveLine(cycle, m.Line, true)
+		b.send(ready, m.Requester, cfg.ControlFlits, wtAck{Line: m.Line})
+
+	case wbReq:
+		st.L2Accesses++
+		if b.Owner(m.Line) == m.Requester {
+			delete(b.registry, m.Line)
+		}
+		b.serveLine(cycle, m.Line, true)
+
+	case atomicReq:
+		st.L2Accesses++
+		ready := b.serveLine(cycle, m.Addr/cfg.LineSize, true)
+		start := ready
+		if b.atomicFree > start {
+			start = b.atomicFree
+		}
+		done := start + cfg.L2AtomicOccupancy
+		b.atomicFree = done
+		req := m
+		b.env.At(done, func(c int64) {
+			st.Atomics++
+			st.AtomicsAtL2++
+			old := b.env.ApplyAtomic(req.Addr, req.AOp, req.Operand)
+			b.send(c, req.Requester, cfg.ControlFlits, atomicResp{ID: req.ID, Value: old})
+		})
+
+	default:
+		panic("memsys: L2 bank received unknown message")
+	}
+}

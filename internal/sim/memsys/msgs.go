@@ -1,0 +1,86 @@
+package memsys
+
+import "rats/internal/core"
+
+// Network message payloads. All requests carry the requester's node so
+// responses (and three-hop forwards) can be routed back.
+
+// readReq asks the home L2 bank for a readable copy of a line.
+type readReq struct {
+	Line      uint64
+	Requester int
+}
+
+// readResp delivers a readable copy (from the L2 bank or, under DeNovo,
+// directly from a remote owning L1).
+type readResp struct {
+	Line uint64
+}
+
+// ownReq asks the home L2 bank for ownership of a line (DeNovo stores and
+// atomics).
+type ownReq struct {
+	Line      uint64
+	Requester int
+}
+
+// ownResp grants ownership (from the bank or the previous owner).
+type ownResp struct {
+	Line uint64
+}
+
+// fwdRead asks a remote owning L1 to send a copy to the requester (the
+// owner keeps its registration).
+type fwdRead struct {
+	Line      uint64
+	Requester int
+}
+
+// fwdOwn asks a remote owning L1 to yield ownership to the requester.
+type fwdOwn struct {
+	Line      uint64
+	Requester int
+}
+
+// wtReq is a GPU-coherence write-through of one line's dirty words.
+type wtReq struct {
+	Line      uint64
+	Requester int
+}
+
+// wtAck acknowledges a write-through (store-buffer flush accounting).
+type wtAck struct {
+	Line uint64
+}
+
+// wbReq writes an evicted owned line back to the L2 (DeNovo), clearing
+// the registration.
+type wbReq struct {
+	Line      uint64
+	Requester int
+}
+
+// atomicReq performs an atomic at the home L2 bank (GPU coherence).
+type atomicReq struct {
+	ID        int64
+	Addr      uint64
+	AOp       core.AtomicOp
+	Operand   int64
+	Requester int
+}
+
+// atomicResp returns the atomic's old value.
+type atomicResp struct {
+	ID    int64
+	Value int64
+}
+
+// IsL2Request reports whether a network payload is served by the L2 bank
+// (as opposed to an L1 controller).
+func IsL2Request(payload any) bool {
+	switch payload.(type) {
+	case readReq, ownReq, wtReq, wbReq, atomicReq:
+		return true
+	}
+	return false
+}

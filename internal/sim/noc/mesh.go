@@ -1,0 +1,177 @@
+// Package noc models the on-chip interconnect of the simulated system: a
+// 2D mesh with XY dimension-order routing (the paper uses a Garnet 4x4
+// mesh with one CU or CPU core per node). The model is link-accurate at
+// message granularity: each directed link serializes at one flit per
+// cycle, each hop adds router+link latency, and flit-hops are counted for
+// the energy model.
+package noc
+
+import (
+	"container/heap"
+	"fmt"
+
+	"rats/internal/stats"
+)
+
+// Message is one network transfer.
+type Message struct {
+	Src, Dst int
+	// Flits is the message size (1 for control, DataFlits for a cache
+	// line plus header).
+	Flits int
+	// Payload is delivered to the destination's receiver.
+	Payload any
+}
+
+// link identifies a directed link between adjacent nodes.
+type link struct{ from, to int }
+
+type inflight struct {
+	arrival int64
+	seq     int64 // FIFO tiebreak for determinism
+	msg     Message
+}
+
+type pq []inflight
+
+func (p pq) Len() int { return len(p) }
+func (p pq) Less(i, j int) bool {
+	if p[i].arrival != p[j].arrival {
+		return p[i].arrival < p[j].arrival
+	}
+	return p[i].seq < p[j].seq
+}
+func (p pq) Swap(i, j int) { p[i], p[j] = p[j], p[i] }
+func (p *pq) Push(x any)   { *p = append(*p, x.(inflight)) }
+func (p *pq) Pop() any     { old := *p; n := len(old); v := old[n-1]; *p = old[:n-1]; return v }
+
+// Mesh is the interconnect.
+type Mesh struct {
+	// Width and Height are the mesh dimensions (nodes = Width*Height).
+	Width, Height int
+	// HopLatency is the per-hop pipeline latency in cycles.
+	HopLatency int64
+
+	nextFree map[link]int64 // earliest cycle each link is free
+	inbox    pq
+	seq      int64
+	recv     []func(Message)
+	stats    *stats.Stats
+}
+
+// NewMesh builds a width x height mesh.
+func NewMesh(width, height int, hopLatency int64, st *stats.Stats) *Mesh {
+	m := &Mesh{
+		Width: width, Height: height, HopLatency: hopLatency,
+		nextFree: map[link]int64{},
+		recv:     make([]func(Message), width*height),
+		stats:    st,
+	}
+	return m
+}
+
+// Nodes returns the node count.
+func (m *Mesh) Nodes() int { return m.Width * m.Height }
+
+// SetReceiver registers the delivery callback for a node.
+func (m *Mesh) SetReceiver(node int, fn func(Message)) { m.recv[node] = fn }
+
+func (m *Mesh) xy(node int) (x, y int) { return node % m.Width, node / m.Width }
+
+// Route returns the XY path from src to dst as a sequence of node IDs
+// (excluding src, including dst).
+func (m *Mesh) Route(src, dst int) []int {
+	if src < 0 || dst < 0 || src >= m.Nodes() || dst >= m.Nodes() {
+		panic(fmt.Sprintf("noc: route %d -> %d out of range", src, dst))
+	}
+	var path []int
+	x, y := m.xy(src)
+	dx, dy := m.xy(dst)
+	cur := src
+	for x != dx {
+		if x < dx {
+			x++
+		} else {
+			x--
+		}
+		cur = y*m.Width + x
+		path = append(path, cur)
+	}
+	for y != dy {
+		if y < dy {
+			y++
+		} else {
+			y--
+		}
+		cur = y*m.Width + x
+		path = append(path, cur)
+	}
+	return path
+}
+
+// Hops returns the Manhattan distance between two nodes.
+func (m *Mesh) Hops(src, dst int) int {
+	x, y := m.xy(src)
+	dx, dy := m.xy(dst)
+	abs := func(v int) int {
+		if v < 0 {
+			return -v
+		}
+		return v
+	}
+	return abs(x-dx) + abs(y-dy)
+}
+
+// Send injects a message at the given cycle. Delivery time accounts for
+// per-hop latency and per-link serialization (one flit per cycle per
+// link); contention delays are modelled by tracking when each link next
+// frees up.
+func (m *Mesh) Send(cycle int64, msg Message) {
+	if msg.Flits <= 0 {
+		msg.Flits = 1
+	}
+	t := cycle
+	if msg.Src != msg.Dst {
+		prev := msg.Src
+		for _, next := range m.Route(msg.Src, msg.Dst) {
+			l := link{prev, next}
+			depart := t
+			if nf := m.nextFree[l]; nf > depart {
+				depart = nf
+			}
+			m.nextFree[l] = depart + int64(msg.Flits)
+			t = depart + m.HopLatency
+			m.stats.NoCFlitHops += int64(msg.Flits)
+			prev = next
+		}
+	} else {
+		// Local delivery still pays one router traversal.
+		t += m.HopLatency
+	}
+	m.stats.NoCMessages++
+	m.seq++
+	heap.Push(&m.inbox, inflight{arrival: t, seq: m.seq, msg: msg})
+}
+
+// Tick delivers every message whose arrival time has been reached.
+func (m *Mesh) Tick(cycle int64) {
+	for m.inbox.Len() > 0 && m.inbox[0].arrival <= cycle {
+		f := heap.Pop(&m.inbox).(inflight)
+		r := m.recv[f.msg.Dst]
+		if r == nil {
+			panic(fmt.Sprintf("noc: no receiver at node %d", f.msg.Dst))
+		}
+		r(f.msg)
+	}
+}
+
+// Pending reports whether messages are still in flight.
+func (m *Mesh) Pending() bool { return m.inbox.Len() > 0 }
+
+// NextArrival returns the earliest in-flight arrival cycle, or -1.
+func (m *Mesh) NextArrival() int64 {
+	if m.inbox.Len() == 0 {
+		return -1
+	}
+	return m.inbox[0].arrival
+}

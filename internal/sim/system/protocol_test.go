@@ -1,0 +1,350 @@
+package system
+
+import (
+	"testing"
+
+	"rats/internal/core"
+	"rats/internal/sim/memsys"
+	"rats/internal/trace"
+)
+
+func gpuCfg(m core.Model) memsys.Config    { return memsys.Default(memsys.ProtoGPU, m) }
+func denovoCfg(m core.Model) memsys.Config { return memsys.Default(memsys.ProtoDeNovo, m) }
+
+func mustRun(t *testing.T, cfg memsys.Config, tr *trace.Trace) *Result {
+	t.Helper()
+	res, err := RunTrace(cfg, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestCoalescerGroupsLanesByLine(t *testing.T) {
+	// 32 lanes within one line: a single L1 transaction.
+	tr := trace.New("coalesce")
+	addrs := make([]uint64, 32)
+	for i := range addrs {
+		addrs[i] = 0x1000 + uint64(i)
+	}
+	tr.AddWarp(0).Load(core.Data, addrs...)
+	res := mustRun(t, gpuCfg(core.DRF0), tr)
+	if res.Stats.L1Accesses != 1 {
+		t.Errorf("coalesced load made %d L1 accesses, want 1", res.Stats.L1Accesses)
+	}
+
+	// 32 lanes striding across 32 lines: 32 transactions.
+	tr2 := trace.New("divergent")
+	for i := range addrs {
+		addrs[i] = 0x1000 + uint64(i)*64
+	}
+	tr2.AddWarp(0).Load(core.Data, addrs...)
+	res2 := mustRun(t, gpuCfg(core.DRF0), tr2)
+	if res2.Stats.L1Accesses != 32 {
+		t.Errorf("divergent load made %d L1 accesses, want 32", res2.Stats.L1Accesses)
+	}
+}
+
+func TestWriteThroughAcks(t *testing.T) {
+	// GPU stores drain as write-throughs; a paired atomic store afterward
+	// must wait for the drain (flush) and the machine must quiesce.
+	tr := trace.New("wt")
+	w := tr.AddWarp(0)
+	for i := 0; i < 4; i++ {
+		w.Store(core.Data, uint64(0x1000+64*i))
+	}
+	w.AtomicStore(core.Paired, 0x8000, 1)
+	res := mustRun(t, gpuCfg(core.DRF0), tr)
+	if res.Stats.ReleaseFlushes != 1 {
+		t.Errorf("flushes = %d", res.Stats.ReleaseFlushes)
+	}
+	// 4 write-throughs reached the L2.
+	if res.Stats.L2Accesses < 4 {
+		t.Errorf("L2 accesses = %d, want >= 4 write-throughs", res.Stats.L2Accesses)
+	}
+}
+
+func TestDeNovoStoreObtainsOwnership(t *testing.T) {
+	tr := trace.New("own")
+	w := tr.AddWarp(0)
+	w.Store(core.Data, 0x1000)
+	w.AtomicStore(core.Paired, 0x8000, 1) // release forces the drain to finish
+	res := mustRun(t, denovoCfg(core.DRFrlx), tr)
+	if res.Stats.OwnershipRequests < 1 {
+		t.Error("DeNovo store should request ownership")
+	}
+	if res.Stats.Writebacks != 0 {
+		t.Error("no evictions expected")
+	}
+}
+
+func TestDeNovoWritebackOnEviction(t *testing.T) {
+	// Fill one L1 set (64 sets, 8 ways) with 9 owned lines mapping to the
+	// same set: the 9th insert evicts an owned victim -> writeback.
+	cfg := denovoCfg(core.DRFrlx)
+	tr := trace.New("evict")
+	w := tr.AddWarp(0)
+	setStride := cfg.LineSize * uint64(cfg.L1Sets) // same set every stride
+	for i := 0; i < 9; i++ {
+		w.Atomic(core.Commutative, core.OpInc, 0, uint64(i)*setStride)
+		w.Join()
+	}
+	res := mustRun(t, cfg, tr)
+	if res.Stats.Writebacks < 1 {
+		t.Errorf("writebacks = %d, want >= 1", res.Stats.Writebacks)
+	}
+}
+
+func TestDeNovoRemoteForwarding(t *testing.T) {
+	// CU0 owns a line (atomic), then CU1 reads it: the L2 must forward to
+	// the owner (three-hop).
+	tr := trace.New("fwd")
+	a := tr.AddWarp(0)
+	a.Atomic(core.Paired, core.OpAdd, 5, 0x4000)
+	a.Barrier()
+	b := tr.AddWarp(1)
+	b.Barrier()
+	b.Load(core.Data, 0x4000)
+	res := mustRun(t, denovoCfg(core.DRFrlx), tr)
+	if res.Stats.RemoteL1Forwards < 1 {
+		t.Errorf("remote forwards = %d, want >= 1", res.Stats.RemoteL1Forwards)
+	}
+	if res.Read(0x4000) != 5 {
+		t.Errorf("value = %d", res.Read(0x4000))
+	}
+}
+
+func TestDeNovoOwnershipPingPong(t *testing.T) {
+	// Two CUs alternately RMW one address with paired atomics: ownership
+	// must transfer repeatedly and the count must be exact.
+	tr := trace.New("pingpong")
+	const per = 10
+	for cu := 0; cu < 2; cu++ {
+		w := tr.AddWarp(cu)
+		for i := 0; i < per; i++ {
+			w.Atomic(core.Paired, core.OpInc, 0, 0x4000)
+		}
+	}
+	res := mustRun(t, denovoCfg(core.DRFrlx), tr)
+	if res.Read(0x4000) != 2*per {
+		t.Fatalf("count = %d", res.Read(0x4000))
+	}
+	if res.Stats.OwnershipRequests < 3 {
+		t.Errorf("ownership should ping-pong: %d requests", res.Stats.OwnershipRequests)
+	}
+	if res.Stats.AtomicsAtL1 != 2*per {
+		t.Errorf("atomics at L1 = %d", res.Stats.AtomicsAtL1)
+	}
+}
+
+func TestDeNovoInvalidationSparesOwnedLines(t *testing.T) {
+	// A DeNovo warp owns a line (store), then a paired atomic load
+	// flash-invalidates: the owned line must survive and the next access
+	// hit; under GPU coherence the same access misses.
+	mk := func() *trace.Trace {
+		tr := trace.New("keep-owned")
+		w := tr.AddWarp(0)
+		w.Atomic(core.Commutative, core.OpInc, 0, 0x1000) // own the line
+		w.Join()
+		w.AtomicLoad(core.Paired, 0x8000) // acquire: invalidate
+		w.Atomic(core.Commutative, core.OpInc, 0, 0x1000)
+		w.Join()
+		return tr
+	}
+	dres := mustRun(t, denovoCfg(core.DRFrlx), mk())
+	if dres.Stats.OwnershipRequests != 2 { // 0x1000 once + 0x8000 once
+		t.Errorf("DeNovo ownership requests = %d, want 2 (owned line survived)", dres.Stats.OwnershipRequests)
+	}
+	if dres.Stats.LinesInvalidated != 0 {
+		t.Errorf("DeNovo invalidated %d lines; owned lines must survive", dres.Stats.LinesInvalidated)
+	}
+}
+
+func TestGPUInvalidationDropsEverything(t *testing.T) {
+	tr := trace.New("drop-all")
+	w := tr.AddWarp(0)
+	w.Load(core.Data, 0x1000)
+	w.Join()
+	w.AtomicLoad(core.Paired, 0x8000)
+	w.Load(core.Data, 0x1000) // must miss again
+	w.Join()
+	res := mustRun(t, gpuCfg(core.DRF0), tr)
+	if res.Stats.LinesInvalidated < 1 {
+		t.Error("GPU acquire should invalidate valid lines")
+	}
+	if res.Stats.L1Misses < 2 {
+		t.Errorf("misses = %d; the re-load must miss after invalidation", res.Stats.L1Misses)
+	}
+}
+
+func TestMSHRCoalescingStat(t *testing.T) {
+	// Many relaxed atomics to one line from one CU while ownership is in
+	// flight: they coalesce into the MSHR entry.
+	tr := trace.New("coalesce-atomics")
+	w := tr.AddWarp(0)
+	for i := 0; i < 4; i++ {
+		w.Atomic(core.Commutative, core.OpInc, 0, 0x4000)
+	}
+	res := mustRun(t, denovoCfg(core.DRFrlx), tr)
+	if res.Stats.MSHRCoalesced < 1 {
+		t.Errorf("coalesced = %d, want >= 1", res.Stats.MSHRCoalesced)
+	}
+	if res.Read(0x4000) != 4 {
+		t.Errorf("count = %d", res.Read(0x4000))
+	}
+}
+
+func TestFenceBlocksWarp(t *testing.T) {
+	// Under DRF0 every atomic is SC: the second atomic cannot issue until
+	// the first completes, so cycles grow at least linearly in the atomic
+	// round-trip; under DRFrlx they overlap.
+	mk := func(n int) *trace.Trace {
+		tr := trace.New("fence")
+		w := tr.AddWarp(0)
+		for i := 0; i < n; i++ {
+			w.Atomic(core.Commutative, core.OpInc, 0, uint64(0x4000+64*i))
+		}
+		return tr
+	}
+	sc := mustRun(t, gpuCfg(core.DRF0), mk(8))
+	rlx := mustRun(t, gpuCfg(core.DRFrlx), mk(8))
+	if sc.Stats.Cycles <= rlx.Stats.Cycles {
+		t.Errorf("SC (%d cycles) should exceed relaxed (%d)", sc.Stats.Cycles, rlx.Stats.Cycles)
+	}
+	if float64(sc.Stats.Cycles) < 1.5*float64(rlx.Stats.Cycles) {
+		t.Errorf("SC/relaxed = %.2f; expected meaningful serialization", float64(sc.Stats.Cycles)/float64(rlx.Stats.Cycles))
+	}
+}
+
+func TestUnpairedAtomicSerialization(t *testing.T) {
+	// Unpaired atomics keep program order among themselves (DRF1) but may
+	// overlap with data loads.
+	mk := func() *trace.Trace {
+		tr := trace.New("unpaired-order")
+		w := tr.AddWarp(0)
+		w.AtomicLoad(core.Unpaired, 0x4000)
+		w.AtomicLoad(core.Unpaired, 0x4040)
+		return tr
+	}
+	d1 := mustRun(t, gpuCfg(core.DRF1), mk())
+	dr := mustRun(t, gpuCfg(core.DRFrlx), mk())
+	// DRF1 keeps them as unpaired either way; but DRFrlx lets the
+	// *relaxed* version overlap. With unpaired labels both serialize.
+	if d1.Stats.Cycles != dr.Stats.Cycles {
+		t.Errorf("unpaired atomics must serialize identically under DRF1 (%d) and DRFrlx (%d)",
+			d1.Stats.Cycles, dr.Stats.Cycles)
+	}
+}
+
+func TestCPUFasterIssue(t *testing.T) {
+	// The CPU issues several ops per GPU cycle (clock ratio).
+	mk := func(cpu bool) *trace.Trace {
+		tr := trace.New("cpu-rate")
+		var w *trace.Warp
+		if cpu {
+			w = tr.AddCPUThread()
+		} else {
+			w = tr.AddWarp(0)
+		}
+		for i := 0; i < 60; i++ {
+			w.Compute(0)
+		}
+		return tr
+	}
+	gpu := mustRun(t, denovoCfg(core.DRF0), mk(false))
+	cpu := mustRun(t, denovoCfg(core.DRF0), mk(true))
+	if cpu.Stats.Cycles >= gpu.Stats.Cycles {
+		t.Errorf("CPU (%d cycles) should outpace a GPU warp (%d) on scalar compute",
+			cpu.Stats.Cycles, gpu.Stats.Cycles)
+	}
+}
+
+func TestMaxCyclesGuard(t *testing.T) {
+	cfg := gpuCfg(core.DRF0)
+	cfg.MaxCycles = 10
+	tr := trace.New("too-long")
+	tr.AddWarp(0).Compute(100).Load(core.Data, 0x1000)
+	if _, err := RunTrace(cfg, tr); err == nil {
+		t.Fatal("expected MaxCycles error")
+	}
+}
+
+func TestFunctionalCheckFailureSurfaces(t *testing.T) {
+	tr := trace.New("bad-check")
+	tr.AddWarp(0).Atomic(core.Commutative, core.OpInc, 0, 0x4000)
+	tr.FinalCheck = func(read func(uint64) int64) error {
+		if read(0x4000) != 999 {
+			return errExpected
+		}
+		return nil
+	}
+	if _, err := RunTrace(gpuCfg(core.DRF0), tr); err == nil {
+		t.Fatal("functional check failure not surfaced")
+	}
+}
+
+var errExpected = errFor("expected failure")
+
+type errFor string
+
+func (e errFor) Error() string { return string(e) }
+
+func TestBarrierWithRetiredWarps(t *testing.T) {
+	// One warp retires before the others barrier: the barrier must still
+	// resolve among the live warps.
+	tr := trace.New("partial-barrier")
+	tr.AddWarp(0).Compute(1) // retires immediately, no barrier
+	a := tr.AddWarp(1)
+	a.Atomic(core.Commutative, core.OpInc, 0, 0x4000)
+	a.Barrier()
+	b := tr.AddWarp(2)
+	b.Compute(500) // arrives late
+	b.Barrier()
+	res := mustRun(t, gpuCfg(core.DRFrlx), tr)
+	if res.Read(0x4000) != 1 {
+		t.Fatal("barrier workload corrupted")
+	}
+}
+
+func TestDiscreteConfigSlower(t *testing.T) {
+	tr := func() *trace.Trace {
+		t := trace.New("d")
+		t.AddWarp(0).Atomic(core.Paired, core.OpInc, 0, 0x4000).
+			Atomic(core.Paired, core.OpInc, 0, 0x4000)
+		return t
+	}
+	integrated := mustRun(t, gpuCfg(core.DRF0), tr())
+	discrete := mustRun(t, memsys.Discrete(core.DRF0), tr())
+	if discrete.Stats.Cycles <= integrated.Stats.Cycles {
+		t.Errorf("discrete config (%d cycles) should be slower than integrated (%d)",
+			discrete.Stats.Cycles, integrated.Stats.Cycles)
+	}
+}
+
+func TestHRFLocalScopeAtomics(t *testing.T) {
+	// Work-group-scoped atomics perform at the L1 with no coherence
+	// traffic under both protocols, and no acquire invalidations fire.
+	for _, proto := range []memsys.Protocol{memsys.ProtoGPU, memsys.ProtoDeNovo} {
+		tr := trace.New("hrf")
+		w := tr.AddWarp(0)
+		w.Load(core.Data, 0x100) // warm a line
+		w.Join()
+		for i := 0; i < 4; i++ {
+			w.AtomicScoped(trace.ScopeLocal, core.Paired, core.OpInc, 0, 0x4000)
+		}
+		cfg := memsys.Default(proto, core.DRF0)
+		res := mustRun(t, cfg, tr)
+		if res.Read(0x4000) != 4 {
+			t.Fatalf("%v: count = %d", proto, res.Read(0x4000))
+		}
+		if res.Stats.AtomicsAtL1 != 4 || res.Stats.AtomicsAtL2 != 0 {
+			t.Errorf("%v: scoped atomics at L1=%d L2=%d, want 4/0", proto, res.Stats.AtomicsAtL1, res.Stats.AtomicsAtL2)
+		}
+		if res.Stats.AcquireInvalidations != 0 || res.Stats.ReleaseFlushes != 0 {
+			t.Errorf("%v: scoped atomics performed global consistency actions", proto)
+		}
+		if res.Stats.OwnershipRequests != 0 {
+			t.Errorf("%v: scoped atomics requested ownership", proto)
+		}
+	}
+}

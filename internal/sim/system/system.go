@@ -1,0 +1,278 @@
+// Package system assembles the full simulated machine of Table 2 — mesh,
+// L1s, L2 banks, CUs, CPU — and runs a workload trace to completion under
+// a chosen coherence protocol and consistency model, producing timing,
+// event, and energy statistics.
+package system
+
+import (
+	"container/heap"
+	"fmt"
+
+	"rats/internal/energy"
+	"rats/internal/sim/cu"
+	"rats/internal/sim/memsys"
+	"rats/internal/sim/noc"
+	"rats/internal/stats"
+	"rats/internal/trace"
+)
+
+// event is a scheduled callback.
+type event struct {
+	cycle int64
+	seq   int64
+	fn    func(int64)
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].cycle != q[j].cycle {
+		return q[i].cycle < q[j].cycle
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	v := old[n-1]
+	*q = old[:n-1]
+	return v
+}
+
+// System is one assembled machine instance.
+type System struct {
+	Cfg   memsys.Config
+	env   *memsys.Env
+	mesh  *noc.Mesh
+	l1s   []*memsys.L1
+	l2s   []*memsys.L2Bank
+	cus   []*cu.CU
+	stats stats.Stats
+
+	events eventQueue
+	evSeq  int64
+	cycle  int64
+	txnSeq int64
+	tr     *trace.Trace
+}
+
+// Result is the outcome of a simulation run.
+type Result struct {
+	Name   string
+	Cfg    memsys.Config
+	Stats  stats.Stats
+	Energy energy.Breakdown
+	// Read returns the final functional value of a word address.
+	Read func(addr uint64) int64
+}
+
+// New builds the machine for a configuration.
+func New(cfg memsys.Config) *System {
+	s := &System{Cfg: cfg}
+	s.mesh = noc.NewMesh(cfg.MeshWidth, cfg.MeshHeight, cfg.HopLat, &s.stats)
+	s.env = &memsys.Env{
+		Cfg:    &s.Cfg,
+		Mesh:   s.mesh,
+		Stats:  &s.stats,
+		Values: map[uint64]int64{},
+		At:     s.at,
+	}
+	for n := 0; n < cfg.Nodes(); n++ {
+		l1 := memsys.NewL1(s.env, n)
+		l2 := memsys.NewL2Bank(s.env, n)
+		s.l1s = append(s.l1s, l1)
+		s.l2s = append(s.l2s, l2)
+		s.cus = append(s.cus, cu.New(s.env, n, l1, &s.txnSeq))
+		node := n
+		s.mesh.SetReceiver(n, func(m noc.Message) { s.deliver(node, m) })
+	}
+	return s
+}
+
+// at schedules fn at the given cycle (clamped to the future so handlers
+// never re-enter the current cycle's processing).
+func (s *System) at(cycle int64, fn func(int64)) {
+	if cycle <= s.cycle {
+		cycle = s.cycle + 1
+	}
+	s.evSeq++
+	heap.Push(&s.events, event{cycle: cycle, seq: s.evSeq, fn: fn})
+}
+
+// deliver routes a network message to the right component: L2 requests go
+// to the bank, everything else to the L1.
+func (s *System) deliver(node int, m noc.Message) {
+	if memsys.IsL2Request(m.Payload) {
+		s.l2s[node].Handle(s.cycle, m.Payload)
+		return
+	}
+	s.l1s[node].Handle(s.cycle, m.Payload)
+}
+
+// Load places a trace's warps onto the machine and seeds the value layer.
+func (s *System) Load(tr *trace.Trace) error {
+	s.tr = tr
+	for addr, v := range tr.Init {
+		s.env.Values[s.Cfg.WordAddr(addr)] = v
+	}
+	for _, w := range tr.Warps {
+		node := w.CU
+		if w.IsCPU {
+			node = s.Cfg.CPUNode
+		} else if node < 0 || node >= s.Cfg.NumCUs {
+			return fmt.Errorf("system: warp placed on CU %d (have %d CUs)", node, s.Cfg.NumCUs)
+		}
+		s.cus[node].AddWarp(w)
+	}
+	return nil
+}
+
+// Run executes the loaded trace to completion and returns the result.
+func (s *System) Run() (*Result, error) {
+	if s.tr == nil {
+		return nil, fmt.Errorf("system: no trace loaded")
+	}
+	for {
+		if s.done() {
+			break
+		}
+		s.cycle++
+		if s.cycle > s.Cfg.MaxCycles {
+			return nil, fmt.Errorf("system: exceeded %d cycles running %s (deadlock?)", s.Cfg.MaxCycles, s.tr.Name)
+		}
+		// 1. Run scheduled events.
+		for s.events.Len() > 0 && s.events[0].cycle <= s.cycle {
+			e := heap.Pop(&s.events).(event)
+			e.fn(s.cycle)
+		}
+		// 2. Deliver network messages.
+		s.mesh.Tick(s.cycle)
+		// 3. L1 store-buffer drains and flush callbacks.
+		for _, l1 := range s.l1s {
+			l1.Tick(s.cycle)
+		}
+		// 4. Device-wide barrier resolution.
+		s.resolveBarrier()
+		// 5. CUs issue.
+		for _, c := range s.cus {
+			c.Tick(s.cycle)
+		}
+		// 6. Fast-forward over provably idle cycles.
+		s.fastForward()
+	}
+	s.stats.Cycles = s.cycle
+	res := &Result{
+		Name:   s.tr.Name,
+		Cfg:    s.Cfg,
+		Stats:  s.stats,
+		Energy: energy.Compute(&s.stats, energy.DefaultModel()),
+		Read:   func(addr uint64) int64 { return s.env.Values[s.Cfg.WordAddr(addr)] },
+	}
+	if s.tr.FinalCheck != nil {
+		if err := s.tr.FinalCheck(res.Read); err != nil {
+			return res, fmt.Errorf("system: functional check failed for %s: %w", s.tr.Name, err)
+		}
+	}
+	return res, nil
+}
+
+// done reports whether every warp has retired and the machine is idle.
+func (s *System) done() bool {
+	if s.mesh.Pending() || s.events.Len() > 0 {
+		return false
+	}
+	for _, c := range s.cus {
+		if !c.Done() {
+			return false
+		}
+	}
+	for _, l1 := range s.l1s {
+		if !l1.Quiesced() {
+			return false
+		}
+	}
+	return true
+}
+
+// resolveBarrier implements the device-wide barrier: when every live warp
+// has arrived and every store buffer has drained, all L1s self-invalidate
+// (barriers carry paired acquire+release semantics under every model) and
+// the warps resume.
+func (s *System) resolveBarrier() {
+	waiting := 0
+	for _, c := range s.cus {
+		waiting += c.BarrierWaiters()
+	}
+	if waiting == 0 {
+		return
+	}
+	live := 0
+	for _, c := range s.cus {
+		live += c.NumWarps()
+	}
+	// Warps that already retired no longer participate.
+	retired := 0
+	for _, c := range s.cus {
+		retired += c.RetiredWarps()
+	}
+	if waiting < live-retired {
+		return
+	}
+	for _, l1 := range s.l1s {
+		if !l1.SBDrained() {
+			return
+		}
+	}
+	if s.mesh.Pending() {
+		// Let in-flight traffic (write-through acks, atomics) settle.
+		return
+	}
+	for _, l1 := range s.l1s {
+		l1.AcquireInvalidate()
+	}
+	for _, c := range s.cus {
+		c.ReleaseBarrier()
+	}
+}
+
+// fastForward advances the clock over cycles where nothing can happen:
+// no CU can issue, so the next interesting cycle is the earliest event,
+// message arrival, or compute completion.
+func (s *System) fastForward() {
+	next := int64(-1)
+	min := func(t int64) {
+		if t >= 0 && (next < 0 || t < next) {
+			next = t
+		}
+	}
+	for _, c := range s.cus {
+		w := c.NextWake(s.cycle)
+		if w >= 0 {
+			min(w)
+		}
+	}
+	for _, l1 := range s.l1s {
+		if !l1.SBDrained() {
+			min(s.cycle + 1)
+		}
+	}
+	if s.events.Len() > 0 {
+		min(s.events[0].cycle)
+	}
+	min(s.mesh.NextArrival())
+	if next > s.cycle+1 {
+		s.cycle = next - 1
+	}
+}
+
+// RunTrace is the one-call convenience API: build, load, run.
+func RunTrace(cfg memsys.Config, tr *trace.Trace) (*Result, error) {
+	s := New(cfg)
+	if err := s.Load(tr); err != nil {
+		return nil, err
+	}
+	return s.Run()
+}

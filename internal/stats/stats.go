@@ -1,0 +1,130 @@
+// Package stats collects the event counts the simulator produces and the
+// energy model consumes. All counters are plain int64s incremented by the
+// single-threaded simulation loop.
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Stats is the full counter set for one simulation run.
+type Stats struct {
+	// Cycles is the total execution time in GPU cycles.
+	Cycles int64
+
+	// Core-side events.
+	CoreOps         int64 // instructions issued by CUs/CPU (incl. compute)
+	ScratchAccesses int64
+
+	// L1 events.
+	L1Accesses int64
+	L1Hits     int64
+	L1Misses   int64
+
+	// L2 events.
+	L2Accesses int64
+	L2Hits     int64
+	L2Misses   int64
+
+	// DRAM events.
+	DRAMAccesses int64
+
+	// NoC traffic.
+	NoCMessages int64
+	NoCFlitHops int64
+
+	// Atomics.
+	Atomics     int64 // atomic transactions performed
+	AtomicsAtL1 int64 // performed locally after ownership (DeNovo)
+	AtomicsAtL2 int64 // performed at the LLC (GPU coherence)
+
+	// Consistency actions.
+	AcquireInvalidations int64 // flash self-invalidations at atomic loads
+	LinesInvalidated     int64
+	ReleaseFlushes       int64 // store-buffer flushes at atomic stores
+
+	// Protocol events.
+	OwnershipRequests int64
+	RemoteL1Forwards  int64
+	MSHRCoalesced     int64 // requests merged into an existing MSHR entry
+	Writebacks        int64
+
+	// Stall accounting (approximate, for diagnostics).
+	StoreBufferFullStalls int64
+	WarpIssueStalls       int64
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(o *Stats) {
+	s.Cycles += o.Cycles
+	s.CoreOps += o.CoreOps
+	s.ScratchAccesses += o.ScratchAccesses
+	s.L1Accesses += o.L1Accesses
+	s.L1Hits += o.L1Hits
+	s.L1Misses += o.L1Misses
+	s.L2Accesses += o.L2Accesses
+	s.L2Hits += o.L2Hits
+	s.L2Misses += o.L2Misses
+	s.DRAMAccesses += o.DRAMAccesses
+	s.NoCMessages += o.NoCMessages
+	s.NoCFlitHops += o.NoCFlitHops
+	s.Atomics += o.Atomics
+	s.AtomicsAtL1 += o.AtomicsAtL1
+	s.AtomicsAtL2 += o.AtomicsAtL2
+	s.AcquireInvalidations += o.AcquireInvalidations
+	s.LinesInvalidated += o.LinesInvalidated
+	s.ReleaseFlushes += o.ReleaseFlushes
+	s.OwnershipRequests += o.OwnershipRequests
+	s.RemoteL1Forwards += o.RemoteL1Forwards
+	s.MSHRCoalesced += o.MSHRCoalesced
+	s.Writebacks += o.Writebacks
+	s.StoreBufferFullStalls += o.StoreBufferFullStalls
+	s.WarpIssueStalls += o.WarpIssueStalls
+}
+
+// Rows returns the counters as sorted name/value pairs for reporting.
+func (s *Stats) Rows() []struct {
+	Name  string
+	Value int64
+} {
+	rows := []struct {
+		Name  string
+		Value int64
+	}{
+		{"cycles", s.Cycles},
+		{"core_ops", s.CoreOps},
+		{"scratch_accesses", s.ScratchAccesses},
+		{"l1_accesses", s.L1Accesses},
+		{"l1_hits", s.L1Hits},
+		{"l1_misses", s.L1Misses},
+		{"l2_accesses", s.L2Accesses},
+		{"l2_hits", s.L2Hits},
+		{"l2_misses", s.L2Misses},
+		{"dram_accesses", s.DRAMAccesses},
+		{"noc_messages", s.NoCMessages},
+		{"noc_flit_hops", s.NoCFlitHops},
+		{"atomics", s.Atomics},
+		{"atomics_at_l1", s.AtomicsAtL1},
+		{"atomics_at_l2", s.AtomicsAtL2},
+		{"acquire_invalidations", s.AcquireInvalidations},
+		{"lines_invalidated", s.LinesInvalidated},
+		{"release_flushes", s.ReleaseFlushes},
+		{"ownership_requests", s.OwnershipRequests},
+		{"remote_l1_forwards", s.RemoteL1Forwards},
+		{"mshr_coalesced", s.MSHRCoalesced},
+		{"writebacks", s.Writebacks},
+		{"store_buffer_full_stalls", s.StoreBufferFullStalls},
+		{"warp_issue_stalls", s.WarpIssueStalls},
+	}
+	return rows
+}
+
+// String renders the counters one per line.
+func (s *Stats) String() string {
+	var b strings.Builder
+	for _, r := range s.Rows() {
+		fmt.Fprintf(&b, "%-26s %12d\n", r.Name, r.Value)
+	}
+	return b.String()
+}

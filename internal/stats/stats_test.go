@@ -1,0 +1,56 @@
+package stats
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestAddAccumulatesEveryField(t *testing.T) {
+	// Fill a with 1s via reflection, add to b twice, and check every
+	// int64 field doubled — this keeps Add() honest as fields grow.
+	var a, b Stats
+	av := reflect.ValueOf(&a).Elem()
+	for i := 0; i < av.NumField(); i++ {
+		if av.Field(i).Kind() == reflect.Int64 {
+			av.Field(i).SetInt(int64(i + 1))
+		}
+	}
+	b.Add(&a)
+	b.Add(&a)
+	bv := reflect.ValueOf(&b).Elem()
+	for i := 0; i < bv.NumField(); i++ {
+		if bv.Field(i).Kind() != reflect.Int64 {
+			continue
+		}
+		if got, want := bv.Field(i).Int(), 2*int64(i+1); got != want {
+			t.Errorf("field %s = %d after two Adds, want %d (Add() missing a field?)",
+				bv.Type().Field(i).Name, got, want)
+		}
+	}
+}
+
+func TestRowsCoverEveryField(t *testing.T) {
+	var s Stats
+	n := 0
+	sv := reflect.ValueOf(s)
+	for i := 0; i < sv.NumField(); i++ {
+		if sv.Field(i).Kind() == reflect.Int64 {
+			n++
+		}
+	}
+	if got := len(s.Rows()); got != n {
+		t.Errorf("Rows() has %d entries, struct has %d int64 fields", got, n)
+	}
+}
+
+func TestStringContainsCounters(t *testing.T) {
+	s := Stats{Cycles: 42, Atomics: 7}
+	out := s.String()
+	if !strings.Contains(out, "cycles") || !strings.Contains(out, "42") {
+		t.Error("String() missing cycles")
+	}
+	if !strings.Contains(out, "atomics") || !strings.Contains(out, "7") {
+		t.Error("String() missing atomics")
+	}
+}

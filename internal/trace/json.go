@@ -1,0 +1,150 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"rats/internal/core"
+)
+
+// JSON serialization for traces, so generated workloads can be dumped,
+// inspected, diffed, and replayed (`ratsim -dump`). FinalCheck is a
+// function and is not serialized; a reloaded trace runs without its
+// functional check.
+
+type jsonOp struct {
+	Kind     string   `json:"kind"`
+	Cycles   int      `json:"cycles,omitempty"`
+	Class    string   `json:"class,omitempty"`
+	AOp      string   `json:"aop,omitempty"`
+	Operand  int64    `json:"operand,omitempty"`
+	Operands []int64  `json:"operands,omitempty"`
+	Addrs    []uint64 `json:"addrs,omitempty"`
+}
+
+type jsonWarp struct {
+	CU    int      `json:"cu"`
+	IsCPU bool     `json:"cpu,omitempty"`
+	Ops   []jsonOp `json:"ops"`
+}
+
+type jsonTrace struct {
+	Name  string           `json:"name"`
+	Init  map[string]int64 `json:"init,omitempty"`
+	Warps []jsonWarp       `json:"warps"`
+}
+
+var kindNames = map[Kind]string{
+	Compute: "compute", Load: "load", Store: "store", Atomic: "atomic",
+	ScratchLoad: "scratch-load", ScratchStore: "scratch-store",
+	Barrier: "barrier", Join: "join",
+}
+
+var kindByName = func() map[string]Kind {
+	m := map[string]Kind{}
+	for k, n := range kindNames {
+		m[n] = k
+	}
+	return m
+}()
+
+var aopNames = map[core.AtomicOp]string{
+	core.OpLoad: "load", core.OpStore: "store", core.OpAdd: "add",
+	core.OpSub: "sub", core.OpInc: "inc", core.OpDec: "dec",
+	core.OpAnd: "and", core.OpOr: "or", core.OpXor: "xor",
+	core.OpMin: "min", core.OpMax: "max", core.OpExchange: "xchg",
+	core.OpCAS: "cas",
+}
+
+var aopByName = func() map[string]core.AtomicOp {
+	m := map[string]core.AtomicOp{}
+	for k, n := range aopNames {
+		m[n] = k
+	}
+	return m
+}()
+
+// EncodeJSON writes the trace as JSON.
+func (t *Trace) EncodeJSON(w io.Writer) error {
+	jt := jsonTrace{Name: t.Name}
+	if len(t.Init) > 0 {
+		jt.Init = map[string]int64{}
+		for a, v := range t.Init {
+			jt.Init[strconv.FormatUint(a, 10)] = v
+		}
+	}
+	for _, warp := range t.Warps {
+		jw := jsonWarp{CU: warp.CU, IsCPU: warp.IsCPU}
+		for _, op := range warp.Ops {
+			jo := jsonOp{
+				Kind:     kindNames[op.Kind],
+				Cycles:   op.Cycles,
+				Operand:  op.Operand,
+				Operands: op.Operands,
+				Addrs:    op.Addrs,
+			}
+			if op.Kind.IsMem() {
+				jo.Class = op.Class.String()
+				jo.AOp = aopNames[op.AOp]
+			}
+			jw.Ops = append(jw.Ops, jo)
+		}
+		jt.Warps = append(jt.Warps, jw)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(jt)
+}
+
+// DecodeJSON reads a trace written by EncodeJSON. FinalCheck is nil.
+func DecodeJSON(r io.Reader) (*Trace, error) {
+	var jt jsonTrace
+	if err := json.NewDecoder(r).Decode(&jt); err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	t := New(jt.Name)
+	for a, v := range jt.Init {
+		addr, err := strconv.ParseUint(a, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("trace: bad init address %q", a)
+		}
+		t.Init[addr] = v
+	}
+	for wi, jw := range jt.Warps {
+		var w *Warp
+		if jw.IsCPU {
+			w = t.AddCPUThread()
+		} else {
+			w = t.AddWarp(jw.CU)
+		}
+		for oi, jo := range jw.Ops {
+			kind, ok := kindByName[jo.Kind]
+			if !ok {
+				return nil, fmt.Errorf("trace: warp %d op %d: unknown kind %q", wi, oi, jo.Kind)
+			}
+			op := Op{Kind: kind, Cycles: jo.Cycles, Operand: jo.Operand, Operands: jo.Operands, Addrs: jo.Addrs}
+			if kind.IsMem() {
+				class, err := core.ParseClass(jo.Class)
+				if err != nil {
+					return nil, fmt.Errorf("trace: warp %d op %d: %w", wi, oi, err)
+				}
+				aop, ok := aopByName[jo.AOp]
+				if !ok {
+					return nil, fmt.Errorf("trace: warp %d op %d: unknown atomic op %q", wi, oi, jo.AOp)
+				}
+				op.Class = class
+				op.AOp = aop
+				if len(op.Addrs) == 0 {
+					return nil, fmt.Errorf("trace: warp %d op %d: memory op without addresses", wi, oi)
+				}
+				if op.Operands != nil && len(op.Operands) != len(op.Addrs) {
+					return nil, fmt.Errorf("trace: warp %d op %d: operands/addrs length mismatch", wi, oi)
+				}
+			}
+			w.Ops = append(w.Ops, op)
+		}
+	}
+	return t, nil
+}

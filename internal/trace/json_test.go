@@ -1,0 +1,92 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"rats/internal/core"
+)
+
+func sampleTrace() *Trace {
+	tr := New("sample")
+	tr.Init[0x4000] = 7
+	w := tr.AddWarp(3)
+	w.Compute(10)
+	w.Load(core.Data, 0x1000, 0x1040)
+	w.Join()
+	w.Store(core.Data, 0x2000)
+	w.Atomic(core.Commutative, core.OpAdd, 2, 0x3000, 0x3004)
+	w.AtomicLanes(core.Quantum, core.OpAdd, []uint64{0x5000, 0x5004}, []int64{1, 9})
+	w.ScratchAccess(ScratchStore, 1)
+	w.Barrier()
+	cpu := tr.AddCPUThread()
+	cpu.AtomicStore(core.NonOrdering, 0x6000, 1)
+	return tr
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	orig := sampleTrace()
+	var buf bytes.Buffer
+	if err := orig.EncodeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != orig.Name {
+		t.Error("name lost")
+	}
+	if back.Init[0x4000] != 7 {
+		t.Error("init lost")
+	}
+	if len(back.Warps) != len(orig.Warps) {
+		t.Fatalf("warp count %d", len(back.Warps))
+	}
+	for wi := range orig.Warps {
+		ow, bw := orig.Warps[wi], back.Warps[wi]
+		if ow.CU != bw.CU || ow.IsCPU != bw.IsCPU || len(ow.Ops) != len(bw.Ops) {
+			t.Fatalf("warp %d shape differs", wi)
+		}
+		for oi := range ow.Ops {
+			oo, bo := ow.Ops[oi], bw.Ops[oi]
+			if oo.Kind != bo.Kind || oo.Class != bo.Class || oo.AOp != bo.AOp ||
+				oo.Cycles != bo.Cycles || oo.Operand != bo.Operand ||
+				len(oo.Addrs) != len(bo.Addrs) || len(oo.Operands) != len(bo.Operands) {
+				t.Fatalf("warp %d op %d differs: %+v vs %+v", wi, oi, oo, bo)
+			}
+		}
+	}
+}
+
+func TestJSONHumanReadable(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleTrace().EncodeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"commutative"`, `"atomic"`, `"barrier"`, `"cpu": true`, `"16384"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("JSON missing %s", want)
+		}
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	for _, tc := range []struct {
+		src, want string
+	}{
+		{`{`, "trace:"},
+		{`{"warps":[{"ops":[{"kind":"bogus"}]}]}`, "unknown kind"},
+		{`{"warps":[{"ops":[{"kind":"load","class":"bogus","aop":"load","addrs":[1]}]}]}`, "unknown access class"},
+		{`{"warps":[{"ops":[{"kind":"load","class":"data","aop":"bogus","addrs":[1]}]}]}`, "unknown atomic op"},
+		{`{"warps":[{"ops":[{"kind":"load","class":"data","aop":"load"}]}]}`, "without addresses"},
+		{`{"init":{"xyz":1}}`, "bad init address"},
+		{`{"warps":[{"ops":[{"kind":"atomic","class":"data","aop":"add","addrs":[1,2],"operands":[1]}]}]}`, "length mismatch"},
+	} {
+		if _, err := DecodeJSON(strings.NewReader(tc.src)); err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("DecodeJSON(%q) err=%v, want containing %q", tc.src, err, tc.want)
+		}
+	}
+}

@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"testing"
+
+	"rats/internal/core"
+)
+
+func TestBuilders(t *testing.T) {
+	tr := New("t")
+	w := tr.AddWarp(3)
+	w.Compute(10).
+		Load(core.Data, 0x100, 0x104).
+		Join().
+		Store(core.Data, 0x200).
+		Atomic(core.Commutative, core.OpAdd, 2, 0x300).
+		AtomicLoad(core.NonOrdering, 0x304).
+		AtomicStore(core.Speculative, 0x308, 9).
+		ScratchAccess(ScratchStore, 2).
+		Barrier()
+	if w.CU != 3 || w.IsCPU {
+		t.Fatal("warp placement wrong")
+	}
+	kinds := []Kind{Compute, Load, Join, Store, Atomic, Atomic, Atomic, ScratchStore, ScratchStore, Barrier}
+	if len(w.Ops) != len(kinds) {
+		t.Fatalf("op count %d, want %d", len(w.Ops), len(kinds))
+	}
+	for i, k := range kinds {
+		if w.Ops[i].Kind != k {
+			t.Errorf("op %d kind %v, want %v", i, w.Ops[i].Kind, k)
+		}
+	}
+	if tr.NumOps() != len(kinds) {
+		t.Errorf("NumOps = %d", tr.NumOps())
+	}
+	cpu := tr.AddCPUThread()
+	if !cpu.IsCPU {
+		t.Error("CPU thread flag missing")
+	}
+}
+
+func TestAtomicLanes(t *testing.T) {
+	tr := New("t")
+	w := tr.AddWarp(0)
+	w.AtomicLanes(core.Commutative, core.OpAdd, []uint64{0, 4}, []int64{3, 5})
+	op := w.Ops[0]
+	if op.Operands[0] != 3 || op.Operands[1] != 5 {
+		t.Fatal("per-lane operands lost")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("length mismatch should panic")
+		}
+	}()
+	w.AtomicLanes(core.Commutative, core.OpAdd, []uint64{0}, []int64{1, 2})
+}
+
+func TestKindPredicates(t *testing.T) {
+	mem := map[Kind]bool{Load: true, Store: true, Atomic: true}
+	for _, k := range []Kind{Compute, Load, Store, Atomic, ScratchLoad, ScratchStore, Barrier, Join} {
+		if k.IsMem() != mem[k] {
+			t.Errorf("%v.IsMem() = %v", k, k.IsMem())
+		}
+		if k.String() == "" || k.String()[0] == 'K' {
+			t.Errorf("%v has no name", k)
+		}
+	}
+	if Kind(99).String() != "Kind(99)" {
+		t.Error("unknown kind string wrong")
+	}
+}
+
+func TestAtomicStoreSemantics(t *testing.T) {
+	tr := New("t")
+	w := tr.AddWarp(0)
+	w.AtomicStore(core.Quantum, 0x10, 7)
+	op := w.Ops[0]
+	if op.AOp != core.OpStore || op.Operand != 7 || op.Class != core.Quantum {
+		t.Fatalf("atomic store op wrong: %+v", op)
+	}
+	w.AtomicLoad(core.Unpaired, 0x20)
+	op = w.Ops[1]
+	if op.AOp != core.OpLoad || len(op.Addrs) != 1 {
+		t.Fatalf("atomic load op wrong: %+v", op)
+	}
+}
+
+func TestInitSeeding(t *testing.T) {
+	tr := New("t")
+	tr.Init[0x40] = 9
+	if tr.Init[0x40] != 9 {
+		t.Fatal("init lost")
+	}
+	if tr.Name != "t" {
+		t.Fatal("name lost")
+	}
+}

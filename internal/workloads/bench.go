@@ -1,0 +1,427 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rats/internal/core"
+	"rats/internal/graphs"
+	"rats/internal/trace"
+)
+
+// UTSParams sizes the Unbalanced Tree Search benchmark (16K nodes in the
+// paper).
+type UTSParams struct {
+	CUs   int
+	Warps int // warps per CU
+	Nodes int // tree nodes (target; the generated tree is close)
+	Seed  int64
+	// Polls is the number of unpaired occupancy checks per dequeue — the
+	// Work Queue pattern of Listing 1.
+	Polls int
+	// HRFScopes labels own-queue operations with HRF work-group scope
+	// (the scoped-synchronization alternative of Section 7). The paper
+	// notes UTS is one of the two workloads that could benefit from
+	// scopes; this variant quantifies it.
+	HRFScopes bool
+}
+
+// DefaultUTS returns paper-shaped parameters.
+func DefaultUTS(s Scale) UTSParams {
+	return UTSParams{CUs: 15, Warps: s.pick(2, 4), Nodes: s.pick(600, 4000), Seed: 7, Polls: 2}
+}
+
+// utsTree generates a geometric unbalanced tree: child counts drawn from
+// a skewed distribution, capped at the node budget. It returns each
+// node's child count and parent (-1 for the root).
+func utsTree(p UTSParams) (children, parent []int) {
+	rng := rand.New(rand.NewSource(p.Seed))
+	children = []int{0}
+	parent = []int{-1}
+	budget := p.Nodes - 1
+	grant := func(i, kids int) {
+		if kids > budget {
+			kids = budget
+		}
+		budget -= kids
+		children[i] += kids
+		for k := 0; k < kids; k++ {
+			children = append(children, 0)
+			parent = append(parent, i)
+		}
+	}
+	// UTS roots have a large fixed fan-out.
+	grant(0, 20+rng.Intn(20))
+	for i := 1; i < len(children) && budget > 0; i++ {
+		// Skewed branching: most nodes are leaves, a few fan out widely.
+		switch r := rng.Float64(); {
+		case r < 0.55:
+			// leaf
+		case r < 0.85:
+			grant(i, 1+rng.Intn(2))
+		default:
+			grant(i, 3+rng.Intn(6))
+		}
+	}
+	// If the branching process dies out early, reseed random subtrees
+	// until the node budget is spent.
+	for budget > 0 {
+		grant(rng.Intn(len(children)), 1+rng.Intn(6))
+	}
+	return children, parent
+}
+
+// UTS builds the unbalanced-tree-search benchmark: dynamic load balancing
+// through per-CU work queues with stealing (the paper's UTS uses
+// distributed queues; a node is enqueued on the queue of the CU that
+// expanded its parent, and dequeued by whichever warp processes it —
+// sometimes a remote steal). Occupancy polls are unpaired atomic loads of
+// the warp's own queue (Listing 1: no invalidation under DRF1/DRFrlx, and
+// local atomic reuse under DeNovo); dequeues and enqueues are paired
+// RMWs; node payloads are data accesses.
+func UTS(p UTSParams) *trace.Trace {
+	children, parent := utsTree(p)
+	tr := trace.New("UTS")
+	queueAddr := func(cu int) uint64 { return auxBase + uint64(cu)*256 } // one line per queue
+	nwarps := p.CUs * p.Warps
+	warps := make([]*trace.Warp, nwarps)
+	for w := range warps {
+		warps[w] = tr.AddWarp(w % p.CUs)
+	}
+	warpOf := func(node int) int { return node % nwarps }
+	cuOf := func(node int) int { return warpOf(node) % p.CUs }
+	// enqueueCU[n] is the queue its parent's processor pushed it to.
+	enqueueCU := func(n int) int {
+		if parent[n] < 0 {
+			return 0
+		}
+		return cuOf(parent[n])
+	}
+	tr.Init[queueAddr(0)] = 1 // root enqueued on CU 0's queue
+	rng := rand.New(rand.NewSource(p.Seed + 1))
+	localScope := func(scoped bool) trace.Scope {
+		if scoped && p.HRFScopes {
+			return trace.ScopeLocal
+		}
+		return trace.ScopeGlobal
+	}
+	for node, kids := range children {
+		warp := warps[warpOf(node)]
+		myCU := cuOf(node)
+		// Occupancy polls on the warp's own queue: unpaired atomic loads
+		// (work-group scoped in the HRF variant).
+		for i := 0; i < p.Polls; i++ {
+			warp.AtomicScoped(localScope(true), core.Unpaired, core.OpLoad, 0, queueAddr(myCU))
+			warp.Compute(2)
+		}
+		// Dequeue from the queue holding this node (a steal when the node
+		// was enqueued by another CU): SC read-modify-write; own-queue
+		// dequeues may be work-group scoped.
+		deqCU := enqueueCU(node)
+		warp.AtomicScoped(localScope(deqCU == myCU), core.Paired, core.OpDec, 0, queueAddr(deqCU))
+		// Process the node: payload reads plus unbalanced compute.
+		payload := word(dataBase, node*32)
+		warp.Load(core.Data, payload, payload+64)
+		warp.Join()
+		warp.Compute(10 + rng.Intn(30))
+		// Enqueue children on the local queue: payload writes plus SC
+		// increments (work-group scoped in the HRF variant).
+		for k := 0; k < kids; k++ {
+			warp.Store(core.Data, word(dataBase, (node+k+1)*32))
+			warp.AtomicScoped(localScope(true), core.Paired, core.OpInc, 0, queueAddr(myCU))
+		}
+	}
+	tr.FinalCheck = func(read func(uint64) int64) error {
+		var sum int64
+		for cu := 0; cu < p.CUs; cu++ {
+			sum += read(queueAddr(cu))
+		}
+		if sum != 0 {
+			return fmt.Errorf("work queues sum to %d, want 0", sum)
+		}
+		return nil
+	}
+	return tr
+}
+
+// GraphParams sizes the graph benchmarks.
+type GraphParams struct {
+	CUs   int
+	Warps int // warps per CU
+	// Iters is the PageRank iteration count.
+	Iters int
+}
+
+// DefaultGraph returns paper-shaped parameters.
+func DefaultGraph(s Scale) GraphParams {
+	return GraphParams{CUs: 15, Warps: s.pick(2, 4), Iters: s.pick(2, 3)}
+}
+
+// splitInts partitions a slice across n buckets round-robin by index
+// blocks, preserving locality.
+func splitRange(n, buckets int) [][2]int {
+	out := make([][2]int, buckets)
+	per := (n + buckets - 1) / buckets
+	for b := 0; b < buckets; b++ {
+		lo := b * per
+		hi := lo + per
+		if lo > n {
+			lo = n
+		}
+		if hi > n {
+			hi = n
+		}
+		out[b] = [2]int{lo, hi}
+	}
+	return out
+}
+
+// adjAddrs returns the line-spread addresses of vertex u's adjacency
+// list entries (int32 each).
+func adjAddr(g *graphs.Graph, u int, k int) uint64 {
+	// Lay adjacency lists contiguously by vertex with 64-entry alignment
+	// to mimic CSR layout.
+	return adjBase + uint64(u)*256 + uint64(k)*4
+}
+
+// BC builds Brandes-style betweenness centrality (Pannotia): a forward
+// BFS phase accumulating shortest-path counts (sigma) with commutative
+// adds and non-ordering distance checks, followed by a backward
+// dependency-accumulation phase that re-reads the adjacency lists (the
+// cross-phase data reuse DRF1 unlocks) and accumulates delta with
+// commutative adds. One device barrier per level in each phase. The
+// functional check verifies both sigma and delta against the sequential
+// reference.
+func BC(g *graphs.Graph, p GraphParams) *trace.Trace {
+	tr := trace.New("BC-" + g.Name)
+	level, levels := g.BFS(0)
+	sigmaRef := g.SigmaCounts(0)
+
+	// sigma accumulates in the simulator starting from sigma[0]=1.
+	tr.Init[word(rankBase, 0)] = 0 // sigma array zeroed; root handled below
+	nwarps := p.CUs * p.Warps
+	warps := make([]*trace.Warp, nwarps)
+	for w := range warps {
+		warps[w] = tr.AddWarp(w % p.CUs)
+	}
+	// Root bootstrap.
+	warps[0].Atomic(core.Commutative, core.OpAdd, 1, word(rankBase, 0))
+
+	// sigmaAt tracks the sequential sigma value as levels complete, so
+	// the generated operands reproduce the reference computation.
+	sigma := make([]int64, g.N())
+	sigma[0] = 1
+	for _, frontier := range levels {
+		// Distribute this level's vertices across warps.
+		for wi, span := range splitRange(len(frontier), nwarps) {
+			warp := warps[wi]
+			for fi := span[0]; fi < span[1]; fi++ {
+				u := int(frontier[fi])
+				// Read the adjacency list (data; reusable across phases).
+				deg := len(g.Adj[u])
+				for k := 0; k < deg; k += 16 {
+					warp.Load(core.Data, adjAddr(g, u, k))
+				}
+				// Check neighbour distances (non-ordering loads), then
+				// accumulate sigma into next-level neighbours
+				// (commutative adds).
+				var dstAddrs, distAddrs []uint64
+				var ops []int64
+				for _, v := range g.Adj[u] {
+					distAddrs = append(distAddrs, word(rankBase, g.N()+int(v)))
+					if level[v] == level[u]+1 {
+						dstAddrs = append(dstAddrs, word(rankBase, int(v)))
+						ops = append(ops, sigma[u])
+					}
+				}
+				for _, ch := range chunk32(len(distAddrs)) {
+					warp.Atomic(core.NonOrdering, core.OpLoad, 0, distAddrs[ch[0]:ch[1]]...)
+				}
+				for _, ch := range chunk32(len(dstAddrs)) {
+					warp.AtomicLanes(core.Commutative, core.OpAdd, dstAddrs[ch[0]:ch[1]], ops[ch[0]:ch[1]])
+				}
+				warp.Compute(2 + deg/8)
+			}
+		}
+		// Level barrier for every warp.
+		for _, warp := range warps {
+			warp.Barrier()
+		}
+		// Advance the reference sigma past this level.
+		for _, u := range frontier {
+			for _, v := range g.Adj[u] {
+				if level[v] == level[u]+1 {
+					sigma[v] += sigma[u]
+				}
+			}
+		}
+	}
+	// Backward phase: dependency accumulation in reverse level order.
+	// delta[u] += (sigma[u] * (scale + delta[v])) / (sigma[v] * scale)
+	// in fixed point; operands are generator-computed so the simulated
+	// adds reproduce the sequential reference exactly.
+	const deltaScale = 1 << 10
+	deltaBase := g.N() * 2 // delta array after sigma and dist arrays
+	delta := make([]int64, g.N())
+	for li := len(levels) - 1; li >= 1; li-- {
+		for wi, span := range splitRange(len(levels[li]), nwarps) {
+			warp := warps[wi]
+			for fi := span[0]; fi < span[1]; fi++ {
+				v := int(levels[li][fi])
+				deg := len(g.Adj[v])
+				// Re-read the adjacency list (reuse from the forward
+				// phase under DRF1/DRFrlx).
+				for k := 0; k < deg; k += 16 {
+					warp.Load(core.Data, adjAddr(g, v, k))
+				}
+				var dstAddrs, sigAddrs []uint64
+				var ops []int64
+				for _, u := range g.Adj[v] {
+					if level[u] == level[v]-1 {
+						sigAddrs = append(sigAddrs, word(rankBase, int(u)))
+						// Fixed point: sigma[u]/sigma[v] * (1 + delta[v]),
+						// everything scaled by deltaScale.
+						c := sigma[u] * (deltaScale + delta[v]) / sigma[v]
+						dstAddrs = append(dstAddrs, word(rankBase, deltaBase+int(u)))
+						ops = append(ops, c)
+					}
+				}
+				for _, ch := range chunk32(len(sigAddrs)) {
+					warp.Atomic(core.NonOrdering, core.OpLoad, 0, sigAddrs[ch[0]:ch[1]]...)
+				}
+				for _, ch := range chunk32(len(dstAddrs)) {
+					warp.AtomicLanes(core.Commutative, core.OpAdd, dstAddrs[ch[0]:ch[1]], ops[ch[0]:ch[1]])
+				}
+				warp.Compute(2 + deg/8)
+			}
+		}
+		for _, warp := range warps {
+			warp.Barrier()
+		}
+		// Advance the reference delta past this level.
+		for _, v := range levels[li] {
+			for _, u := range g.Adj[v] {
+				if level[u] == level[v]-1 {
+					delta[u] += sigma[u] * (deltaScale + delta[v]) / sigma[v]
+				}
+			}
+		}
+	}
+	tr.FinalCheck = func(read func(uint64) int64) error {
+		for v := 0; v < g.N(); v++ {
+			if got := read(word(rankBase, v)); got != sigmaRef[v] {
+				return fmt.Errorf("sigma[%d] = %d, want %d", v, got, sigmaRef[v])
+			}
+			if got := read(word(rankBase, deltaBase+v)); got != delta[v] {
+				return fmt.Errorf("delta[%d] = %d, want %d", v, got, delta[v])
+			}
+		}
+		return nil
+	}
+	return tr
+}
+
+// PR builds Pannotia-style PageRank: each iteration scatters every
+// vertex's contribution to its neighbours with commutative atomic adds,
+// re-reading the adjacency lists (the data-reuse DRF1 exploits), with a
+// device barrier between iterations. The functional check verifies the
+// final ranks against the sequential fixed-point reference.
+func PR(g *graphs.Graph, p GraphParams) *trace.Trace {
+	tr := trace.New("PR-" + g.Name)
+	const scale = 1 << 16
+	n := g.N()
+	nwarps := p.CUs * p.Warps
+	warps := make([]*trace.Warp, nwarps)
+	for w := range warps {
+		warps[w] = tr.AddWarp(w % p.CUs)
+	}
+
+	// The simulated kernel accumulates every iteration's atomic adds into
+	// one rank-accumulator array; the reference below mirrors that.
+	rank := make([]int64, n)
+	for i := range rank {
+		rank[i] = scale
+	}
+	for it := 0; it < p.Iters; it++ {
+		next := make([]int64, n)
+		base := int64(scale) * 15 / 100
+		for i := range next {
+			next[i] = base
+		}
+		for wi, span := range splitRange(n, nwarps) {
+			warp := warps[wi]
+			for u := span[0]; u < span[1]; u++ {
+				deg := len(g.Adj[u])
+				if deg == 0 {
+					continue
+				}
+				// Re-read this vertex's rank and adjacency (data reuse
+				// across iterations).
+				warp.Load(core.Data, word(dataBase, u))
+				for k := 0; k < deg; k += 16 {
+					warp.Load(core.Data, adjAddr(g, u, k))
+				}
+				contrib := rank[u] * 85 / 100 / int64(deg)
+				var addrs []uint64
+				for _, v := range g.Adj[u] {
+					addrs = append(addrs, word(rankBase, int(v)))
+					next[v] += contrib
+				}
+				for _, ch := range chunk32(len(addrs)) {
+					warp.Atomic(core.Commutative, core.OpAdd, contrib, addrs[ch[0]:ch[1]]...)
+				}
+				warp.Compute(1 + deg/8)
+			}
+		}
+		for _, warp := range warps {
+			warp.Barrier()
+		}
+		// After the barrier, read back the new ranks (data loads).
+		for wi, span := range splitRange(n, nwarps) {
+			warp := warps[wi]
+			for u := span[0]; u < span[1]; u += 16 {
+				warp.Load(core.Data, word(rankBase, u))
+			}
+		}
+		for _, warp := range warps {
+			warp.Barrier()
+		}
+		rank = next
+	}
+	// The simulator's rank array accumulated sum over iterations of
+	// (next[i] - base): recompute the expected accumulator.
+	want := make([]int64, n)
+	{
+		r := make([]int64, n)
+		for i := range r {
+			r[i] = scale
+		}
+		for it := 0; it < p.Iters; it++ {
+			base := int64(scale) * 15 / 100
+			nx := make([]int64, n)
+			for i := range nx {
+				nx[i] = base
+			}
+			for u := 0; u < n; u++ {
+				if len(g.Adj[u]) == 0 {
+					continue
+				}
+				contrib := r[u] * 85 / 100 / int64(len(g.Adj[u]))
+				for _, v := range g.Adj[u] {
+					nx[v] += contrib
+					want[v] += contrib
+				}
+			}
+			r = nx
+		}
+	}
+	tr.FinalCheck = func(read func(uint64) int64) error {
+		for v := 0; v < n; v++ {
+			if got := read(word(rankBase, v)); got != want[v] {
+				return fmt.Errorf("rank-acc[%d] = %d, want %d", v, got, want[v])
+			}
+		}
+		return nil
+	}
+	return tr
+}

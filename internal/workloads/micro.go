@@ -1,0 +1,427 @@
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+
+	"rats/internal/core"
+	"rats/internal/trace"
+)
+
+// HistParams sizes the histogram microbenchmarks. The paper uses a
+// 256 KB input with 256 bins.
+type HistParams struct {
+	Elems int // 1-byte input elements
+	Bins  int
+	CUs   int
+	Warps int // warps per CU
+	Seed  int64
+}
+
+// DefaultHist returns the paper-shaped parameters at the given scale.
+func DefaultHist(s Scale) HistParams {
+	return HistParams{
+		Elems: s.pick(8<<10, 96<<10),
+		Bins:  256,
+		CUs:   15,
+		Warps: s.pick(2, 4),
+		Seed:  42,
+	}
+}
+
+// histValues deterministically assigns a bin to every element.
+func histValues(p HistParams) []int {
+	rng := rand.New(rand.NewSource(p.Seed))
+	vals := make([]int, p.Elems)
+	for i := range vals {
+		vals[i] = rng.Intn(p.Bins)
+	}
+	return vals
+}
+
+// histCheck validates the final bins against the reference counts.
+func histCheck(p HistParams, vals []int) func(func(uint64) int64) error {
+	want := make([]int64, p.Bins)
+	for _, v := range vals {
+		want[v]++
+	}
+	return func(read func(uint64) int64) error {
+		for b := 0; b < p.Bins; b++ {
+			if got := read(word(binsBase, b)); got != want[b] {
+				return fmt.Errorf("bin %d = %d, want %d", b, got, want[b])
+			}
+		}
+		return nil
+	}
+}
+
+// splitElems partitions elements evenly over warps.
+func splitElems(elems, nwarps int) [][2]int {
+	out := make([][2]int, nwarps)
+	per := elems / nwarps
+	for w := 0; w < nwarps; w++ {
+		lo := w * per
+		hi := lo + per
+		if w == nwarps-1 {
+			hi = elems
+		}
+		out[w] = [2]int{lo, hi}
+	}
+	return out
+}
+
+// Hist builds the "H" microbenchmark (Listing 2 / CUDA SDK histogram):
+// each warp bins its input slice in the scratchpad, then merges its
+// local histogram into the global bins with commutative atomic adds.
+func Hist(p HistParams) *trace.Trace {
+	vals := histValues(p)
+	tr := trace.New("H")
+	nwarps := p.CUs * p.Warps
+	for w, span := range splitElems(p.Elems, nwarps) {
+		warp := tr.AddWarp(w % p.CUs)
+		local := make([]int64, p.Bins)
+		for _, ch := range chunk32(span[1] - span[0]) {
+			lo := span[0] + ch[0]
+			hi := span[0] + ch[1]
+			addrs := make([]uint64, 0, hi-lo)
+			for e := lo; e < hi; e++ {
+				addrs = append(addrs, dataBase+uint64(e)) // 1-byte elements
+				local[vals[e]]++
+			}
+			warp.Load(core.Data, addrs...)
+			warp.Join()
+			warp.ScratchAccess(trace.ScratchStore, 1) // local bin update
+			warp.Compute(2)
+		}
+		// Merge local bins into the global histogram.
+		for _, ch := range chunk32(p.Bins) {
+			addrs := make([]uint64, 0, ch[1]-ch[0])
+			ops := make([]int64, 0, ch[1]-ch[0])
+			for b := ch[0]; b < ch[1]; b++ {
+				if local[b] == 0 {
+					continue
+				}
+				addrs = append(addrs, word(binsBase, b))
+				ops = append(ops, local[b])
+			}
+			if len(addrs) > 0 {
+				warp.AtomicLanes(core.Commutative, core.OpAdd, addrs, ops)
+			}
+		}
+	}
+	tr.FinalCheck = histCheck(p, vals)
+	return tr
+}
+
+// HistGlobal builds "HG": every element updates the global histogram
+// directly — maximal atomic contention.
+func HistGlobal(p HistParams) *trace.Trace {
+	vals := histValues(p)
+	tr := trace.New("HG")
+	nwarps := p.CUs * p.Warps
+	for w, span := range splitElems(p.Elems, nwarps) {
+		warp := tr.AddWarp(w % p.CUs)
+		for _, ch := range chunk32(span[1] - span[0]) {
+			lo := span[0] + ch[0]
+			hi := span[0] + ch[1]
+			loads := make([]uint64, 0, hi-lo)
+			bins := make([]uint64, 0, hi-lo)
+			for e := lo; e < hi; e++ {
+				loads = append(loads, dataBase+uint64(e))
+				bins = append(bins, word(binsBase, vals[e]))
+			}
+			warp.Load(core.Data, loads...)
+			warp.Join()
+			warp.Atomic(core.Commutative, core.OpInc, 0, bins...)
+		}
+	}
+	tr.FinalCheck = histCheck(p, vals)
+	return tr
+}
+
+// HistGlobalNonOrder builds "HG-NO": reading the final bin values with
+// non-ordering atomic loads (the bottom of Listing 2). Per the paper the
+// update portion is pre-done (bins arrive initialized) and only the read
+// phase is measured.
+func HistGlobalNonOrder(p HistParams) *trace.Trace {
+	vals := histValues(p)
+	counts := make([]int64, p.Bins)
+	for _, v := range vals {
+		counts[v]++
+	}
+	tr := trace.New("HG-NO")
+	for b := 0; b < p.Bins; b++ {
+		tr.Init[word(binsBase, b)] = counts[b]
+	}
+	nwarps := p.CUs * p.Warps
+	rounds := p.Elems / (p.Bins * nwarps)
+	if rounds < 1 {
+		rounds = 1
+	}
+	for w := 0; w < nwarps; w++ {
+		warp := tr.AddWarp(w % p.CUs)
+		for r := 0; r < rounds; r++ {
+			for _, ch := range chunk32(p.Bins) {
+				addrs := make([]uint64, 0, ch[1]-ch[0])
+				for b := ch[0]; b < ch[1]; b++ {
+					addrs = append(addrs, word(binsBase, b))
+				}
+				warp.Atomic(core.NonOrdering, core.OpLoad, 0, addrs...)
+				warp.Compute(4)
+			}
+		}
+	}
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	tr.FinalCheck = func(read func(uint64) int64) error {
+		var sum int64
+		for b := 0; b < p.Bins; b++ {
+			sum += read(word(binsBase, b))
+		}
+		if sum != total {
+			return fmt.Errorf("bins disturbed: sum %d, want %d", sum, total)
+		}
+		return nil
+	}
+	return tr
+}
+
+// FlagsParams sizes the Flags microbenchmark (90 thread blocks in the
+// paper).
+type FlagsParams struct {
+	CUs      int
+	Warps    int // worker warps per CU
+	Polls    int // stop-flag polls per worker
+	DirtyMod int // set dirty every DirtyMod-th poll
+}
+
+// DefaultFlags returns paper-shaped parameters.
+func DefaultFlags(s Scale) FlagsParams {
+	return FlagsParams{CUs: 15, Warps: s.pick(2, 6), Polls: s.pick(16, 64), DirtyMod: 8}
+}
+
+// Flags builds Listing 3: workers poll stop (non-ordering) and set dirty
+// (commutative); the CPU main thread raises stop, joins at a barrier,
+// and reads dirty.
+func Flags(p FlagsParams) *trace.Trace {
+	tr := trace.New("Flags")
+	stop := word(flagBase, 0)
+	dirty := word(flagBase, 1)
+	for w := 0; w < p.CUs*p.Warps; w++ {
+		warp := tr.AddWarp(w % p.CUs)
+		for i := 0; i < p.Polls; i++ {
+			warp.AtomicLoad(core.NonOrdering, stop)
+			warp.Compute(5)
+			if i%p.DirtyMod == p.DirtyMod-1 {
+				warp.AtomicStore(core.Commutative, dirty, 1)
+			}
+		}
+		warp.Barrier()
+	}
+	main := tr.AddCPUThread()
+	main.Compute(50)
+	main.AtomicStore(core.NonOrdering, stop, 1)
+	main.Barrier()
+	main.AtomicLoad(core.NonOrdering, dirty)
+	tr.FinalCheck = func(read func(uint64) int64) error {
+		if read(stop) != 1 || read(dirty) != 1 {
+			return fmt.Errorf("stop=%d dirty=%d, want 1/1", read(stop), read(dirty))
+		}
+		return nil
+	}
+	return tr
+}
+
+// SplitCounterParams sizes SplitCounter (112 thread blocks in the paper).
+type SplitCounterParams struct {
+	CUs      int
+	Updaters int // updater warps (one shard each)
+	Readers  int // reader warps
+	Adds     int // adds per updater
+	Reads    int // full-sum reads per reader
+}
+
+// DefaultSplitCounter returns paper-shaped parameters.
+func DefaultSplitCounter(s Scale) SplitCounterParams {
+	// Split counters exist because updates vastly outnumber reads; the
+	// reader scans are rare. Adds are warp-wide instructions (32 lanes).
+	return SplitCounterParams{
+		CUs: 15, Updaters: s.pick(12, 15), Readers: s.pick(3, 6),
+		Adds: s.pick(6, 24), Reads: s.pick(2, 6),
+	}
+}
+
+// SplitCounter builds Listing 4: updaters add to their own shard with
+// quantum RMWs; readers sum every shard with quantum loads.
+func SplitCounter(p SplitCounterParams) *trace.Trace {
+	tr := trace.New("SC")
+	lanes := func(addr uint64) []uint64 {
+		out := make([]uint64, warpLanes)
+		for i := range out {
+			out[i] = addr
+		}
+		return out
+	}
+	for u := 0; u < p.Updaters; u++ {
+		warp := tr.AddWarp(u % p.CUs)
+		shard := word(binsBase, u)
+		for i := 0; i < p.Adds; i++ {
+			// Warp-wide add: all 32 lanes update this thread block's shard.
+			warp.Atomic(core.Quantum, core.OpAdd, 1, lanes(shard)...)
+			warp.Compute(3)
+		}
+	}
+	for r := 0; r < p.Readers; r++ {
+		warp := tr.AddWarp((p.Updaters + r) % p.CUs)
+		for i := 0; i < p.Reads; i++ {
+			for _, ch := range chunk32(p.Updaters) {
+				addrs := make([]uint64, 0, ch[1]-ch[0])
+				for u := ch[0]; u < ch[1]; u++ {
+					addrs = append(addrs, word(binsBase, u))
+				}
+				warp.Atomic(core.Quantum, core.OpLoad, 0, addrs...)
+			}
+			warp.Join()
+			warp.Compute(p.Updaters) // sum the shards
+		}
+	}
+	tr.FinalCheck = func(read func(uint64) int64) error {
+		var sum int64
+		for u := 0; u < p.Updaters; u++ {
+			sum += read(word(binsBase, u))
+		}
+		if want := int64(p.Updaters * p.Adds * warpLanes); sum != want {
+			return fmt.Errorf("split counter sum %d, want %d", sum, want)
+		}
+		return nil
+	}
+	return tr
+}
+
+// RefCounterParams sizes RefCounter (64 thread blocks in the paper).
+type RefCounterParams struct {
+	CUs    int
+	Warps  int // warps total
+	Rounds int // inc/dec rounds per warp
+}
+
+// DefaultRefCounter returns paper-shaped parameters. Increments and
+// decrements are warp-wide instructions (every thread adjusts the
+// count).
+func DefaultRefCounter(s Scale) RefCounterParams {
+	return RefCounterParams{CUs: 15, Warps: s.pick(15, 30), Rounds: s.pick(4, 12)}
+}
+
+// RefCounter builds Listing 5: every warp increments two shared
+// reference counters with quantum RMWs, works, then decrements them in
+// the opposite order; the thread seeing zero marks the object with a
+// commutative store.
+func RefCounter(p RefCounterParams) *trace.Trace {
+	tr := trace.New("RC")
+	rc1 := word(binsBase, 0)
+	rc2 := word(binsBase, 16) // separate lines: two independent counters
+	mark := word(flagBase, 0)
+	lanes := func(addr uint64) []uint64 {
+		out := make([]uint64, warpLanes)
+		for i := range out {
+			out[i] = addr
+		}
+		return out
+	}
+	for w := 0; w < p.Warps; w++ {
+		warp := tr.AddWarp(w % p.CUs)
+		for i := 0; i < p.Rounds; i++ {
+			warp.Atomic(core.Quantum, core.OpInc, 0, lanes(rc1)...)
+			warp.Atomic(core.Quantum, core.OpInc, 0, lanes(rc2)...)
+			warp.Compute(4)
+			warp.Atomic(core.Quantum, core.OpDec, 0, lanes(rc2)...)
+			warp.Atomic(core.Quantum, core.OpDec, 0, lanes(rc1)...)
+			if i == p.Rounds-1 {
+				// Last round: the final releaser marks for deletion.
+				warp.AtomicStore(core.Commutative, mark, 1)
+			}
+		}
+	}
+	tr.FinalCheck = func(read func(uint64) int64) error {
+		if read(rc1) != 0 || read(rc2) != 0 {
+			return fmt.Errorf("refcounts %d/%d, want 0/0", read(rc1), read(rc2))
+		}
+		if read(mark) != 1 {
+			return fmt.Errorf("mark = %d, want 1", read(mark))
+		}
+		return nil
+	}
+	return tr
+}
+
+// SeqlocksParams sizes Seqlocks (512 thread blocks in the paper).
+type SeqlocksParams struct {
+	CUs     int
+	Readers int
+	Writers int
+	Reads   int // read-side critical sections per reader
+	Writes  int // write-side critical sections per writer
+	Words   int // protected data words
+}
+
+// DefaultSeqlocks returns paper-shaped parameters.
+func DefaultSeqlocks(s Scale) SeqlocksParams {
+	return SeqlocksParams{
+		CUs: 15, Readers: s.pick(14, 40), Writers: 2,
+		Reads: s.pick(8, 32), Writes: s.pick(4, 16), Words: 4,
+	}
+}
+
+// Seqlocks builds Listing 6: readers bracket speculative data loads with
+// paired sequence reads (the second a read-don't-modify-write); writers
+// bump the sequence around speculative stores.
+func Seqlocks(p SeqlocksParams) *trace.Trace {
+	return seqlocks(p, "SEQ", core.Paired, core.Paired)
+}
+
+// SeqlocksRA builds the Section 7 variant: the reader's first sequence
+// read uses acquire ordering and the read-don't-modify-write uses
+// release ordering, avoiding the full SC fences.
+func SeqlocksRA(p SeqlocksParams) *trace.Trace {
+	return seqlocks(p, "SEQ-RA", core.Acquire, core.Release)
+}
+
+func seqlocks(p SeqlocksParams, name string, firstRead, secondRead core.Class) *trace.Trace {
+	tr := trace.New(name)
+	seq := word(flagBase, 0)
+	dataAddr := func(i int) uint64 { return word(dataBase, i) }
+	for r := 0; r < p.Readers; r++ {
+		warp := tr.AddWarp(r % p.CUs)
+		for i := 0; i < p.Reads; i++ {
+			warp.AtomicLoad(firstRead, seq) // seq0
+			for d := 0; d < p.Words; d++ {
+				warp.AtomicLoad(core.Speculative, dataAddr(d))
+			}
+			warp.Atomic(secondRead, core.OpAdd, 0, seq) // read-don't-modify-write
+			warp.Join()
+			warp.Compute(4)
+		}
+	}
+	for w := 0; w < p.Writers; w++ {
+		warp := tr.AddWarp((p.Readers + w) % p.CUs)
+		for i := 0; i < p.Writes; i++ {
+			warp.Atomic(core.Paired, core.OpInc, 0, seq) // odd: update in progress
+			for d := 0; d < p.Words; d++ {
+				warp.AtomicStore(core.Speculative, dataAddr(d), int64(i+1))
+			}
+			warp.Atomic(core.Paired, core.OpInc, 0, seq) // even: published
+			warp.Compute(8)
+		}
+	}
+	tr.FinalCheck = func(read func(uint64) int64) error {
+		got := read(seq)
+		want := int64(2 * p.Writers * p.Writes)
+		if got != want {
+			return fmt.Errorf("seq = %d, want %d", got, want)
+		}
+		return nil
+	}
+	return tr
+}

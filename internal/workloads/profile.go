@@ -1,0 +1,101 @@
+package workloads
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"rats/internal/core"
+	"rats/internal/trace"
+)
+
+// Profile summarizes a trace's dynamic operation mix — the analysis the
+// paper used to select Figure 1's applications ("the 9 applications with
+// the highest percentage of atomics, as determined from dynamic
+// instruction profiling").
+type Profile struct {
+	Name     string
+	Warps    int
+	Ops      int // warp-level operations
+	MemOps   int
+	Loads    int
+	Stores   int
+	Atomics  int // atomic transactions (per lane)
+	Barriers int
+	Scratch  int
+	// ByClass counts atomic transactions per programmer class.
+	ByClass map[core.Class]int
+}
+
+// AtomicFraction returns atomic transactions over all memory
+// transactions (lanes counted individually for atomics, lines for
+// loads/stores — the unit the memory system sees).
+func (p *Profile) AtomicFraction() float64 {
+	total := p.Loads + p.Stores + p.Atomics
+	if total == 0 {
+		return 0
+	}
+	return float64(p.Atomics) / float64(total)
+}
+
+// ProfileTrace computes the operation mix of a trace.
+func ProfileTrace(tr *trace.Trace) *Profile {
+	p := &Profile{Name: tr.Name, Warps: len(tr.Warps), ByClass: map[core.Class]int{}}
+	lineOf := func(a uint64) uint64 { return a / 64 }
+	for _, w := range tr.Warps {
+		for _, op := range w.Ops {
+			p.Ops++
+			switch op.Kind {
+			case trace.Load, trace.Store:
+				p.MemOps++
+				lines := map[uint64]bool{}
+				for _, a := range op.Addrs {
+					lines[lineOf(a)] = true
+				}
+				if op.Kind == trace.Load {
+					p.Loads += len(lines)
+				} else {
+					p.Stores += len(lines)
+				}
+			case trace.Atomic:
+				p.MemOps++
+				p.Atomics += len(op.Addrs)
+				p.ByClass[op.Class] += len(op.Addrs)
+			case trace.Barrier:
+				p.Barriers++
+			case trace.ScratchLoad, trace.ScratchStore:
+				p.Scratch++
+			}
+		}
+	}
+	return p
+}
+
+// ProfileTable renders the operation mix of every registered workload,
+// sorted by atomic fraction (descending) — reproducing the selection
+// criterion behind Figure 1.
+func ProfileTable(scale Scale) string {
+	var profiles []*Profile
+	for _, e := range All() {
+		profiles = append(profiles, ProfileTrace(e.Build(scale)))
+	}
+	sort.Slice(profiles, func(i, j int) bool {
+		return profiles[i].AtomicFraction() > profiles[j].AtomicFraction()
+	})
+	var b strings.Builder
+	b.WriteString("Workload atomic profiles (Figure 1 selection criterion)\n")
+	fmt.Fprintf(&b, "  %-8s %6s %8s %8s %8s %8s %8s  %s\n",
+		"name", "warps", "ops", "loads", "stores", "atomics", "atomic%", "classes")
+	for _, p := range profiles {
+		var classes []string
+		for _, c := range core.Classes() {
+			if n := p.ByClass[c]; n > 0 {
+				classes = append(classes, fmt.Sprintf("%s:%d", c, n))
+			}
+		}
+		fmt.Fprintf(&b, "  %-8s %6d %8d %8d %8d %8d %7.1f%%  %s\n",
+			p.Name, p.Warps, p.Ops, p.Loads, p.Stores, p.Atomics,
+			100*p.AtomicFraction(), strings.Join(classes, " "))
+	}
+	return b.String()
+}

@@ -1,0 +1,102 @@
+package workloads
+
+import (
+	"strings"
+	"testing"
+
+	"rats/internal/core"
+	"rats/internal/trace"
+)
+
+func TestProfileTrace(t *testing.T) {
+	tr := trace.New("p")
+	w := tr.AddWarp(0)
+	w.Load(core.Data, 0x1000, 0x1004, 0x1040) // 2 lines
+	w.Store(core.Data, 0x2000)                // 1 line
+	w.Atomic(core.Commutative, core.OpInc, 0, 0x3000, 0x3000, 0x3004)
+	w.AtomicLoad(core.NonOrdering, 0x4000)
+	w.Barrier()
+	w.ScratchAccess(trace.ScratchStore, 2)
+	w.Compute(5)
+
+	p := ProfileTrace(tr)
+	if p.Warps != 1 {
+		t.Errorf("warps = %d", p.Warps)
+	}
+	if p.Loads != 2 || p.Stores != 1 {
+		t.Errorf("loads=%d stores=%d", p.Loads, p.Stores)
+	}
+	if p.Atomics != 4 {
+		t.Errorf("atomics = %d", p.Atomics)
+	}
+	if p.ByClass[core.Commutative] != 3 || p.ByClass[core.NonOrdering] != 1 {
+		t.Errorf("by class: %v", p.ByClass)
+	}
+	if p.Barriers != 1 || p.Scratch != 2 {
+		t.Errorf("barriers=%d scratch=%d", p.Barriers, p.Scratch)
+	}
+	want := 4.0 / 7.0
+	if got := p.AtomicFraction(); got < want-1e-9 || got > want+1e-9 {
+		t.Errorf("atomic fraction = %f, want %f", got, want)
+	}
+}
+
+func TestProfileEmptyTrace(t *testing.T) {
+	p := ProfileTrace(trace.New("empty"))
+	if p.AtomicFraction() != 0 {
+		t.Error("empty trace fraction should be 0")
+	}
+}
+
+// TestProfileMatchesPaperSelection: the registered workloads are
+// atomic-heavy (that is why the paper picked them); every one exceeds a
+// 30% atomic fraction, with the micros near the top.
+func TestProfileMatchesPaperSelection(t *testing.T) {
+	for _, e := range All() {
+		p := ProfileTrace(e.Build(Test))
+		if f := p.AtomicFraction(); f < 0.3 {
+			t.Errorf("%s atomic fraction %.2f — too low for a relaxed-atomics study", e.Name, f)
+		}
+	}
+	// UTS must be the only unpaired user; SEQ the only speculative one.
+	for _, e := range All() {
+		p := ProfileTrace(e.Build(Test))
+		if p.ByClass[core.Unpaired] > 0 && e.Name != "UTS" {
+			t.Errorf("%s uses unpaired atomics", e.Name)
+		}
+		if p.ByClass[core.Speculative] > 0 && e.Name != "SEQ" {
+			t.Errorf("%s uses speculative atomics", e.Name)
+		}
+	}
+}
+
+func TestProfileTableRender(t *testing.T) {
+	out := ProfileTable(Test)
+	for _, want := range []string{"atomic%", "UTS", "HG", "quantum", "non-ordering"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("profile table missing %q", want)
+		}
+	}
+	// Sorted descending by atomic fraction: the first data row should be
+	// one of the all-atomic micros, and UTS (57%) must come after HG.
+	hg := strings.Index(out, "\n  HG ")
+	uts := strings.Index(out, "\n  UTS")
+	if hg < 0 || uts < 0 || hg > uts {
+		t.Errorf("profile table not sorted by atomic fraction:\n%s", out)
+	}
+}
+
+// TestBCBackwardPhasePresent: BC traces include the backward phase
+// (delta adds) — roughly twice the barriers of the forward-only version.
+func TestBCBackwardPhasePresent(t *testing.T) {
+	tr := ByName("BC-1").Build(Test)
+	p := ProfileTrace(tr)
+	if p.Barriers == 0 {
+		t.Fatal("BC has no barriers")
+	}
+	// Both commutative (sigma+delta adds) and non-ordering (dist+sigma
+	// checks) traffic must be present in quantity.
+	if p.ByClass[core.Commutative] < 100 || p.ByClass[core.NonOrdering] < 100 {
+		t.Errorf("BC class mix too thin: %v", p.ByClass)
+	}
+}

@@ -1,0 +1,118 @@
+package workloads
+
+import (
+	"fmt"
+
+	"rats/internal/graphs"
+	"rats/internal/trace"
+)
+
+// Entry describes one benchmark of Table 3.
+type Entry struct {
+	// Name is the short name used in Figures 3 and 4 (H, HG, HG-NO,
+	// Flags, SC, RC, SEQ, UTS, BC-1..4, PR-1..4).
+	Name string
+	// Full is the benchmark's full name.
+	Full string
+	// Input describes the input, as Table 3 reports it.
+	Input string
+	// AtomicTypes lists the relaxed-atomic classes used.
+	AtomicTypes string
+	// Micro marks the Figure 3 microbenchmarks (vs. Figure 4 benchmarks).
+	Micro bool
+	// Build generates the trace at the given scale.
+	Build func(s Scale) *trace.Trace
+}
+
+// Micro returns the seven microbenchmarks of Figure 3, in the paper's
+// order.
+func Micro() []Entry {
+	return []Entry{
+		{Name: "H", Full: "Hist", Input: "256 KB, 256 bins", AtomicTypes: "Commutative", Micro: true,
+			Build: func(s Scale) *trace.Trace { return Hist(DefaultHist(s)) }},
+		{Name: "HG", Full: "Hist_global", Input: "256 KB, 256 bins", AtomicTypes: "Commutative", Micro: true,
+			Build: func(s Scale) *trace.Trace { return HistGlobal(DefaultHist(s)) }},
+		{Name: "HG-NO", Full: "HG-Non-Order", Input: "256 KB, 256 bins", AtomicTypes: "Non-Ordering", Micro: true,
+			Build: func(s Scale) *trace.Trace { return HistGlobalNonOrder(DefaultHist(s)) }},
+		{Name: "Flags", Full: "Flags", Input: "90 Thread Blocks", AtomicTypes: "Commutative, Non-Ordering", Micro: true,
+			Build: func(s Scale) *trace.Trace { return Flags(DefaultFlags(s)) }},
+		{Name: "SC", Full: "SplitCounter", Input: "112 Thread Blocks", AtomicTypes: "Quantum", Micro: true,
+			Build: func(s Scale) *trace.Trace { return SplitCounter(DefaultSplitCounter(s)) }},
+		{Name: "RC", Full: "RefCounter", Input: "64 Thread Blocks", AtomicTypes: "Quantum", Micro: true,
+			Build: func(s Scale) *trace.Trace { return RefCounter(DefaultRefCounter(s)) }},
+		{Name: "SEQ", Full: "Seqlocks", Input: "512 Thread Blocks", AtomicTypes: "Speculative", Micro: true,
+			Build: func(s Scale) *trace.Trace { return Seqlocks(DefaultSeqlocks(s)) }},
+	}
+}
+
+// Benchmarks returns the Figure 4 benchmarks: UTS, BC on four graphs,
+// PR on four graphs.
+func Benchmarks() []Entry {
+	out := []Entry{
+		{Name: "UTS", Full: "UTS", Input: "16K nodes", AtomicTypes: "Unpaired",
+			Build: func(s Scale) *trace.Trace { return UTS(DefaultUTS(s)) }},
+	}
+	for i, g := range graphs.BCInputs() {
+		g := g
+		out = append(out, Entry{
+			Name: fmt.Sprintf("BC-%d", i+1), Full: "BC", Input: g.Name,
+			AtomicTypes: "Commutative, Non-Ordering",
+			Build:       func(s Scale) *trace.Trace { return BC(g, DefaultGraph(s)) },
+		})
+	}
+	for i, g := range graphs.PRInputs() {
+		g := g
+		out = append(out, Entry{
+			Name: fmt.Sprintf("PR-%d", i+1), Full: "PageRank", Input: g.Name,
+			AtomicTypes: "Commutative",
+			Build:       func(s Scale) *trace.Trace { return PR(g, DefaultGraph(s)) },
+		})
+	}
+	return out
+}
+
+// All returns every workload (Figure 3 then Figure 4 order).
+func All() []Entry {
+	return append(Micro(), Benchmarks()...)
+}
+
+// Figure1Apps returns the nine atomic-heavy applications evaluated on the
+// discrete GPU in Figure 1. The paper selects the nine applications with
+// the highest dynamic atomic fraction from its benchmark suites; here we
+// use the corresponding nine workloads of this reproduction (PageRank,
+// BC, UTS, and the six atomic-dense microbenchmark kernels).
+func Figure1Apps() []Entry {
+	bcs := graphs.BCInputs()
+	prs := graphs.PRInputs()
+	return []Entry{
+		{Name: "PageRank", Full: "PageRank", AtomicTypes: "Commutative",
+			Build: func(s Scale) *trace.Trace { return PR(prs[3], DefaultGraph(s)) }},
+		{Name: "BC", Full: "BC", AtomicTypes: "Commutative, Non-Ordering",
+			Build: func(s Scale) *trace.Trace { return BC(bcs[3], DefaultGraph(s)) }},
+		{Name: "UTS", Full: "UTS", AtomicTypes: "Unpaired",
+			Build: func(s Scale) *trace.Trace { return UTS(DefaultUTS(s)) }},
+		{Name: "Hist", Full: "Hist", AtomicTypes: "Commutative",
+			Build: func(s Scale) *trace.Trace { return Hist(DefaultHist(s)) }},
+		{Name: "HG", Full: "Hist_global", AtomicTypes: "Commutative",
+			Build: func(s Scale) *trace.Trace { return HistGlobal(DefaultHist(s)) }},
+		{Name: "Flags", Full: "Flags", AtomicTypes: "Non-Ordering",
+			Build: func(s Scale) *trace.Trace { return Flags(DefaultFlags(s)) }},
+		{Name: "SplitCounter", Full: "SplitCounter", AtomicTypes: "Quantum",
+			Build: func(s Scale) *trace.Trace { return SplitCounter(DefaultSplitCounter(s)) }},
+		{Name: "RefCounter", Full: "RefCounter", AtomicTypes: "Quantum",
+			Build: func(s Scale) *trace.Trace { return RefCounter(DefaultRefCounter(s)) }},
+		{Name: "Seqlocks", Full: "Seqlocks", AtomicTypes: "Speculative",
+			Build: func(s Scale) *trace.Trace { return Seqlocks(DefaultSeqlocks(s)) }},
+	}
+}
+
+// ByName returns a workload entry by short name, or nil.
+func ByName(name string) *Entry {
+	for _, e := range All() {
+		if e.Name == name {
+			e := e
+			return &e
+		}
+	}
+	return nil
+}
