@@ -15,6 +15,7 @@ import (
 	"rats/internal/harness"
 	"rats/internal/litmus"
 	"rats/internal/memmodel"
+	"rats/internal/probe"
 	"rats/internal/sim/memsys"
 	"rats/internal/sim/system"
 	"rats/internal/workloads"
@@ -154,6 +155,37 @@ func BenchmarkTable4Theorem(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkProbeOverhead compares a run with no probe hub attached
+// against the same run with a hub and a counting sink: the "disabled"
+// case is the zero-overhead contract (every emission site reduces to a
+// nil check), the "counting" case bounds the cost of the event stream
+// itself.
+func BenchmarkProbeOverhead(b *testing.B) {
+	e := *workloads.ByName("H")
+	cfg := memsys.Default(memsys.ProtoDeNovo, core.DRFrlx)
+	b.Run("disabled", func(b *testing.B) {
+		runSim(b, e, cfg)
+	})
+	b.Run("counting", func(b *testing.B) {
+		var events int64
+		for i := 0; i < b.N; i++ {
+			sink := &probe.CountingSink{}
+			hub := probe.NewHub()
+			hub.Attach(sink)
+			sys := system.New(cfg)
+			sys.AttachProbe(hub)
+			if err := sys.Load(e.Build(workloads.Test)); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sys.Run(); err != nil {
+				b.Fatal(err)
+			}
+			events = sink.Events
+		}
+		b.ReportMetric(float64(events), "events")
+	})
 }
 
 // --- Ablations (DESIGN.md "Key design decisions") ---

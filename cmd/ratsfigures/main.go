@@ -8,12 +8,15 @@
 //	ratsfigures                 # everything, test scale
 //	ratsfigures -scale paper    # paper-scale inputs (slower)
 //	ratsfigures -only fig3      # one artifact: fig1|fig3|fig4|table1..table4|summary
+//	ratsfigures -stalls PR-3    # per-config stall attribution for one workload
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"rats/internal/core"
 	"rats/internal/harness"
@@ -24,8 +27,11 @@ import (
 
 func main() {
 	var (
-		scaleName = flag.String("scale", "test", "workload scale: test or paper")
-		only      = flag.String("only", "", "render a single artifact")
+		scaleName  = flag.String("scale", "test", "workload scale: test or paper")
+		only       = flag.String("only", "", "render a single artifact")
+		stalls     = flag.String("stalls", "", "render the stall-attribution sweep for one workload and exit")
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file")
 	)
 	flag.Parse()
 	scale := workloads.Test
@@ -39,6 +45,35 @@ func main() {
 			fmt.Fprintln(os.Stderr, "ratsfigures:", err)
 			os.Exit(1)
 		}
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		die(err)
+		defer f.Close()
+		die(pprof.StartCPUProfile(f))
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			die(err)
+			defer f.Close()
+			runtime.GC()
+			die(pprof.WriteHeapProfile(f))
+		}()
+	}
+
+	if *stalls != "" {
+		entry := workloads.ByName(*stalls)
+		if entry == nil {
+			fmt.Fprintf(os.Stderr, "ratsfigures: unknown workload %q\n", *stalls)
+			os.Exit(1)
+		}
+		rows, err := harness.StallSweep(*entry, scale, harness.ConfigOrder)
+		die(err)
+		fmt.Println(harness.RenderStallSweep(entry.Name, rows))
+		return
 	}
 
 	if want("table1") {

@@ -4,6 +4,7 @@
 // Usage:
 //
 //	ratsim -workload PR-3 -config DDR [-scale paper] [-energy]
+//	ratsim -workload H -config DDR -trace-out run.json -stalls
 //	ratsim -list
 package main
 
@@ -11,12 +12,21 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"strings"
 
 	"rats/internal/harness"
+	"rats/internal/probe"
 	"rats/internal/sim/system"
 	"rats/internal/trace"
 	"rats/internal/workloads"
 )
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ratsim:", err)
+	os.Exit(1)
+}
 
 func main() {
 	var (
@@ -27,6 +37,14 @@ func main() {
 		showEn    = flag.Bool("energy", true, "print the energy breakdown")
 		dump      = flag.String("dump", "", "write the generated trace as JSON to this file and exit")
 		replay    = flag.String("replay", "", "run a JSON trace file instead of a generated workload")
+
+		traceOut   = flag.String("trace-out", "", "write a Chrome/Perfetto trace-event JSON timeline to this file")
+		metricsOut = flag.String("metrics-out", "", "write interval-sampled counters to this file (.json for JSON, else CSV)")
+		metricsInt = flag.Int64("metrics-interval", 1000, "sampling interval in cycles for -metrics-out")
+		stalls     = flag.Bool("stalls", false, "print the per-warp stall attribution table")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file")
 	)
 	flag.Parse()
 
@@ -40,21 +58,18 @@ func main() {
 	}
 	cfg, err := harness.ConfigFor(*config)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ratsim:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	var tr *trace.Trace
 	if *replay != "" {
 		f, err := os.Open(*replay)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "ratsim:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		tr, err = trace.DecodeJSON(f)
 		f.Close()
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "ratsim:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 	} else {
 		entry := workloads.ByName(*workload)
@@ -67,30 +82,113 @@ func main() {
 	if *dump != "" {
 		f, err := os.Create(*dump)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "ratsim:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		defer f.Close()
 		if err := tr.EncodeJSON(f); err != nil {
-			fmt.Fprintln(os.Stderr, "ratsim:", err)
-			os.Exit(1)
+			fatal(err)
 		}
 		fmt.Printf("wrote %s (%d warps, %d ops)\n", *dump, len(tr.Warps), tr.NumOps())
 		return
 	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	// Observability sinks: any of these flags attaches a probe hub.
+	var (
+		hub       *probe.Hub
+		stallSink *probe.StallSink
+		closers   []*os.File
+	)
+	if *traceOut != "" || *metricsOut != "" || *stalls {
+		hub = probe.NewHub()
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fatal(err)
+			}
+			closers = append(closers, f)
+			hub.Attach(probe.NewChromeTrace(f))
+		}
+		if *metricsOut != "" {
+			f, err := os.Create(*metricsOut)
+			if err != nil {
+				fatal(err)
+			}
+			closers = append(closers, f)
+			format := probe.FormatCSV
+			if strings.HasSuffix(*metricsOut, ".json") {
+				format = probe.FormatJSON
+			}
+			hub.Attach(probe.NewIntervalSink(f, format))
+			hub.SetSampleInterval(*metricsInt)
+		}
+		if *stalls {
+			stallSink = probe.NewStallSink()
+			hub.Attach(stallSink)
+		}
+	}
+
 	fmt.Printf("running %s (%d warps, %d ops) under %s/%s\n",
 		tr.Name, len(tr.Warps), tr.NumOps(), cfg.Protocol, cfg.Model)
-	res, err := system.RunTrace(cfg, tr)
+	sys := system.New(cfg)
+	if hub != nil {
+		sys.AttachProbe(hub)
+	}
+	if err := sys.Load(tr); err != nil {
+		fatal(err)
+	}
+	res, err := sys.Run()
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "ratsim:", err)
-		os.Exit(1)
+		fatal(err)
+	}
+	if hub != nil {
+		if err := hub.Close(); err != nil {
+			fatal(err)
+		}
+		for _, f := range closers {
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}
 	}
 	fmt.Println(res.Stats.String())
+	if stallSink != nil {
+		fmt.Println(stallSink.Table(res.Stats.Cycles))
+	}
 	if *showEn {
 		fmt.Println("energy breakdown (pJ):")
 		for _, c := range res.Energy.Components() {
 			fmt.Printf("  %-10s %16.0f\n", c.Name, c.Value)
 		}
 		fmt.Printf("  %-10s %16.0f\n", "total", res.Energy.Total())
+	}
+	if *traceOut != "" {
+		fmt.Printf("wrote timeline %s (open in ui.perfetto.dev)\n", *traceOut)
+	}
+	if *metricsOut != "" {
+		fmt.Printf("wrote interval metrics %s (every %d cycles)\n", *metricsOut, *metricsInt)
+	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fatal(err)
+		}
 	}
 }

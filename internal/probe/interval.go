@@ -1,0 +1,104 @@
+package probe
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"rats/internal/stats"
+)
+
+// IntervalFormat selects the interval-metrics output encoding.
+type IntervalFormat uint8
+
+const (
+	// FormatCSV writes a header row then one row per sample.
+	FormatCSV IntervalFormat = iota
+	// FormatJSON writes a JSON array of {cycle, counter: value, ...}
+	// objects.
+	FormatJSON
+)
+
+// IntervalSink samples the aggregate stats.Stats counters on a fixed
+// cycle interval (driven by Hub.Tick) into a time series, so a figure
+// regression can be localized in simulated time instead of only showing
+// up in the end-of-run totals. It ignores the discrete event stream.
+type IntervalSink struct {
+	bw     *bufio.Writer
+	format IntervalFormat
+	err    error
+
+	count int
+	last  stats.Stats
+}
+
+// NewIntervalSink builds the sink over w. The caller owns w and closes
+// it after Close.
+func NewIntervalSink(w io.Writer, format IntervalFormat) *IntervalSink {
+	s := &IntervalSink{bw: bufio.NewWriter(w), format: format}
+	switch format {
+	case FormatCSV:
+		s.bw.WriteString("cycle")
+		z := stats.Stats{}
+		for _, r := range z.Rows() {
+			fmt.Fprintf(s.bw, ",%s", r.Name)
+		}
+		s.bw.WriteByte('\n')
+	case FormatJSON:
+		s.bw.WriteByte('[')
+	}
+	return s
+}
+
+// Emit ignores discrete events (this sink only samples).
+func (s *IntervalSink) Emit(Event) {}
+
+// Sample appends one row of the time series.
+func (s *IntervalSink) Sample(cycle int64, snap stats.Stats) {
+	if s.err != nil {
+		return
+	}
+	s.count++
+	s.last = snap
+	switch s.format {
+	case FormatCSV:
+		fmt.Fprintf(s.bw, "%d", cycle)
+		for _, r := range snap.Rows() {
+			fmt.Fprintf(s.bw, ",%d", r.Value)
+		}
+		s.bw.WriteByte('\n')
+	case FormatJSON:
+		obj := map[string]int64{"cycle": cycle}
+		for _, r := range snap.Rows() {
+			obj[r.Name] = r.Value
+		}
+		b, err := json.Marshal(obj)
+		if err != nil {
+			s.err = err
+			return
+		}
+		if s.count > 1 {
+			s.bw.WriteByte(',')
+		}
+		s.bw.Write(b)
+	}
+}
+
+// Count returns the number of samples taken.
+func (s *IntervalSink) Count() int { return s.count }
+
+// Last returns the most recent sample (the end-of-run aggregate once
+// FinalSample has fired).
+func (s *IntervalSink) Last() stats.Stats { return s.last }
+
+// Close writes the trailer and flushes.
+func (s *IntervalSink) Close() error {
+	if s.err != nil {
+		return s.err
+	}
+	if s.format == FormatJSON {
+		s.bw.WriteString("]\n")
+	}
+	return s.bw.Flush()
+}

@@ -1,0 +1,300 @@
+// Package probe is the simulator's observability layer: a typed event
+// stream tapped at the interesting points of every component (warp issue
+// and stalls, cache hits and protocol actions, MSHR/store-buffer
+// occupancy, NoC transfers) and fanned out to attached sinks — a
+// Chrome-trace/Perfetto writer, an interval-metrics sampler, and a
+// per-warp stall-attribution table.
+//
+// The layer is zero-overhead when disabled: components hold a *Hub that
+// is nil unless a sink was attached, and every emission site is guarded
+// by a plain nil check, so production runs pay one predictable branch per
+// site and allocate nothing (see BenchmarkProbeOverhead).
+package probe
+
+import "rats/internal/stats"
+
+// Component identifies the simulated component class an event came from.
+type Component uint8
+
+const (
+	// CompSystem is the event loop / barrier driver.
+	CompSystem Component = iota
+	// CompCU is a compute unit (warp scheduler + coalescer).
+	CompCU
+	// CompL1 is a per-node L1 controller (including its MSHR and store
+	// buffer).
+	CompL1
+	// CompL2 is a NUCA L2 bank.
+	CompL2
+	// CompNoC is the mesh interconnect.
+	CompNoC
+)
+
+func (c Component) String() string {
+	switch c {
+	case CompSystem:
+		return "system"
+	case CompCU:
+		return "cu"
+	case CompL1:
+		return "l1"
+	case CompL2:
+		return "l2"
+	case CompNoC:
+		return "noc"
+	}
+	return "?"
+}
+
+// Kind is the event kind.
+type Kind uint8
+
+const (
+	// WarpIssue: a warp issued an op; Arg is the trace op kind.
+	WarpIssue Kind = iota
+	// StallBegin: a warp entered a stall; Reason is set.
+	StallBegin
+	// StallEnd: a warp left a stall; Reason is set, Arg is the duration
+	// in cycles.
+	StallEnd
+	// BarrierArrive: a warp parked at the device-wide barrier.
+	BarrierArrive
+	// BarrierRelease: the barrier resolved; Arg is the warp count.
+	BarrierRelease
+	// CoalescerPush: a transaction entered the CU coalescer.
+	CoalescerPush
+	// CoalescerDrain: the L1 accepted a coalescer transaction.
+	CoalescerDrain
+	// CacheHit / CacheMiss: tag lookup outcome (Comp says L1 or L2).
+	CacheHit
+	CacheMiss
+	// OwnershipRequest: an L1 asked the registry for ownership of Addr.
+	OwnershipRequest
+	// OwnershipGrant: the L2 registry granted ownership directly.
+	OwnershipGrant
+	// RemoteForward: the L2 forwarded a request to a remote owning L1;
+	// Arg is the owner node.
+	RemoteForward
+	// AcquireInvalidation: an L1 flash self-invalidated; Arg is the
+	// number of lines dropped.
+	AcquireInvalidation
+	// ReleaseFlush: a warp began a release store-buffer flush.
+	ReleaseFlush
+	// AtomicPerformed: an atomic executed (Comp says at L1 or L2 bank).
+	AtomicPerformed
+	// Writeback: an owned victim was written back to the L2.
+	Writeback
+	// MSHRAlloc: an MSHR entry was allocated for line Addr.
+	MSHRAlloc
+	// MSHRCoalesce: a request merged into an existing MSHR entry; Arg is
+	// the entry's waiter count after the merge.
+	MSHRCoalesce
+	// SBFill: a store entered the store buffer; Arg is the occupancy.
+	SBFill
+	// SBDrain: a store left the buffer toward memory; Arg is the
+	// occupancy after the drain.
+	SBDrain
+	// NoCEnqueue: a message entered the mesh; Txn is the message
+	// sequence number, Node the source, Arg the destination, Aux the
+	// flit count.
+	NoCEnqueue
+	// NoCHop: a message traversed one link; Node is the hop node.
+	NoCHop
+	// NoCDeliver: a message reached its destination receiver.
+	NoCDeliver
+)
+
+func (k Kind) String() string {
+	names := [...]string{
+		"warp-issue", "stall-begin", "stall-end", "barrier-arrive",
+		"barrier-release", "coalescer-push", "coalescer-drain",
+		"cache-hit", "cache-miss", "ownership-request", "ownership-grant",
+		"remote-forward", "acquire-invalidation", "release-flush",
+		"atomic-performed", "writeback", "mshr-alloc", "mshr-coalesce",
+		"sb-fill", "sb-drain", "noc-enqueue", "noc-hop", "noc-deliver",
+	}
+	if int(k) < len(names) {
+		return names[k]
+	}
+	return "?"
+}
+
+// StallReason classifies why a warp cannot issue (the attribution the
+// stall sink aggregates).
+type StallReason uint8
+
+const (
+	// StallNone: not stalled (issuing, computing, done).
+	StallNone StallReason = iota
+	// StallIssue: structural back-pressure (coalescer or downstream
+	// queue full) unrelated to the store buffer.
+	StallIssue
+	// StallMemory: waiting on outstanding loads/atomics — MLP bounds,
+	// joins, and fences draining memory.
+	StallMemory
+	// StallBarrier: parked at the device-wide barrier.
+	StallBarrier
+	// StallStoreBufferFull: blocked behind a full store buffer.
+	StallStoreBufferFull
+	// StallConsistency: a consistency action gate — release flush in
+	// progress, or SC/atomic-serial ordering forbidding overlap.
+	StallConsistency
+	// NumStallReasons bounds arrays indexed by reason.
+	NumStallReasons
+)
+
+func (r StallReason) String() string {
+	switch r {
+	case StallNone:
+		return "none"
+	case StallIssue:
+		return "issue"
+	case StallMemory:
+		return "memory"
+	case StallBarrier:
+		return "barrier"
+	case StallStoreBufferFull:
+		return "store-buffer-full"
+	case StallConsistency:
+		return "consistency"
+	}
+	return "?"
+}
+
+// Event is one instrumentation record. It is passed by value and sinks
+// must not retain pointers into it.
+type Event struct {
+	// Cycle is the simulated cycle the event occurred at.
+	Cycle int64
+	// Comp and Node identify the emitting component instance.
+	Comp Component
+	Node int
+	// Warp is the global warp index, or -1 when not warp-attributable.
+	Warp int
+	// Kind is the event kind; Reason qualifies stall events.
+	Kind   Kind
+	Reason StallReason
+	// Txn is the transaction or message id, or 0.
+	Txn int64
+	// Addr is the byte address or line-start address involved, if any.
+	Addr uint64
+	// Arg and Aux carry kind-specific detail (duration, occupancy,
+	// destination node, flit count — see the Kind docs).
+	Arg int64
+	Aux int64
+}
+
+// Sink consumes the event stream. Emit is called synchronously from the
+// single-threaded simulation loop; Close flushes any buffered output.
+type Sink interface {
+	Emit(ev Event)
+	Close() error
+}
+
+// Sampler is the optional interface for sinks that want periodic
+// snapshots of the aggregate counters instead of (or in addition to)
+// discrete events. The snapshot's Cycles field is set to the sample
+// cycle, so each sample is a self-consistent "counters as of cycle X".
+type Sampler interface {
+	Sample(cycle int64, snap stats.Stats)
+}
+
+// Hub fans events out to the attached sinks and drives interval
+// sampling. A nil *Hub means observability is disabled; emission sites
+// guard with a nil check and pay nothing else.
+type Hub struct {
+	sinks       []Sink
+	samplers    []Sampler
+	interval    int64
+	next        int64
+	cycle       int64
+	lastSampled int64
+}
+
+// NewHub returns an empty hub (no sinks attached).
+func NewHub() *Hub { return &Hub{lastSampled: -1} }
+
+// Attach registers a sink; if it also implements Sampler it receives
+// interval samples.
+func (h *Hub) Attach(s Sink) {
+	h.sinks = append(h.sinks, s)
+	if sm, ok := s.(Sampler); ok {
+		h.samplers = append(h.samplers, sm)
+	}
+}
+
+// SetSampleInterval enables interval sampling every n cycles (n <= 0
+// disables it).
+func (h *Hub) SetSampleInterval(n int64) {
+	h.interval = n
+	h.next = n
+}
+
+// Emit fans one event out to every sink.
+func (h *Hub) Emit(ev Event) {
+	for _, s := range h.sinks {
+		s.Emit(ev)
+	}
+}
+
+// Now returns the current simulated cycle (for emitters, like the cache
+// structures, that are not handed the cycle explicitly).
+func (h *Hub) Now() int64 { return h.cycle }
+
+// Tick is called by the system driver once per processed cycle. It
+// advances the hub clock and fires interval samples when a boundary is
+// crossed (fast-forwarded gaps produce one sample at the first processed
+// cycle past the boundary).
+func (h *Hub) Tick(cycle int64, st *stats.Stats) {
+	h.cycle = cycle
+	if h.interval <= 0 || cycle < h.next {
+		return
+	}
+	h.sample(cycle, st)
+	h.next = (cycle/h.interval + 1) * h.interval
+}
+
+// FinalSample emits the end-of-run sample (the aggregate counters) to
+// every sampler, unless an interval sample already landed on this cycle.
+func (h *Hub) FinalSample(cycle int64, st *stats.Stats) {
+	if h.lastSampled == cycle {
+		return
+	}
+	h.sample(cycle, st)
+}
+
+func (h *Hub) sample(cycle int64, st *stats.Stats) {
+	snap := *st
+	snap.Cycles = cycle
+	for _, s := range h.samplers {
+		s.Sample(cycle, snap)
+	}
+	h.lastSampled = cycle
+}
+
+// Close closes every sink, returning the first error.
+func (h *Hub) Close() error {
+	var first error
+	for _, s := range h.sinks {
+		if err := s.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// CountingSink counts events without recording them — the null sink used
+// by tests and the overhead benchmark.
+type CountingSink struct {
+	Events  int64
+	Samples int64
+}
+
+// Emit counts the event.
+func (c *CountingSink) Emit(Event) { c.Events++ }
+
+// Sample counts the sample.
+func (c *CountingSink) Sample(int64, stats.Stats) { c.Samples++ }
+
+// Close is a no-op.
+func (c *CountingSink) Close() error { return nil }

@@ -1,0 +1,142 @@
+package probe_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rats/internal/core"
+	"rats/internal/probe"
+	"rats/internal/sim/memsys"
+	"rats/internal/sim/system"
+	"rats/internal/trace"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// twoWarpTrace is a small deterministic workload touching every probe
+// surface: loads (hits and misses), scoped and global atomics, a
+// barrier, and enough ops to cross CU boundaries on the NoC.
+func twoWarpTrace() *trace.Trace {
+	tr := trace.New("two-warp")
+	w0 := tr.AddWarp(0)
+	w0.Load(core.Data, 0x1000, 0x1040)
+	w0.Atomic(core.Paired, core.OpInc, 0, 0x4000)
+	w0.Compute(4)
+	w0.Load(core.Data, 0x1000) // repeat: should hit
+	w0.Barrier()
+	w0.Atomic(core.Commutative, core.OpAdd, 2, 0x8000)
+	w1 := tr.AddWarp(1)
+	w1.Load(core.Data, 0x2000)
+	w1.AtomicScoped(trace.ScopeLocal, core.Paired, core.OpInc, 0, 0x4100)
+	w1.Barrier()
+	w1.Atomic(core.Commutative, core.OpAdd, 3, 0x8000)
+	return tr
+}
+
+// runWithHub executes the two-warp workload under DeNovo/DRF0 (the
+// ownership-rich configuration) with the given hub attached.
+func runWithHub(t *testing.T, hub *probe.Hub) *system.Result {
+	t.Helper()
+	sys := system.New(memsys.Default(memsys.ProtoDeNovo, core.DRF0))
+	sys.AttachProbe(hub)
+	if err := sys.Load(twoWarpTrace()); err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hub.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestChromeTraceGolden pins the exact Chrome trace JSON for the
+// two-warp workload. The simulator is deterministic, so any drift in
+// emission points or encoding shows up as a golden diff. Regenerate
+// with `go test ./internal/probe -run Golden -update`.
+func TestChromeTraceGolden(t *testing.T) {
+	var buf bytes.Buffer
+	hub := probe.NewHub()
+	hub.Attach(probe.NewChromeTrace(&buf))
+	runWithHub(t, hub)
+
+	// The output must be well-formed Chrome trace JSON regardless of
+	// golden state.
+	var doc struct {
+		DisplayTimeUnit string           `json:"displayTimeUnit"`
+		TraceEvents     []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("chrome trace has no events")
+	}
+
+	golden := filepath.Join("testdata", "chrome_two_warp.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden (run with -update): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("chrome trace drifted from golden (%d vs %d bytes); run with -update and review the diff",
+			buf.Len(), len(want))
+	}
+}
+
+// TestIntervalFinalSampleMatchesStats: the last interval sample must be
+// the end-of-run aggregate — every counter, not an approximation.
+func TestIntervalFinalSampleMatchesStats(t *testing.T) {
+	var buf bytes.Buffer
+	sink := probe.NewIntervalSink(&buf, probe.FormatCSV)
+	hub := probe.NewHub()
+	hub.Attach(sink)
+	hub.SetSampleInterval(50)
+	res := runWithHub(t, hub)
+
+	if sink.Count() < 2 {
+		t.Fatalf("expected >=2 samples over %d cycles at interval 50, got %d",
+			res.Stats.Cycles, sink.Count())
+	}
+	if sink.Last() != res.Stats {
+		t.Errorf("final sample differs from end-of-run stats\nsample: %+v\nstats:  %+v",
+			sink.Last(), res.Stats)
+	}
+}
+
+// TestStallSumsBounded: per-warp stall intervals are disjoint by
+// construction, so each warp's attributed total can never exceed the
+// run length.
+func TestStallSumsBounded(t *testing.T) {
+	sink := probe.NewStallSink()
+	hub := probe.NewHub()
+	hub.Attach(sink)
+	res := runWithHub(t, hub)
+
+	warps := sink.Warps()
+	if len(warps) == 0 {
+		t.Fatal("no stalls recorded for a workload with misses and barriers")
+	}
+	for _, w := range warps {
+		if tot := sink.WarpTotal(w); tot > res.Stats.Cycles {
+			t.Errorf("warp %d attributed %d stall cycles > run length %d", w, tot, res.Stats.Cycles)
+		}
+	}
+	if table := sink.Table(res.Stats.Cycles); table == "" {
+		t.Error("empty stall table")
+	}
+}

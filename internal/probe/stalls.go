@@ -1,0 +1,115 @@
+package probe
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// StallSink aggregates StallEnd durations into a per-warp breakdown of
+// where issue slots went: structural back-pressure, memory, barriers,
+// full store buffers, and consistency actions (the acquire/release/
+// serialization costs the paper's models trade against each other). Per
+// warp the intervals are disjoint, so every row's total is bounded by
+// the run's total cycles.
+type StallSink struct {
+	perWarp map[int]*[NumStallReasons]int64
+	node    map[int]int
+}
+
+// NewStallSink builds an empty aggregator.
+func NewStallSink() *StallSink {
+	return &StallSink{perWarp: map[int]*[NumStallReasons]int64{}, node: map[int]int{}}
+}
+
+// Emit accumulates stall-end durations; other events are ignored.
+func (s *StallSink) Emit(ev Event) {
+	if ev.Kind != StallEnd {
+		return
+	}
+	row := s.perWarp[ev.Warp]
+	if row == nil {
+		row = &[NumStallReasons]int64{}
+		s.perWarp[ev.Warp] = row
+		s.node[ev.Warp] = ev.Node
+	}
+	row[ev.Reason] += ev.Arg
+}
+
+// Close is a no-op (the sink holds no buffered output).
+func (s *StallSink) Close() error { return nil }
+
+// reasonOrder lists the reported columns (StallNone excluded).
+var reasonOrder = []StallReason{
+	StallIssue, StallMemory, StallBarrier, StallStoreBufferFull, StallConsistency,
+}
+
+// Warps returns the warp ids with recorded stalls, sorted.
+func (s *StallSink) Warps() []int {
+	ids := make([]int, 0, len(s.perWarp))
+	for id := range s.perWarp {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	return ids
+}
+
+// WarpTotal returns one warp's summed stall cycles.
+func (s *StallSink) WarpTotal(warp int) int64 {
+	row := s.perWarp[warp]
+	if row == nil {
+		return 0
+	}
+	var t int64
+	for _, r := range reasonOrder {
+		t += row[r]
+	}
+	return t
+}
+
+// ReasonTotals sums each reason across all warps.
+func (s *StallSink) ReasonTotals() [NumStallReasons]int64 {
+	var out [NumStallReasons]int64
+	for _, row := range s.perWarp {
+		for r, v := range row {
+			out[r] += v
+		}
+	}
+	return out
+}
+
+// Table renders the per-warp breakdown. totalCycles (the run length)
+// gives each warp's stall share.
+func (s *StallSink) Table(totalCycles int64) string {
+	var b strings.Builder
+	b.WriteString("per-warp stall attribution (cycles)\n")
+	fmt.Fprintf(&b, "  %-6s %-4s", "warp", "node")
+	for _, r := range reasonOrder {
+		fmt.Fprintf(&b, " %18s", r)
+	}
+	fmt.Fprintf(&b, " %12s %8s\n", "total", "of run")
+	var grand [NumStallReasons]int64
+	for _, id := range s.Warps() {
+		row := s.perWarp[id]
+		fmt.Fprintf(&b, "  %-6d %-4d", id, s.node[id])
+		var t int64
+		for _, r := range reasonOrder {
+			fmt.Fprintf(&b, " %18d", row[r])
+			t += row[r]
+			grand[r] += row[r]
+		}
+		share := 0.0
+		if totalCycles > 0 {
+			share = float64(t) / float64(totalCycles) * 100
+		}
+		fmt.Fprintf(&b, " %12d %7.1f%%\n", t, share)
+	}
+	fmt.Fprintf(&b, "  %-6s %-4s", "all", "")
+	var t int64
+	for _, r := range reasonOrder {
+		fmt.Fprintf(&b, " %18d", grand[r])
+		t += grand[r]
+	}
+	fmt.Fprintf(&b, " %12d\n", t)
+	return b.String()
+}

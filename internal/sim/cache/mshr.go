@@ -1,5 +1,7 @@
 package cache
 
+import "rats/internal/probe"
+
 // MSHR is a miss-status holding register file keyed by line address.
 // Multiple requests to the same line coalesce into one entry — the
 // mechanism that lets DeNovo's L1 absorb bursts of overlapped atomics to
@@ -10,6 +12,11 @@ type MSHR struct {
 	capacity int
 	targets  int
 	entries  map[uint64]*MSHREntry
+
+	// probe, when non-nil, receives alloc/coalesce events attributed to
+	// node (the owning L1).
+	probe *probe.Hub
+	node  int
 }
 
 // MSHREntry tracks one outstanding line request.
@@ -29,8 +36,25 @@ func NewMSHR(capacity, targets int) *MSHR {
 	return &MSHR{capacity: capacity, targets: targets, entries: make(map[uint64]*MSHREntry)}
 }
 
+// AttachProbe routes alloc/coalesce events to the hub, attributed to the
+// owning L1's node.
+func (m *MSHR) AttachProbe(h *probe.Hub, node int) {
+	m.probe = h
+	m.node = node
+}
+
 // CanCoalesce reports whether the entry has a free target slot.
 func (m *MSHR) CanCoalesce(e *MSHREntry) bool { return len(e.Waiters) < m.targets }
+
+// Coalesce parks a request on an existing entry. The caller must have
+// checked CanCoalesce.
+func (m *MSHR) Coalesce(e *MSHREntry, w any) {
+	e.Waiters = append(e.Waiters, w)
+	if h := m.probe; h != nil {
+		h.Emit(probe.Event{Cycle: h.Now(), Comp: probe.CompL1, Node: m.node, Warp: -1,
+			Kind: probe.MSHRCoalesce, Addr: e.LineAddr, Arg: int64(len(e.Waiters))})
+	}
+}
 
 // Lookup returns the entry for a line, or nil.
 func (m *MSHR) Lookup(lineAddr uint64) *MSHREntry { return m.entries[lineAddr] }
@@ -49,6 +73,14 @@ func (m *MSHR) Allocate(lineAddr uint64, wantOwnership bool) *MSHREntry {
 	}
 	e := &MSHREntry{LineAddr: lineAddr, WantOwnership: wantOwnership}
 	m.entries[lineAddr] = e
+	if h := m.probe; h != nil {
+		own := int64(0)
+		if wantOwnership {
+			own = 1
+		}
+		h.Emit(probe.Event{Cycle: h.Now(), Comp: probe.CompL1, Node: m.node, Warp: -1,
+			Kind: probe.MSHRAlloc, Addr: lineAddr, Arg: own})
+	}
 	return e
 }
 

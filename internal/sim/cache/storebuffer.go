@@ -1,5 +1,7 @@
 package cache
 
+import "rats/internal/probe"
+
 // StoreBuffer models the per-core FIFO of stores that have issued but not
 // yet become globally visible. Under GPU coherence entries drain as
 // write-throughs to the LLC; under DeNovo they drain as ownership
@@ -13,6 +15,18 @@ type StoreBuffer struct {
 	// unacked counts entries drained into the memory system whose
 	// completion acknowledgements are still pending.
 	unacked int
+
+	// probe, when non-nil, receives fill/drain events attributed to node
+	// (the owning L1).
+	probe *probe.Hub
+	node  int
+}
+
+// AttachProbe routes fill/drain events to the hub, attributed to the
+// owning L1's node.
+func (b *StoreBuffer) AttachProbe(h *probe.Hub, node int) {
+	b.probe = h
+	b.node = node
 }
 
 // NewStoreBuffer builds a buffer with the given capacity.
@@ -32,6 +46,10 @@ func (b *StoreBuffer) Push(e any) {
 		panic("cache: store buffer push when full")
 	}
 	b.queue = append(b.queue, e)
+	if h := b.probe; h != nil {
+		h.Emit(probe.Event{Cycle: h.Now(), Comp: probe.CompL1, Node: b.node, Warp: -1,
+			Kind: probe.SBFill, Arg: int64(len(b.queue))})
+	}
 }
 
 // Pop drains the oldest entry into the memory system, incrementing the
@@ -43,6 +61,10 @@ func (b *StoreBuffer) Pop() any {
 	e := b.queue[0]
 	b.queue = b.queue[1:]
 	b.unacked++
+	if h := b.probe; h != nil {
+		h.Emit(probe.Event{Cycle: h.Now(), Comp: probe.CompL1, Node: b.node, Warp: -1,
+			Kind: probe.SBDrain, Arg: int64(len(b.queue))})
+	}
 	return e
 }
 

@@ -8,6 +8,7 @@ package cu
 
 import (
 	"rats/internal/core"
+	"rats/internal/probe"
 	"rats/internal/sim/memsys"
 	"rats/internal/stats"
 	"rats/internal/trace"
@@ -17,6 +18,8 @@ import (
 type warpState struct {
 	ops *trace.Warp
 	pc  int
+	// id is the global warp index (probe attribution).
+	id int
 
 	// busyUntil blocks issue during compute/scratch ops.
 	busyUntil int64
@@ -37,6 +40,11 @@ type warpState struct {
 	// trailing compute and outstanding memory operations finish.
 	atEnd bool
 	done  bool
+
+	// curStall/stallSince track the open stall interval for the probe
+	// layer (maintained only when a hub is attached).
+	curStall   probe.StallReason
+	stallSince int64
 }
 
 // CU drives the warps placed on one node.
@@ -64,9 +72,11 @@ func New(env *memsys.Env, node int, l1 *memsys.L1, txnSeq *int64) *CU {
 	return &CU{env: env, node: node, l1: l1, txnSeq: txnSeq, st: env.Stats}
 }
 
-// AddWarp assigns a warp to this CU.
+// AddWarp assigns a warp to this CU, numbering it globally in placement
+// order.
 func (c *CU) AddWarp(w *trace.Warp) {
-	ws := &warpState{ops: w}
+	ws := &warpState{ops: w, id: c.env.WarpSeq}
+	c.env.WarpSeq++
 	if len(w.Ops) == 0 {
 		ws.atEnd = true
 		ws.done = true
@@ -175,6 +185,10 @@ func (c *CU) issueOp(cycle int64, w *warpState, op *trace.Op) bool {
 			w.waitingFlush = true
 			w.flushDone = false
 			c.st.ReleaseFlushes++
+			if h := c.env.Probe; h != nil {
+				h.Emit(probe.Event{Cycle: cycle, Comp: probe.CompCU, Node: c.node,
+					Warp: w.id, Kind: probe.ReleaseFlush})
+			}
 			c.l1.Flush(cycle, func(int64) { w.flushDone = true })
 		}
 		if !w.flushDone {
@@ -206,7 +220,7 @@ func (c *CU) issueOp(cycle int64, w *warpState, op *trace.Op) bool {
 		w.outLoads++
 		remaining := len(lines)
 		for _, line := range lines {
-			c.push(&memsys.Txn{
+			c.push(w, &memsys.Txn{
 				Kind: memsys.TxnLoad, Addr: line * c.env.Cfg.LineSize, Class: op.Class,
 				AOp: core.OpLoad,
 				Done: func(int64, int64) {
@@ -222,7 +236,7 @@ func (c *CU) issueOp(cycle int64, w *warpState, op *trace.Op) bool {
 		for _, line := range c.linesOf(op.Addrs) {
 			// Stores complete into the store buffer; they do not hold the
 			// warp. Flush semantics make them visible.
-			c.push(&memsys.Txn{
+			c.push(w, &memsys.Txn{
 				Kind: memsys.TxnStore, Addr: line * c.env.Cfg.LineSize, Class: op.Class,
 				AOp:  core.OpStore,
 				Done: func(int64, int64) {},
@@ -236,7 +250,7 @@ func (c *CU) issueOp(cycle int64, w *warpState, op *trace.Op) bool {
 			if op.Operands != nil {
 				operand = op.Operands[i]
 			}
-			c.push(&memsys.Txn{
+			c.push(w, &memsys.Txn{
 				Kind: memsys.TxnAtomic, Addr: a, Class: op.Class,
 				LocalScope: op.Scope == trace.ScopeLocal,
 				AOp:        op.AOp, Operand: operand,
@@ -265,10 +279,15 @@ func (c *CU) clearFence(w *warpState) {
 	}
 }
 
-func (c *CU) push(t *memsys.Txn) {
+func (c *CU) push(w *warpState, t *memsys.Txn) {
 	*c.txnSeq++
 	t.ID = *c.txnSeq
+	t.Warp = w.id
 	c.coalescer = append(c.coalescer, t)
+	if h := c.env.Probe; h != nil {
+		h.Emit(probe.Event{Cycle: h.Now(), Comp: probe.CompCU, Node: c.node, Warp: w.id,
+			Kind: probe.CoalescerPush, Txn: t.ID, Addr: t.Addr, Arg: int64(len(c.coalescer))})
+	}
 }
 
 // Tick advances the CU one cycle: retire finished warps, drain the
@@ -284,8 +303,12 @@ func (c *CU) Tick(cycle int64) {
 	}
 	// Coalescer → L1 (one transaction per cycle port).
 	if len(c.coalescer) > 0 {
-		if c.l1.TryIssue(cycle, c.coalescer[0]) {
+		if t := c.coalescer[0]; c.l1.TryIssue(cycle, t) {
 			c.coalescer = c.coalescer[1:]
+			if h := c.env.Probe; h != nil {
+				h.Emit(probe.Event{Cycle: cycle, Comp: probe.CompCU, Node: c.node,
+					Warp: t.Warp, Kind: probe.CoalescerDrain, Txn: t.ID, Addr: t.Addr})
+			}
 		}
 	}
 
@@ -297,6 +320,9 @@ func (c *CU) Tick(cycle int64) {
 		if !c.issueOne(cycle) {
 			break
 		}
+	}
+	if h := c.env.Probe; h != nil {
+		c.trackStalls(cycle, h)
 	}
 }
 
@@ -327,6 +353,10 @@ func (c *CU) issueOne(cycle int64) bool {
 		case trace.Barrier:
 			w.atBarrier = true
 			c.barrierWaiters++
+			if h := c.env.Probe; h != nil {
+				h.Emit(probe.Event{Cycle: cycle, Comp: probe.CompCU, Node: c.node,
+					Warp: w.id, Kind: probe.BarrierArrive})
+			}
 			c.rr = (c.rr + k + 1) % nw
 			return true
 		case trace.Join:
@@ -337,6 +367,10 @@ func (c *CU) issueOne(cycle int64) bool {
 				continue
 			}
 			c.st.CoreOps++
+		}
+		if h := c.env.Probe; h != nil {
+			h.Emit(probe.Event{Cycle: cycle, Comp: probe.CompCU, Node: c.node,
+				Warp: w.id, Kind: probe.WarpIssue, Arg: int64(op.Kind)})
 		}
 		w.pc++
 		if w.pc >= len(w.ops.Ops) {
@@ -385,4 +419,99 @@ func (c *CU) RetiredWarps() int {
 		}
 	}
 	return n
+}
+
+// stallReasonOf classifies why a warp cannot issue this cycle (probe
+// attribution; mirrors the gates in canIssue/issueOp).
+func (c *CU) stallReasonOf(w *warpState, cycle int64) probe.StallReason {
+	switch {
+	case w.done:
+		return probe.StallNone
+	case w.atBarrier:
+		return probe.StallBarrier
+	case w.atEnd:
+		if w.outLoads > 0 || w.outAtomics > 0 {
+			return probe.StallMemory
+		}
+		return probe.StallNone
+	case w.busyUntil > cycle:
+		return probe.StallNone // compute-occupied, not a stall
+	case w.fence:
+		return probe.StallConsistency // SC access draining
+	case w.waitingFlush && !w.flushDone:
+		return probe.StallConsistency // release flush in progress
+	}
+	op := &w.ops.Ops[w.pc]
+	if !op.Kind.IsMem() && op.Kind != trace.Barrier && op.Kind != trace.Join {
+		return probe.StallNone
+	}
+	if op.Kind == trace.Barrier || op.Kind == trace.Join {
+		if w.outLoads > 0 || w.outAtomics > 0 {
+			return probe.StallMemory
+		}
+		return probe.StallNone
+	}
+	b := c.env.Cfg.Behavior(op.Class)
+	if b.Overlap == core.OverlapNone && (w.outLoads > 0 || w.outAtomics > 0) {
+		return probe.StallConsistency
+	}
+	if b.Overlap == core.OverlapAtomicSerial && op.Kind == trace.Atomic && w.outAtomics > 0 {
+		return probe.StallConsistency
+	}
+	if w.outLoads+w.outAtomics >= c.env.Cfg.MaxOutstandingPerWarp {
+		return probe.StallMemory
+	}
+	if op.Kind == trace.Atomic && w.outAtomics >= c.env.Cfg.MaxOutstandingAtomicsPerWarp {
+		return probe.StallMemory
+	}
+	var txns int
+	switch op.Kind {
+	case trace.Load, trace.Store:
+		txns = len(c.linesOf(op.Addrs))
+	case trace.Atomic:
+		txns = len(op.Addrs)
+	}
+	if len(c.coalescer)+txns > c.env.Cfg.CoalescerQueue {
+		if c.l1.SBFull() {
+			return probe.StallStoreBufferFull
+		}
+		return probe.StallIssue
+	}
+	return probe.StallNone
+}
+
+// trackStalls maintains each warp's open stall interval, emitting
+// begin/end events on transitions. It runs once per processed cycle when
+// a hub is attached, so intervals span fast-forwarded gaps and each
+// warp's stall intervals are disjoint (their sum is bounded by the run's
+// total cycles).
+func (c *CU) trackStalls(cycle int64, h *probe.Hub) {
+	for _, w := range c.warps {
+		r := c.stallReasonOf(w, cycle)
+		if r == w.curStall {
+			continue
+		}
+		if w.curStall != probe.StallNone {
+			h.Emit(probe.Event{Cycle: cycle, Comp: probe.CompCU, Node: c.node, Warp: w.id,
+				Kind: probe.StallEnd, Reason: w.curStall, Arg: cycle - w.stallSince})
+		}
+		if r != probe.StallNone {
+			w.stallSince = cycle
+			h.Emit(probe.Event{Cycle: cycle, Comp: probe.CompCU, Node: c.node, Warp: w.id,
+				Kind: probe.StallBegin, Reason: r})
+		}
+		w.curStall = r
+	}
+}
+
+// CloseStalls ends any open stall intervals (called by the system driver
+// at the end of the run so no stalled cycles are lost).
+func (c *CU) CloseStalls(cycle int64, h *probe.Hub) {
+	for _, w := range c.warps {
+		if w.curStall != probe.StallNone {
+			h.Emit(probe.Event{Cycle: cycle, Comp: probe.CompCU, Node: c.node, Warp: w.id,
+				Kind: probe.StallEnd, Reason: w.curStall, Arg: cycle - w.stallSince})
+			w.curStall = probe.StallNone
+		}
+	}
 }

@@ -2,6 +2,7 @@ package memsys
 
 import (
 	"rats/internal/core"
+	"rats/internal/probe"
 	"rats/internal/sim/noc"
 	"rats/internal/stats"
 )
@@ -21,6 +22,12 @@ type Env struct {
 	Values map[uint64]int64
 	// At schedules fn to run at the given cycle (>= current).
 	At func(cycle int64, fn func(int64))
+	// Probe is the observability hub, or nil when disabled. Emission
+	// sites guard with a nil check so disabled runs pay nothing.
+	Probe *probe.Hub
+	// WarpSeq numbers warps globally in placement order (probe warp
+	// ids).
+	WarpSeq int
 }
 
 // ApplyAtomic performs an atomic on the value layer and returns the old
@@ -45,6 +52,9 @@ type Txn struct {
 	Class   core.Class
 	AOp     core.AtomicOp
 	Operand int64
+	// Warp is the issuing warp's global id (probe attribution); -1 for
+	// transactions not tied to a warp.
+	Warp int
 	// LocalScope marks an HRF work-group-scoped atomic: it may perform at
 	// the L1 without coherence actions (the programmer guarantees no
 	// cross-CU access between global synchronizations).

@@ -3,6 +3,7 @@ package memsys
 import (
 	"fmt"
 
+	"rats/internal/probe"
 	"rats/internal/sim/cache"
 	"rats/internal/sim/noc"
 )
@@ -56,6 +57,22 @@ func NewL1(env *Env, node int) *L1 {
 	}
 }
 
+// AttachProbe routes this controller's structure events (MSHR, store
+// buffer) to the hub; the controller's own events go through env.Probe.
+func (l *L1) AttachProbe(h *probe.Hub) {
+	l.mshr.AttachProbe(h, l.node)
+	l.sb.AttachProbe(h, l.node)
+}
+
+// emitTxn reports a tag-lookup outcome (or similar per-transaction
+// event) when a probe hub is attached.
+func (l *L1) emitTxn(cycle int64, kind probe.Kind, txn *Txn) {
+	if h := l.env.Probe; h != nil {
+		h.Emit(probe.Event{Cycle: cycle, Comp: probe.CompL1, Node: l.node,
+			Warp: txn.Warp, Kind: kind, Txn: txn.ID, Addr: txn.Addr})
+	}
+}
+
 func (l *L1) send(cycle int64, dst, flits int, payload any) {
 	l.env.Mesh.Send(cycle, noc.Message{Src: l.node, Dst: dst, Flits: flits, Payload: payload})
 }
@@ -67,6 +84,10 @@ func (l *L1) insertLine(cycle int64, line uint64, st cache.State, dirty bool) {
 	v, evicted := l.array.Insert(line, st, dirty)
 	if evicted && v.State == cache.Owned {
 		l.env.Stats.Writebacks++
+		if h := l.env.Probe; h != nil {
+			h.Emit(probe.Event{Cycle: cycle, Comp: probe.CompL1, Node: l.node, Warp: -1,
+				Kind: probe.Writeback, Addr: v.LineAddr * l.env.Cfg.LineSize})
+		}
 		l.send(cycle, l.home(v.LineAddr), l.env.Cfg.DataFlits, wbReq{Line: v.LineAddr, Requester: l.node})
 	}
 }
@@ -84,6 +105,7 @@ func (l *L1) TryIssue(cycle int64, txn *Txn) bool {
 		if l.array.Lookup(line) != cache.Invalid {
 			st.L1Accesses++
 			st.L1Hits++
+			l.emitTxn(cycle, probe.CacheHit, txn)
 			l.env.At(cycle+cfg.L1HitLat, func(c int64) { txn.Done(c, l.env.Read(txn.Addr)) })
 			return true
 		}
@@ -95,7 +117,8 @@ func (l *L1) TryIssue(cycle int64, txn *Txn) bool {
 			st.L1Accesses++
 			st.L1Misses++
 			st.MSHRCoalesced++
-			e.Waiters = append(e.Waiters, txn)
+			l.emitTxn(cycle, probe.CacheMiss, txn)
+			l.mshr.Coalesce(e, txn)
 			return true
 		}
 		if l.mshr.Full() {
@@ -104,6 +127,7 @@ func (l *L1) TryIssue(cycle int64, txn *Txn) bool {
 		}
 		st.L1Accesses++
 		st.L1Misses++
+		l.emitTxn(cycle, probe.CacheMiss, txn)
 		e := l.mshr.Allocate(line, false)
 		e.Waiters = append(e.Waiters, txn)
 		l.send(cycle, l.home(line), cfg.ControlFlits, readReq{Line: line, Requester: l.node})
@@ -125,6 +149,7 @@ func (l *L1) TryIssue(cycle int64, txn *Txn) bool {
 			// the L1 with no coherence traffic under either protocol.
 			st.L1Accesses++
 			st.L1Hits++
+			l.emitTxn(cycle, probe.CacheHit, txn)
 			l.performLocalAtomic(cycle, txn)
 			return true
 		}
@@ -143,6 +168,7 @@ func (l *L1) TryIssue(cycle int64, txn *Txn) bool {
 		if l.array.Lookup(line) == cache.Owned {
 			st.L1Accesses++
 			st.L1Hits++
+			l.emitTxn(cycle, probe.CacheHit, txn)
 			l.performLocalAtomic(cycle, txn)
 			return true
 		}
@@ -154,7 +180,8 @@ func (l *L1) TryIssue(cycle int64, txn *Txn) bool {
 			st.L1Accesses++
 			st.L1Misses++
 			st.MSHRCoalesced++
-			e.Waiters = append(e.Waiters, txn)
+			l.emitTxn(cycle, probe.CacheMiss, txn)
+			l.mshr.Coalesce(e, txn)
 			e.WantOwnership = true
 			return true
 		}
@@ -164,6 +191,8 @@ func (l *L1) TryIssue(cycle int64, txn *Txn) bool {
 		}
 		st.L1Accesses++
 		st.L1Misses++
+		l.emitTxn(cycle, probe.CacheMiss, txn)
+		l.emitTxn(cycle, probe.OwnershipRequest, txn)
 		e := l.mshr.Allocate(line, true)
 		e.Waiters = append(e.Waiters, txn)
 		l.send(cycle, l.home(line), cfg.ControlFlits, ownReq{Line: line, Requester: l.node})
@@ -184,6 +213,7 @@ func (l *L1) performLocalAtomic(cycle int64, txn *Txn) {
 	l.env.At(done, func(c int64) {
 		l.env.Stats.Atomics++
 		l.env.Stats.AtomicsAtL1++
+		l.emitTxn(c, probe.AtomicPerformed, txn)
 		old := l.env.ApplyAtomic(txn.Addr, txn.AOp, txn.Operand)
 		txn.Done(c, old)
 	})
@@ -317,7 +347,7 @@ func (l *L1) Tick(cycle int64) {
 				st.L1Misses++
 				st.MSHRCoalesced++
 				e := l.mshr.Lookup(entry.line)
-				e.Waiters = append(e.Waiters, entry)
+				l.mshr.Coalesce(e, entry)
 				e.WantOwnership = true
 				l.sb.Pop()
 			case !l.mshr.Full():
@@ -326,6 +356,10 @@ func (l *L1) Tick(cycle int64) {
 				me := l.mshr.Allocate(entry.line, true)
 				me.Waiters = append(me.Waiters, entry)
 				l.sb.Pop()
+				if h := l.env.Probe; h != nil {
+					h.Emit(probe.Event{Cycle: cycle, Comp: probe.CompL1, Node: l.node, Warp: -1,
+						Kind: probe.OwnershipRequest, Addr: entry.line * cfg.LineSize})
+				}
 				l.send(cycle, l.home(entry.line), cfg.ControlFlits, ownReq{Line: entry.line, Requester: l.node})
 			default:
 				// MSHR full: retry next cycle.
@@ -354,6 +388,10 @@ func (l *L1) Flush(cycle int64, cb func(int64)) {
 // SBDrained reports whether the store buffer is empty and acknowledged.
 func (l *L1) SBDrained() bool { return l.sb.Drained() }
 
+// SBFull reports whether the store buffer cannot accept another store
+// (probe stall attribution).
+func (l *L1) SBFull() bool { return l.sb.Full() }
+
 // AcquireInvalidate performs the acquire-side self-invalidation: GPU
 // coherence drops everything; DeNovo keeps owned lines.
 func (l *L1) AcquireInvalidate() {
@@ -363,7 +401,12 @@ func (l *L1) AcquireInvalidate() {
 	if l.env.Cfg.Protocol == ProtoDeNovo {
 		keep = func(ln cache.Line) bool { return ln.State == cache.Owned }
 	}
-	st.LinesInvalidated += int64(l.array.FlashInvalidate(keep))
+	dropped := int64(l.array.FlashInvalidate(keep))
+	st.LinesInvalidated += dropped
+	if h := l.env.Probe; h != nil {
+		h.Emit(probe.Event{Cycle: h.Now(), Comp: probe.CompL1, Node: l.node, Warp: -1,
+			Kind: probe.AcquireInvalidation, Arg: dropped})
+	}
 }
 
 // Quiesced reports whether the controller has no outstanding work.

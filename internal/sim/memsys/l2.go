@@ -1,6 +1,7 @@
 package memsys
 
 import (
+	"rats/internal/probe"
 	"rats/internal/sim/cache"
 	"rats/internal/sim/noc"
 )
@@ -43,18 +44,28 @@ func (b *L2Bank) Owner(line uint64) int {
 	return -1
 }
 
+// emit reports a bank event when a probe hub is attached.
+func (b *L2Bank) emit(cycle int64, kind probe.Kind, addr uint64, arg int64) {
+	if h := b.env.Probe; h != nil {
+		h.Emit(probe.Event{Cycle: cycle, Comp: probe.CompL2, Node: b.node, Warp: -1,
+			Kind: kind, Addr: addr, Arg: arg})
+	}
+}
+
 // serveLine ensures the line is present in the bank, returning the cycle
 // at which its data is available. Misses go to the bank's DRAM port.
 func (b *L2Bank) serveLine(cycle int64, line uint64, dirty bool) int64 {
 	st := b.env.Stats
 	if b.array.Lookup(line) != cache.Invalid {
 		st.L2Hits++
+		b.emit(cycle, probe.CacheHit, line*b.env.Cfg.LineSize, 0)
 		if dirty {
 			b.array.SetDirty(line)
 		}
 		return cycle + b.env.Cfg.L2Lat
 	}
 	st.L2Misses++
+	b.emit(cycle, probe.CacheMiss, line*b.env.Cfg.LineSize, 0)
 	st.DRAMAccesses++
 	start := cycle + b.env.Cfg.L2Lat
 	if b.dramFree > start {
@@ -84,6 +95,7 @@ func (b *L2Bank) Handle(cycle int64, payload any) {
 		if owner := b.Owner(m.Line); cfg.Protocol == ProtoDeNovo && owner >= 0 && owner != m.Requester {
 			// Three-hop: ask the owning L1 to supply the requester.
 			st.RemoteL1Forwards++
+			b.emit(cycle, probe.RemoteForward, m.Line*cfg.LineSize, int64(owner))
 			b.send(cycle+cfg.L2TagLat, owner, cfg.ControlFlits, fwdRead{Line: m.Line, Requester: m.Requester})
 			return
 		}
@@ -97,9 +109,11 @@ func (b *L2Bank) Handle(cycle int64, payload any) {
 		b.registry[m.Line] = m.Requester
 		if prev >= 0 && prev != m.Requester {
 			st.RemoteL1Forwards++
+			b.emit(cycle, probe.RemoteForward, m.Line*cfg.LineSize, int64(prev))
 			b.send(cycle+cfg.L2TagLat, prev, cfg.ControlFlits, fwdOwn{Line: m.Line, Requester: m.Requester})
 			return
 		}
+		b.emit(cycle, probe.OwnershipGrant, m.Line*cfg.LineSize, int64(m.Requester))
 		ready := b.serveLine(cycle, m.Line, false)
 		b.send(ready, m.Requester, cfg.DataFlits, ownResp{Line: m.Line})
 
@@ -128,6 +142,7 @@ func (b *L2Bank) Handle(cycle int64, payload any) {
 		b.env.At(done, func(c int64) {
 			st.Atomics++
 			st.AtomicsAtL2++
+			b.emit(c, probe.AtomicPerformed, req.Addr, req.ID)
 			old := b.env.ApplyAtomic(req.Addr, req.AOp, req.Operand)
 			b.send(c, req.Requester, cfg.ControlFlits, atomicResp{ID: req.ID, Value: old})
 		})

@@ -10,6 +10,7 @@ import (
 	"container/heap"
 	"fmt"
 
+	"rats/internal/probe"
 	"rats/internal/stats"
 )
 
@@ -57,7 +58,11 @@ type Mesh struct {
 	seq      int64
 	recv     []func(Message)
 	stats    *stats.Stats
+	probe    *probe.Hub
 }
+
+// AttachProbe routes enqueue/hop/deliver events to the hub.
+func (m *Mesh) AttachProbe(h *probe.Hub) { m.probe = h }
 
 // NewMesh builds a width x height mesh.
 func NewMesh(width, height int, hopLatency int64, st *stats.Stats) *Mesh {
@@ -130,6 +135,11 @@ func (m *Mesh) Send(cycle int64, msg Message) {
 	if msg.Flits <= 0 {
 		msg.Flits = 1
 	}
+	m.seq++
+	if h := m.probe; h != nil {
+		h.Emit(probe.Event{Cycle: cycle, Comp: probe.CompNoC, Node: msg.Src, Warp: -1,
+			Kind: probe.NoCEnqueue, Txn: m.seq, Arg: int64(msg.Dst), Aux: int64(msg.Flits)})
+	}
 	t := cycle
 	if msg.Src != msg.Dst {
 		prev := msg.Src
@@ -142,6 +152,10 @@ func (m *Mesh) Send(cycle int64, msg Message) {
 			m.nextFree[l] = depart + int64(msg.Flits)
 			t = depart + m.HopLatency
 			m.stats.NoCFlitHops += int64(msg.Flits)
+			if h := m.probe; h != nil {
+				h.Emit(probe.Event{Cycle: t, Comp: probe.CompNoC, Node: next, Warp: -1,
+					Kind: probe.NoCHop, Txn: m.seq, Aux: int64(msg.Flits)})
+			}
 			prev = next
 		}
 	} else {
@@ -149,7 +163,6 @@ func (m *Mesh) Send(cycle int64, msg Message) {
 		t += m.HopLatency
 	}
 	m.stats.NoCMessages++
-	m.seq++
 	heap.Push(&m.inbox, inflight{arrival: t, seq: m.seq, msg: msg})
 }
 
@@ -160,6 +173,10 @@ func (m *Mesh) Tick(cycle int64) {
 		r := m.recv[f.msg.Dst]
 		if r == nil {
 			panic(fmt.Sprintf("noc: no receiver at node %d", f.msg.Dst))
+		}
+		if h := m.probe; h != nil {
+			h.Emit(probe.Event{Cycle: cycle, Comp: probe.CompNoC, Node: f.msg.Dst, Warp: -1,
+				Kind: probe.NoCDeliver, Txn: f.seq, Arg: int64(f.msg.Src)})
 		}
 		r(f.msg)
 	}

@@ -1,0 +1,58 @@
+package system
+
+import (
+	"bytes"
+	"testing"
+
+	"rats/internal/core"
+	"rats/internal/sim/memsys"
+	"rats/internal/trace"
+)
+
+// scopedTrace mixes local- and global-scope atomics so the dump/replay
+// path must preserve Op.Scope to reproduce identical timing.
+func scopedTrace() *trace.Trace {
+	tr := trace.New("scoped-replay")
+	for w := 0; w < 4; w++ {
+		warp := tr.AddWarp(w % 2)
+		for i := 0; i < 6; i++ {
+			warp.AtomicScoped(trace.ScopeLocal, core.Paired, core.OpInc, 0, 0x4000+uint64(w%2)*0x100)
+			warp.Atomic(core.Commutative, core.OpAdd, 1, 0x8000)
+			warp.Compute(3)
+		}
+		warp.Barrier()
+		warp.Atomic(core.Unpaired, core.OpLoad, 0, 0x8000)
+	}
+	return tr
+}
+
+// TestScopedReplayEquivalence: encoding a trace with scoped atomics to
+// JSON and replaying the decoded copy must reproduce the exact Stats of
+// the original run. This guards the -dump/-replay path end to end (a
+// dropped Scope field silently changes DRF1/DRFrlx timing).
+func TestScopedReplayEquivalence(t *testing.T) {
+	for _, proto := range []memsys.Protocol{memsys.ProtoGPU, memsys.ProtoDeNovo} {
+		for _, m := range core.Models() {
+			direct, err := RunTrace(memsys.Default(proto, m), scopedTrace())
+			if err != nil {
+				t.Fatalf("%v/%v direct: %v", proto, m, err)
+			}
+			var buf bytes.Buffer
+			if err := scopedTrace().EncodeJSON(&buf); err != nil {
+				t.Fatalf("%v/%v encode: %v", proto, m, err)
+			}
+			back, err := trace.DecodeJSON(&buf)
+			if err != nil {
+				t.Fatalf("%v/%v decode: %v", proto, m, err)
+			}
+			replayed, err := RunTrace(memsys.Default(proto, m), back)
+			if err != nil {
+				t.Fatalf("%v/%v replay: %v", proto, m, err)
+			}
+			if direct.Stats != replayed.Stats {
+				t.Errorf("%v/%v: replayed stats differ\ndirect:   %+v\nreplayed: %+v",
+					proto, m, direct.Stats, replayed.Stats)
+			}
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 
 	"rats/internal/energy"
+	"rats/internal/probe"
 	"rats/internal/sim/cu"
 	"rats/internal/sim/memsys"
 	"rats/internal/sim/noc"
@@ -57,6 +58,7 @@ type System struct {
 	cycle  int64
 	txnSeq int64
 	tr     *trace.Trace
+	probe  *probe.Hub
 }
 
 // Result is the outcome of a simulation run.
@@ -90,6 +92,18 @@ func New(cfg memsys.Config) *System {
 		s.mesh.SetReceiver(n, func(m noc.Message) { s.deliver(node, m) })
 	}
 	return s
+}
+
+// AttachProbe enables the observability layer: every component's
+// emission points route to the hub. Call before Run; with no hub
+// attached the simulator takes the nil-check fast path everywhere.
+func (s *System) AttachProbe(h *probe.Hub) {
+	s.probe = h
+	s.env.Probe = h
+	s.mesh.AttachProbe(h)
+	for _, l1 := range s.l1s {
+		l1.AttachProbe(h)
+	}
 }
 
 // at schedules fn at the given cycle (clamped to the future so handlers
@@ -143,6 +157,9 @@ func (s *System) Run() (*Result, error) {
 		if s.cycle > s.Cfg.MaxCycles {
 			return nil, fmt.Errorf("system: exceeded %d cycles running %s (deadlock?)", s.Cfg.MaxCycles, s.tr.Name)
 		}
+		if s.probe != nil {
+			s.probe.Tick(s.cycle, &s.stats)
+		}
 		// 1. Run scheduled events.
 		for s.events.Len() > 0 && s.events[0].cycle <= s.cycle {
 			e := heap.Pop(&s.events).(event)
@@ -164,6 +181,12 @@ func (s *System) Run() (*Result, error) {
 		s.fastForward()
 	}
 	s.stats.Cycles = s.cycle
+	if s.probe != nil {
+		for _, c := range s.cus {
+			c.CloseStalls(s.cycle, s.probe)
+		}
+		s.probe.FinalSample(s.cycle, &s.stats)
+	}
 	res := &Result{
 		Name:   s.tr.Name,
 		Cfg:    s.Cfg,
@@ -235,6 +258,10 @@ func (s *System) resolveBarrier() {
 	}
 	for _, c := range s.cus {
 		c.ReleaseBarrier()
+	}
+	if s.probe != nil {
+		s.probe.Emit(probe.Event{Cycle: s.cycle, Comp: probe.CompSystem, Node: -1,
+			Warp: -1, Kind: probe.BarrierRelease, Arg: int64(waiting)})
 	}
 }
 

@@ -1,0 +1,63 @@
+package stats
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestAddCoversEveryField: Add must accumulate every exported int64
+// counter. The test fills a Stats via reflection with distinct values,
+// adds it to itself twice, and checks each field doubled — a counter
+// missing from Add stays at its seed value and fails.
+func TestAddCoversEveryField(t *testing.T) {
+	var src Stats
+	v := reflect.ValueOf(&src).Elem()
+	tp := v.Type()
+	for i := 0; i < tp.NumField(); i++ {
+		if tp.Field(i).Type.Kind() != reflect.Int64 {
+			t.Fatalf("field %s is %v; drift test assumes all counters are int64",
+				tp.Field(i).Name, tp.Field(i).Type)
+		}
+		v.Field(i).SetInt(int64(i + 1))
+	}
+	sum := src
+	sum.Add(&src)
+	sv := reflect.ValueOf(sum)
+	for i := 0; i < tp.NumField(); i++ {
+		want := int64(2 * (i + 1))
+		if got := sv.Field(i).Int(); got != want {
+			t.Errorf("Add misses field %s: got %d want %d", tp.Field(i).Name, got, want)
+		}
+	}
+}
+
+// TestRowsCoversEveryField: Rows must report every counter exactly once,
+// with the value taken from the right field. Distinct per-field seeds
+// catch both a missing row and a row wired to the wrong field.
+func TestRowsCoversEveryField(t *testing.T) {
+	var s Stats
+	v := reflect.ValueOf(&s).Elem()
+	tp := v.Type()
+	for i := 0; i < tp.NumField(); i++ {
+		v.Field(i).SetInt(int64(1000 + i))
+	}
+	rows := s.Rows()
+	if len(rows) != tp.NumField() {
+		t.Fatalf("Rows has %d entries for %d Stats fields", len(rows), tp.NumField())
+	}
+	seen := map[int64]string{}
+	names := map[string]bool{}
+	for _, r := range rows {
+		if names[r.Name] {
+			t.Errorf("duplicate row name %q", r.Name)
+		}
+		names[r.Name] = true
+		if prev, dup := seen[r.Value]; dup {
+			t.Errorf("rows %q and %q report the same value %d", prev, r.Name, r.Value)
+		}
+		seen[r.Value] = r.Name
+		if r.Value < 1000 || r.Value >= int64(1000+tp.NumField()) {
+			t.Errorf("row %q value %d does not match any seeded field", r.Name, r.Value)
+		}
+	}
+}

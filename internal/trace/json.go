@@ -18,6 +18,7 @@ type jsonOp struct {
 	Kind     string   `json:"kind"`
 	Cycles   int      `json:"cycles,omitempty"`
 	Class    string   `json:"class,omitempty"`
+	Scope    string   `json:"scope,omitempty"`
 	AOp      string   `json:"aop,omitempty"`
 	Operand  int64    `json:"operand,omitempty"`
 	Operands []int64  `json:"operands,omitempty"`
@@ -88,6 +89,9 @@ func (t *Trace) EncodeJSON(w io.Writer) error {
 			if op.Kind.IsMem() {
 				jo.Class = op.Class.String()
 				jo.AOp = aopNames[op.AOp]
+				if op.Scope == ScopeLocal {
+					jo.Scope = "local"
+				}
 			}
 			jw.Ops = append(jw.Ops, jo)
 		}
@@ -136,6 +140,14 @@ func DecodeJSON(r io.Reader) (*Trace, error) {
 				}
 				op.Class = class
 				op.AOp = aop
+				switch jo.Scope {
+				case "", "global":
+					op.Scope = ScopeGlobal
+				case "local":
+					op.Scope = ScopeLocal
+				default:
+					return nil, fmt.Errorf("trace: warp %d op %d: unknown scope %q", wi, oi, jo.Scope)
+				}
 				if len(op.Addrs) == 0 {
 					return nil, fmt.Errorf("trace: warp %d op %d: memory op without addresses", wi, oi)
 				}

@@ -17,6 +17,7 @@ func sampleTrace() *Trace {
 	w.Join()
 	w.Store(core.Data, 0x2000)
 	w.Atomic(core.Commutative, core.OpAdd, 2, 0x3000, 0x3004)
+	w.AtomicScoped(ScopeLocal, core.Commutative, core.OpAdd, 3, 0x3040)
 	w.AtomicLanes(core.Quantum, core.OpAdd, []uint64{0x5000, 0x5004}, []int64{1, 9})
 	w.ScratchAccess(ScratchStore, 1)
 	w.Barrier()
@@ -52,6 +53,7 @@ func TestJSONRoundTrip(t *testing.T) {
 		for oi := range ow.Ops {
 			oo, bo := ow.Ops[oi], bw.Ops[oi]
 			if oo.Kind != bo.Kind || oo.Class != bo.Class || oo.AOp != bo.AOp ||
+				oo.Scope != bo.Scope ||
 				oo.Cycles != bo.Cycles || oo.Operand != bo.Operand ||
 				len(oo.Addrs) != len(bo.Addrs) || len(oo.Operands) != len(bo.Operands) {
 				t.Fatalf("warp %d op %d differs: %+v vs %+v", wi, oi, oo, bo)
@@ -66,7 +68,7 @@ func TestJSONHumanReadable(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := buf.String()
-	for _, want := range []string{`"commutative"`, `"atomic"`, `"barrier"`, `"cpu": true`, `"16384"`} {
+	for _, want := range []string{`"commutative"`, `"atomic"`, `"barrier"`, `"cpu": true`, `"16384"`, `"scope": "local"`} {
 		if !strings.Contains(out, want) {
 			t.Errorf("JSON missing %s", want)
 		}
@@ -84,6 +86,7 @@ func TestDecodeErrors(t *testing.T) {
 		{`{"warps":[{"ops":[{"kind":"load","class":"data","aop":"load"}]}]}`, "without addresses"},
 		{`{"init":{"xyz":1}}`, "bad init address"},
 		{`{"warps":[{"ops":[{"kind":"atomic","class":"data","aop":"add","addrs":[1,2],"operands":[1]}]}]}`, "length mismatch"},
+		{`{"warps":[{"ops":[{"kind":"atomic","class":"data","aop":"add","addrs":[1],"scope":"cluster"}]}]}`, "unknown scope"},
 	} {
 		if _, err := DecodeJSON(strings.NewReader(tc.src)); err == nil || !strings.Contains(err.Error(), tc.want) {
 			t.Errorf("DecodeJSON(%q) err=%v, want containing %q", tc.src, err, tc.want)
