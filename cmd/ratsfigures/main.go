@@ -9,6 +9,8 @@
 //	ratsfigures -scale paper    # paper-scale inputs (slower)
 //	ratsfigures -only fig3      # one artifact: fig1|fig3|fig4|table1..table4|summary
 //	ratsfigures -stalls PR-3    # per-config stall attribution for one workload
+//	ratsfigures -only fig3 -journal sweep.jsonl   # checkpointed (resumable) sweep
+//	ratsfigures -only fig3 -faults 'delay:p=0.05,max=10' -fault-seed 3 -timeout 1m
 package main
 
 import (
@@ -19,6 +21,7 @@ import (
 	"runtime/pprof"
 
 	"rats/internal/core"
+	"rats/internal/fault"
 	"rats/internal/harness"
 	"rats/internal/litmus"
 	"rats/internal/memmodel"
@@ -30,6 +33,11 @@ func main() {
 		scaleName  = flag.String("scale", "test", "workload scale: test or paper")
 		only       = flag.String("only", "", "render a single artifact")
 		stalls     = flag.String("stalls", "", "render the stall-attribution sweep for one workload and exit")
+		journal    = flag.String("journal", "", "JSONL checkpoint file: completed runs are recorded and restored on rerun")
+		timeout    = flag.Duration("timeout", 0, "wall-clock limit per simulation run (0 = none), e.g. 1m")
+		faultSpec  = flag.String("faults", "", "fault-injection spec applied to every run (see internal/fault)")
+		faultSeed  = flag.Int64("fault-seed", 1, "PRNG seed for fault injection")
+		watchdog   = flag.Int64("watchdog", 0, "liveness watchdog window in cycles (>0 override, <0 disable, 0 default)")
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file")
 	)
@@ -44,6 +52,31 @@ func main() {
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ratsfigures:", err)
 			os.Exit(1)
+		}
+	}
+	// fail reports a sweep error without exiting, so partial figures still
+	// render; the process exits non-zero at the end.
+	exitCode := 0
+	fail := func(err error) {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ratsfigures:", err)
+			exitCode = 1
+		}
+	}
+
+	opts := &harness.RunOptions{Timeout: *timeout, FaultSeed: *faultSeed, WatchdogWindow: *watchdog}
+	if *faultSpec != "" {
+		spec, err := fault.Parse(*faultSpec)
+		die(err)
+		opts.Faults = spec
+	}
+	if *journal != "" {
+		j, err := harness.OpenJournal(*journal)
+		die(err)
+		defer j.Close()
+		opts.Journal = j
+		if n := j.Loaded(); n > 0 {
+			fmt.Printf("journal %s: restored %d completed runs; re-simulating only the rest\n", *journal, n)
 		}
 	}
 
@@ -115,21 +148,24 @@ func main() {
 	var fig3, fig4 *harness.Figure
 	if want("fig3") || want("summary") {
 		var err error
-		fig3, err = harness.Figure3(scale)
-		die(err)
+		fig3, err = harness.Figure3With(scale, opts)
+		fail(err)
 		if want("fig3") {
 			fmt.Println(fig3.Render())
 		}
 	}
 	if want("fig4") || want("summary") {
 		var err error
-		fig4, err = harness.Figure4(scale)
-		die(err)
+		fig4, err = harness.Figure4With(scale, opts)
+		fail(err)
 		if want("fig4") {
 			fmt.Println(fig4.Render())
 		}
 	}
 	if want("summary") && fig3 != nil && fig4 != nil {
 		fmt.Println(harness.Summarize(fig3, fig4).Render())
+	}
+	if exitCode != 0 {
+		os.Exit(exitCode)
 	}
 }

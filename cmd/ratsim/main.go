@@ -5,6 +5,8 @@
 //
 //	ratsim -workload PR-3 -config DDR [-scale paper] [-energy]
 //	ratsim -workload H -config DDR -trace-out run.json -stalls
+//	ratsim -workload H -config GD0 -faults 'delay:p=0.05,max=10;dup:p=0.02' -fault-seed 7
+//	ratsim -workload H -config GD0 -faults 'wedge:warp=0,from=0' -watchdog 20000
 //	ratsim -list
 package main
 
@@ -15,7 +17,9 @@ import (
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"time"
 
+	"rats/internal/fault"
 	"rats/internal/harness"
 	"rats/internal/probe"
 	"rats/internal/sim/system"
@@ -43,6 +47,11 @@ func main() {
 		metricsInt = flag.Int64("metrics-interval", 1000, "sampling interval in cycles for -metrics-out")
 		stalls     = flag.Bool("stalls", false, "print the per-warp stall attribution table")
 
+		faultSpec = flag.String("faults", "", "fault-injection spec, e.g. 'delay:p=0.05,max=10;dup:p=0.02' (see internal/fault)")
+		faultSeed = flag.Int64("fault-seed", 1, "PRNG seed for fault injection (same spec+seed = same timing)")
+		watchdog  = flag.Int64("watchdog", 0, "liveness watchdog no-progress window in cycles (>0 override, <0 disable, 0 default)")
+		timeout   = flag.Duration("timeout", 0, "wall-clock limit for the run (0 = none), e.g. 30s")
+
 		cpuprofile = flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a pprof heap profile to this file")
 	)
@@ -59,6 +68,20 @@ func main() {
 	cfg, err := harness.ConfigFor(*config)
 	if err != nil {
 		fatal(err)
+	}
+	if *faultSpec != "" {
+		spec, err := fault.Parse(*faultSpec)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Faults = spec
+		cfg.FaultSeed = *faultSeed
+	}
+	switch {
+	case *watchdog > 0:
+		cfg.WatchdogWindow = *watchdog
+	case *watchdog < 0:
+		cfg.WatchdogWindow = 0
 	}
 	var tr *trace.Trace
 	if *replay != "" {
@@ -148,9 +171,16 @@ func main() {
 	if err := sys.Load(tr); err != nil {
 		fatal(err)
 	}
+	if *timeout > 0 {
+		t := time.AfterFunc(*timeout, func() { sys.Abort(fmt.Sprintf("wall-clock timeout %s exceeded", *timeout)) })
+		defer t.Stop()
+	}
 	res, err := sys.Run()
 	if err != nil {
 		fatal(err)
+	}
+	if counts, ok := sys.FaultCounts(); ok {
+		fmt.Println("injected faults:", counts.String())
 	}
 	if hub != nil {
 		if err := hub.Close(); err != nil {

@@ -5,16 +5,21 @@
 package harness
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"strings"
 	"sync"
+	"time"
 
 	"rats/internal/core"
 	"rats/internal/energy"
+	"rats/internal/fault"
 	"rats/internal/report"
 	"rats/internal/sim/memsys"
 	"rats/internal/sim/system"
+	"rats/internal/trace"
 	"rats/internal/workloads"
 )
 
@@ -56,10 +61,88 @@ func ConfigFor(name string) (memsys.Config, error) {
 // Results maps workload name -> config name -> simulation result.
 type Results map[string]map[string]*system.Result
 
+// RunOptions controls the resilience and fault-injection behaviour of a
+// sweep. The zero value reproduces the plain sweep: no timeouts, no
+// journal, no injected faults, default watchdog.
+type RunOptions struct {
+	// Timeout, when positive, bounds each run's wall-clock time; an
+	// expired run aborts with a diagnostic error instead of hanging the
+	// sweep.
+	Timeout time.Duration
+	// Journal, when non-nil, records each completed run and lets an
+	// interrupted sweep resume: already-journaled (workload, config) pairs
+	// are restored instead of re-simulated.
+	Journal *Journal
+	// Faults and FaultSeed configure deterministic fault injection for
+	// every run in the sweep.
+	Faults    *fault.Spec
+	FaultSeed int64
+	// WatchdogWindow overrides the per-run liveness watchdog: positive
+	// replaces the default no-progress window, negative disables the
+	// watchdog, zero keeps the configuration default.
+	WatchdogWindow int64
+}
+
+// apply folds the options into a run configuration.
+func (o *RunOptions) apply(cfg *memsys.Config) {
+	if o == nil {
+		return
+	}
+	cfg.Faults = o.Faults
+	cfg.FaultSeed = o.FaultSeed
+	switch {
+	case o.WatchdogWindow > 0:
+		cfg.WatchdogWindow = o.WatchdogWindow
+	case o.WatchdogWindow < 0:
+		cfg.WatchdogWindow = 0
+	}
+}
+
+// runOne executes a single (workload, config) pair with panic recovery
+// and an optional wall-clock timeout. A panic anywhere in trace building
+// or simulation is converted into an error carrying the stack, so one
+// broken run cannot take down the rest of a sweep.
+func runOne(entry workloads.Entry, scale workloads.Scale, cfgName string, opts *RunOptions) (res *system.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res = nil
+			err = fmt.Errorf("panic: %v\n%s", r, debug.Stack())
+		}
+	}()
+	cfg, err := ConfigFor(cfgName)
+	if err != nil {
+		return nil, err
+	}
+	opts.apply(&cfg)
+	var tr *trace.Trace
+	if tr = entry.Build(scale); tr == nil {
+		return nil, fmt.Errorf("workload %s built a nil trace", entry.Name)
+	}
+	sys := system.New(cfg)
+	if err := sys.Load(tr); err != nil {
+		return nil, err
+	}
+	if opts != nil && opts.Timeout > 0 {
+		d := opts.Timeout
+		t := time.AfterFunc(d, func() { sys.Abort(fmt.Sprintf("wall-clock timeout %s exceeded", d)) })
+		defer t.Stop()
+	}
+	return sys.Run()
+}
+
 // RunAll simulates every entry under every named configuration, in
 // parallel across runs (each simulation is single-threaded and
-// independent).
+// independent). Equivalent to RunAllWith with zero options.
 func RunAll(entries []workloads.Entry, scale workloads.Scale, cfgNames []string) (Results, error) {
+	return RunAllWith(entries, scale, cfgNames, nil)
+}
+
+// RunAllWith is RunAll with resilience options. Failures do not stop the
+// sweep: every run is attempted (or restored from the journal), all
+// errors are joined into the returned error, and the Results hold every
+// run that did succeed — callers get partial figures plus a full account
+// of what failed.
+func RunAllWith(entries []workloads.Entry, scale workloads.Scale, cfgNames []string, opts *RunOptions) (Results, error) {
 	type job struct {
 		entry workloads.Entry
 		cfg   string
@@ -72,39 +155,45 @@ func RunAll(entries []workloads.Entry, scale workloads.Scale, cfgNames []string)
 	}
 	out := Results{}
 	var mu sync.Mutex
-	var firstErr error
+	errs := make([]error, len(jobs))
+	record := func(j job, res *system.Result) {
+		mu.Lock()
+		if out[j.entry.Name] == nil {
+			out[j.entry.Name] = map[string]*system.Result{}
+		}
+		out[j.entry.Name][j.cfg] = res
+		mu.Unlock()
+	}
 	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
 	var wg sync.WaitGroup
-	for _, j := range jobs {
-		j := j
+	for i, j := range jobs {
+		i, j := i, j
+		if opts != nil && opts.Journal != nil {
+			if res, ok := opts.Journal.Lookup(j.entry.Name, j.cfg); ok {
+				record(j, res)
+				continue
+			}
+		}
 		wg.Add(1)
 		sem <- struct{}{}
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
-			cfg, err := ConfigFor(j.cfg)
-			if err == nil {
-				var res *system.Result
-				res, err = system.RunTrace(cfg, j.entry.Build(scale))
-				if err == nil {
-					mu.Lock()
-					if out[j.entry.Name] == nil {
-						out[j.entry.Name] = map[string]*system.Result{}
-					}
-					out[j.entry.Name][j.cfg] = res
-					mu.Unlock()
-					return
+			res, err := runOne(j.entry, scale, j.cfg, opts)
+			if err != nil {
+				errs[i] = fmt.Errorf("%s/%s: %w", j.entry.Name, j.cfg, err)
+				return
+			}
+			record(j, res)
+			if opts != nil && opts.Journal != nil {
+				if jerr := opts.Journal.Record(j.entry.Name, j.cfg, res); jerr != nil {
+					errs[i] = fmt.Errorf("%s/%s: journal: %w", j.entry.Name, j.cfg, jerr)
 				}
 			}
-			mu.Lock()
-			if firstErr == nil {
-				firstErr = fmt.Errorf("%s/%s: %w", j.entry.Name, j.cfg, err)
-			}
-			mu.Unlock()
 		}()
 	}
 	wg.Wait()
-	return out, firstErr
+	return out, errors.Join(errs...)
 }
 
 // Figure holds one reproduced figure: execution time and energy, plus the
@@ -153,23 +242,38 @@ func (f *Figure) Render() string {
 // Figure3 reproduces Figure 3: the seven microbenchmarks under all six
 // configurations.
 func Figure3(scale workloads.Scale) (*Figure, error) {
-	entries := workloads.Micro()
-	res, err := RunAll(entries, scale, ConfigOrder)
+	fig, err := Figure3With(scale, nil)
 	if err != nil {
 		return nil, err
 	}
-	return buildFigure("Figure 3: microbenchmarks", entries, res), nil
+	return fig, nil
+}
+
+// Figure3With is Figure3 with resilience options. Unlike Figure3, a
+// non-nil error still comes with the figure built from whatever runs
+// succeeded.
+func Figure3With(scale workloads.Scale, opts *RunOptions) (*Figure, error) {
+	entries := workloads.Micro()
+	res, err := RunAllWith(entries, scale, ConfigOrder, opts)
+	return buildFigure("Figure 3: microbenchmarks", entries, res), err
 }
 
 // Figure4 reproduces Figure 4: UTS, BC 1-4, PR 1-4 under all six
 // configurations.
 func Figure4(scale workloads.Scale) (*Figure, error) {
-	entries := workloads.Benchmarks()
-	res, err := RunAll(entries, scale, ConfigOrder)
+	fig, err := Figure4With(scale, nil)
 	if err != nil {
 		return nil, err
 	}
-	return buildFigure("Figure 4: benchmarks", entries, res), nil
+	return fig, nil
+}
+
+// Figure4With is Figure4 with resilience options; like Figure3With it
+// returns the partial figure alongside any joined error.
+func Figure4With(scale workloads.Scale, opts *RunOptions) (*Figure, error) {
+	entries := workloads.Benchmarks()
+	res, err := RunAllWith(entries, scale, ConfigOrder, opts)
+	return buildFigure("Figure 4: benchmarks", entries, res), err
 }
 
 // Figure1Row is one bar of Figure 1.

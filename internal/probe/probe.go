@@ -102,6 +102,14 @@ const (
 	NoCHop
 	// NoCDeliver: a message reached its destination receiver.
 	NoCDeliver
+	// FaultInjected: the fault injector perturbed the system; Arg is a
+	// small code (0 extra message delay, 1 duplication), Aux the
+	// magnitude (e.g. the added delay in cycles).
+	FaultInjected
+	// WatchdogReport: the liveness watchdog (or the MaxCycles/abort
+	// path) captured a diagnostic dump. The system-level summary event's
+	// Arg is the stuck-warp count; per-warp events name each stuck warp.
+	WatchdogReport
 )
 
 func (k Kind) String() string {
@@ -112,6 +120,7 @@ func (k Kind) String() string {
 		"remote-forward", "acquire-invalidation", "release-flush",
 		"atomic-performed", "writeback", "mshr-alloc", "mshr-coalesce",
 		"sb-fill", "sb-drain", "noc-enqueue", "noc-hop", "noc-deliver",
+		"fault-injected", "watchdog-report",
 	}
 	if int(k) < len(names) {
 		return names[k]
@@ -139,6 +148,9 @@ const (
 	// StallConsistency: a consistency action gate — release flush in
 	// progress, or SC/atomic-serial ordering forbidding overlap.
 	StallConsistency
+	// StallFault: issue suppressed by an injected wedge fault (liveness
+	// drills).
+	StallFault
 	// NumStallReasons bounds arrays indexed by reason.
 	NumStallReasons
 )
@@ -157,6 +169,8 @@ func (r StallReason) String() string {
 		return "store-buffer-full"
 	case StallConsistency:
 		return "consistency"
+	case StallFault:
+		return "fault-wedge"
 	}
 	return "?"
 }

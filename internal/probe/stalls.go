@@ -42,6 +42,7 @@ func (s *StallSink) Close() error { return nil }
 // reasonOrder lists the reported columns (StallNone excluded).
 var reasonOrder = []StallReason{
 	StallIssue, StallMemory, StallBarrier, StallStoreBufferFull, StallConsistency,
+	StallFault,
 }
 
 // Warps returns the warp ids with recorded stalls, sorted.

@@ -337,6 +337,10 @@ func (c *CU) issueOne(cycle int64) bool {
 		if w.done || w.atEnd || w.atBarrier || w.fence || w.busyUntil > cycle {
 			continue
 		}
+		if f := c.env.Fault; f != nil && f.Wedged(w.id, cycle) {
+			c.st.WarpIssueStalls++
+			continue
+		}
 		op := &w.ops.Ops[w.pc]
 		if !c.canIssue(w, op) {
 			c.st.WarpIssueStalls++
@@ -410,6 +414,55 @@ func (c *CU) NextWake(cycle int64) int64 {
 	return wake
 }
 
+// CoalescerDepth returns the number of transactions queued for L1 issue
+// (liveness diagnostics).
+func (c *CU) CoalescerDepth() int { return len(c.coalescer) }
+
+// WarpDiag is one warp's state snapshot for liveness diagnostics.
+type WarpDiag struct {
+	Warp, Node int
+	// PC and Ops locate the warp in its op stream.
+	PC, Ops int
+	// State names what the warp is doing or waiting on.
+	State                string
+	OutLoads, OutAtomics int
+}
+
+// Stuck reports whether the warp still has work it cannot finish on its
+// own this instant (everything but retired).
+func (d WarpDiag) Stuck() bool { return d.State != "retired" }
+
+// Diag snapshots every warp's state at the given cycle.
+func (c *CU) Diag(cycle int64) []WarpDiag {
+	out := make([]WarpDiag, 0, len(c.warps))
+	for _, w := range c.warps {
+		d := WarpDiag{Warp: w.id, Node: c.node, PC: w.pc, Ops: len(w.ops.Ops),
+			OutLoads: w.outLoads, OutAtomics: w.outAtomics}
+		switch {
+		case w.done:
+			d.State = "retired"
+		case w.atBarrier:
+			d.State = "at-barrier"
+		case c.env.Fault != nil && c.env.Fault.Wedged(w.id, cycle):
+			d.State = "wedged (injected fault)"
+		case w.fence:
+			d.State = "sc-fence drain"
+		case w.waitingFlush && !w.flushDone:
+			d.State = "release-flush wait"
+		case w.outLoads > 0 || w.outAtomics > 0:
+			d.State = "memory wait"
+		case w.busyUntil > cycle:
+			d.State = "compute"
+		case w.atEnd:
+			d.State = "retiring"
+		default:
+			d.State = "ready"
+		}
+		out = append(out, d)
+	}
+	return out
+}
+
 // RetiredWarps counts warps that have finished their op streams.
 func (c *CU) RetiredWarps() int {
 	n := 0
@@ -440,6 +493,9 @@ func (c *CU) stallReasonOf(w *warpState, cycle int64) probe.StallReason {
 		return probe.StallConsistency // SC access draining
 	case w.waitingFlush && !w.flushDone:
 		return probe.StallConsistency // release flush in progress
+	}
+	if f := c.env.Fault; f != nil && f.Wedged(w.id, cycle) {
+		return probe.StallFault
 	}
 	op := &w.ops.Ops[w.pc]
 	if !op.Kind.IsMem() && op.Kind != trace.Barrier && op.Kind != trace.Join {

@@ -14,7 +14,10 @@
 //     atomics with a single ownership transfer).
 package memsys
 
-import "rats/internal/core"
+import (
+	"rats/internal/core"
+	"rats/internal/fault"
+)
 
 // Protocol selects the coherence protocol.
 type Protocol uint8
@@ -91,6 +94,18 @@ type Config struct {
 
 	// MaxCycles aborts runaway simulations.
 	MaxCycles int64
+	// WatchdogWindow is the liveness watchdog's no-progress window: if no
+	// forward progress (retired ops, cache/L2 accesses, atomics, message
+	// sends, warp retirements) is observed for this many cycles, the run
+	// aborts with a structured diagnostic dump. 0 disables the watchdog
+	// (MaxCycles still guards, with the same diagnostics).
+	WatchdogWindow int64
+
+	// Faults, when non-nil, enables deterministic fault injection (see
+	// package fault for the spec grammar); FaultSeed seeds the injector's
+	// PRNG so the same spec+seed reproduce the same timing exactly.
+	Faults    *fault.Spec
+	FaultSeed int64
 }
 
 // Default returns the integrated CPU-GPU system of Table 2 under the
@@ -137,7 +152,8 @@ func Default(proto Protocol, model core.Model) Config {
 		CoalescerQueue:               64,
 		CPUIssuePerCycle:             3, // the 2 GHz CPU vs 700 MHz GPU clock ratio
 
-		MaxCycles: 200_000_000,
+		MaxCycles:      200_000_000,
+		WatchdogWindow: 1_000_000,
 	}
 }
 

@@ -2,6 +2,7 @@ package memsys
 
 import (
 	"rats/internal/core"
+	"rats/internal/fault"
 	"rats/internal/probe"
 	"rats/internal/sim/noc"
 	"rats/internal/stats"
@@ -25,6 +26,9 @@ type Env struct {
 	// Probe is the observability hub, or nil when disabled. Emission
 	// sites guard with a nil check so disabled runs pay nothing.
 	Probe *probe.Hub
+	// Fault is the fault injector, or nil when disabled. Injection sites
+	// guard with a nil check so clean runs pay nothing.
+	Fault *fault.Injector
 	// WarpSeq numbers warps globally in placement order (probe warp
 	// ids).
 	WarpSeq int

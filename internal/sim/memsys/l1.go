@@ -79,6 +79,32 @@ func (l *L1) send(cycle int64, dst, flits int, payload any) {
 
 func (l *L1) home(line uint64) int { return l.env.Cfg.HomeNode(line) }
 
+// mshrFull reports whether a new MSHR entry cannot be allocated at this
+// cycle, honouring injected capacity-pressure windows. Pressure applies
+// only at these issue boundaries; response handlers use the real capacity
+// so in-flight protocol state never exceeds it.
+func (l *L1) mshrFull(cycle int64) bool {
+	if l.mshr.Full() {
+		return true
+	}
+	if f := l.env.Fault; f != nil && l.mshr.Outstanding() >= f.MSHRCap(cycle, l.env.Cfg.L1MSHRs) {
+		return true
+	}
+	return false
+}
+
+// sbFull reports whether the store buffer cannot accept another store at
+// this cycle, honouring injected capacity-pressure windows.
+func (l *L1) sbFull(cycle int64) bool {
+	if l.sb.Full() {
+		return true
+	}
+	if f := l.env.Fault; f != nil && l.sb.Len() >= f.SBCap(cycle, l.env.Cfg.StoreBuffer) {
+		return true
+	}
+	return false
+}
+
 // insertLine fills a line, writing back an evicted owned victim.
 func (l *L1) insertLine(cycle int64, line uint64, st cache.State, dirty bool) {
 	v, evicted := l.array.Insert(line, st, dirty)
@@ -121,7 +147,7 @@ func (l *L1) TryIssue(cycle int64, txn *Txn) bool {
 			l.mshr.Coalesce(e, txn)
 			return true
 		}
-		if l.mshr.Full() {
+		if l.mshrFull(cycle) {
 			st.WarpIssueStalls++
 			return false
 		}
@@ -134,7 +160,7 @@ func (l *L1) TryIssue(cycle int64, txn *Txn) bool {
 		return true
 
 	case TxnStore:
-		if l.sb.Full() {
+		if l.sbFull(cycle) {
 			st.StoreBufferFullStalls++
 			return false
 		}
@@ -154,7 +180,11 @@ func (l *L1) TryIssue(cycle int64, txn *Txn) bool {
 			return true
 		}
 		if cfg.Protocol == ProtoGPU {
-			if len(l.pendingAtomics) >= cfg.L1MSHRs {
+			atomicCap := cfg.L1MSHRs
+			if f := l.env.Fault; f != nil {
+				atomicCap = f.MSHRCap(cycle, atomicCap)
+			}
+			if len(l.pendingAtomics) >= atomicCap {
 				st.WarpIssueStalls++
 				return false
 			}
@@ -185,7 +215,7 @@ func (l *L1) TryIssue(cycle int64, txn *Txn) bool {
 			e.WantOwnership = true
 			return true
 		}
-		if l.mshr.Full() {
+		if l.mshrFull(cycle) {
 			st.WarpIssueStalls++
 			return false
 		}
@@ -350,7 +380,7 @@ func (l *L1) Tick(cycle int64) {
 				l.mshr.Coalesce(e, entry)
 				e.WantOwnership = true
 				l.sb.Pop()
-			case !l.mshr.Full():
+			case !l.mshrFull(cycle):
 				st.L1Accesses++
 				st.L1Misses++
 				me := l.mshr.Allocate(entry.line, true)
@@ -406,6 +436,41 @@ func (l *L1) AcquireInvalidate() {
 	if h := l.env.Probe; h != nil {
 		h.Emit(probe.Event{Cycle: h.Now(), Comp: probe.CompL1, Node: l.node, Warp: -1,
 			Kind: probe.AcquireInvalidation, Arg: dropped})
+	}
+}
+
+// L1Diag is one controller's occupancy snapshot for liveness diagnostics
+// and the always-on invariant checks.
+type L1Diag struct {
+	Node            int
+	MSHROutstanding int
+	MSHRCapacity    int
+	SBQueued        int
+	SBCapacity      int
+	SBUnacked       int
+	PendingAtomics  int
+	PendingForwards int
+	FlushWaiters    int
+}
+
+// Busy reports whether the controller holds any outstanding work.
+func (d L1Diag) Busy() bool {
+	return d.MSHROutstanding > 0 || d.SBQueued > 0 || d.SBUnacked > 0 ||
+		d.PendingAtomics > 0 || d.PendingForwards > 0 || d.FlushWaiters > 0
+}
+
+// Diag snapshots the controller's occupancy.
+func (l *L1) Diag() L1Diag {
+	return L1Diag{
+		Node:            l.node,
+		MSHROutstanding: l.mshr.Outstanding(),
+		MSHRCapacity:    l.env.Cfg.L1MSHRs,
+		SBQueued:        l.sb.Len(),
+		SBCapacity:      l.env.Cfg.StoreBuffer,
+		SBUnacked:       l.sb.Unacked(),
+		PendingAtomics:  len(l.pendingAtomics),
+		PendingForwards: len(l.pendingFwds),
+		FlushWaiters:    len(l.flushCbs),
 	}
 }
 

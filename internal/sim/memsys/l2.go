@@ -87,6 +87,15 @@ func (b *L2Bank) send(cycle int64, dst, flits int, payload any) {
 
 // Handle processes one delivered network request at the given cycle.
 func (b *L2Bank) Handle(cycle int64, payload any) {
+	if f := b.env.Fault; f != nil {
+		if until := f.L2StallUntil(cycle); until > cycle {
+			// Injected bank stall storm: the bank is unavailable until the
+			// window ends; deferral preserves arrival order (same-cycle
+			// events run FIFO), so this perturbs timing only.
+			b.env.At(until, func(c int64) { b.Handle(c, payload) })
+			return
+		}
+	}
 	cfg := b.env.Cfg
 	st := b.env.Stats
 	switch m := payload.(type) {

@@ -9,7 +9,9 @@ package noc
 import (
 	"container/heap"
 	"fmt"
+	"sort"
 
+	"rats/internal/fault"
 	"rats/internal/probe"
 	"rats/internal/stats"
 )
@@ -31,6 +33,9 @@ type inflight struct {
 	arrival int64
 	seq     int64 // FIFO tiebreak for determinism
 	msg     Message
+	// dup marks an injected duplicate: it occupies links like the
+	// original but is dropped at delivery (endpoints dedupe).
+	dup bool
 }
 
 type pq []inflight
@@ -59,10 +64,15 @@ type Mesh struct {
 	recv     []func(Message)
 	stats    *stats.Stats
 	probe    *probe.Hub
+	fault    *fault.Injector
 }
 
 // AttachProbe routes enqueue/hop/deliver events to the hub.
 func (m *Mesh) AttachProbe(h *probe.Hub) { m.probe = h }
+
+// SetFault enables fault injection on this mesh (delay jitter,
+// duplication, reordering bursts).
+func (m *Mesh) SetFault(f *fault.Injector) { m.fault = f }
 
 // NewMesh builds a width x height mesh.
 func NewMesh(width, height int, hopLatency int64, st *stats.Stats) *Mesh {
@@ -140,6 +150,36 @@ func (m *Mesh) Send(cycle int64, msg Message) {
 		h.Emit(probe.Event{Cycle: cycle, Comp: probe.CompNoC, Node: msg.Src, Warp: -1,
 			Kind: probe.NoCEnqueue, Txn: m.seq, Arg: int64(msg.Dst), Aux: int64(msg.Flits)})
 	}
+	t := m.route(cycle, msg, m.seq)
+	if f := m.fault; f != nil {
+		if d := f.MessageDelay(); d > 0 {
+			t += d
+			if h := m.probe; h != nil {
+				h.Emit(probe.Event{Cycle: cycle, Comp: probe.CompNoC, Node: msg.Src, Warp: -1,
+					Kind: probe.FaultInjected, Txn: m.seq, Arg: 0, Aux: d})
+			}
+		}
+	}
+	m.stats.NoCMessages++
+	heap.Push(&m.inbox, inflight{arrival: t, seq: m.seq, msg: msg})
+	if f := m.fault; f != nil && f.Duplicate() {
+		// The duplicate traverses (and occupies) the links like a real
+		// message — a pure timing perturbation — and is dropped at
+		// delivery, as if endpoints deduplicated by sequence number.
+		m.seq++
+		td := m.route(cycle, msg, m.seq)
+		m.stats.NoCMessages++
+		heap.Push(&m.inbox, inflight{arrival: td, seq: m.seq, msg: msg, dup: true})
+		if h := m.probe; h != nil {
+			h.Emit(probe.Event{Cycle: cycle, Comp: probe.CompNoC, Node: msg.Src, Warp: -1,
+				Kind: probe.FaultInjected, Txn: m.seq, Arg: 1})
+		}
+	}
+}
+
+// route books the message across its XY path, advancing per-link
+// free times, and returns the delivery cycle.
+func (m *Mesh) route(cycle int64, msg Message, seq int64) int64 {
 	t := cycle
 	if msg.Src != msg.Dst {
 		prev := msg.Src
@@ -154,7 +194,7 @@ func (m *Mesh) Send(cycle int64, msg Message) {
 			m.stats.NoCFlitHops += int64(msg.Flits)
 			if h := m.probe; h != nil {
 				h.Emit(probe.Event{Cycle: t, Comp: probe.CompNoC, Node: next, Warp: -1,
-					Kind: probe.NoCHop, Txn: m.seq, Aux: int64(msg.Flits)})
+					Kind: probe.NoCHop, Txn: seq, Aux: int64(msg.Flits)})
 			}
 			prev = next
 		}
@@ -162,14 +202,17 @@ func (m *Mesh) Send(cycle int64, msg Message) {
 		// Local delivery still pays one router traversal.
 		t += m.HopLatency
 	}
-	m.stats.NoCMessages++
-	heap.Push(&m.inbox, inflight{arrival: t, seq: m.seq, msg: msg})
+	return t
 }
 
 // Tick delivers every message whose arrival time has been reached.
 func (m *Mesh) Tick(cycle int64) {
 	for m.inbox.Len() > 0 && m.inbox[0].arrival <= cycle {
 		f := heap.Pop(&m.inbox).(inflight)
+		if f.dup {
+			// Injected duplicate: consumed bandwidth, dropped here.
+			continue
+		}
 		r := m.recv[f.msg.Dst]
 		if r == nil {
 			panic(fmt.Sprintf("noc: no receiver at node %d", f.msg.Dst))
@@ -191,4 +234,27 @@ func (m *Mesh) NextArrival() int64 {
 		return -1
 	}
 	return m.inbox[0].arrival
+}
+
+// MsgDiag is one in-flight message's snapshot for liveness diagnostics.
+type MsgDiag struct {
+	Src, Dst int
+	Flits    int
+	Arrival  int64
+	// Payload is the payload's concrete type name (e.g. memsys.readReq).
+	Payload string
+	Dup     bool
+}
+
+// InFlight snapshots every undelivered message, soonest arrival first.
+func (m *Mesh) InFlight() []MsgDiag {
+	out := make([]MsgDiag, 0, len(m.inbox))
+	for _, f := range m.inbox {
+		out = append(out, MsgDiag{
+			Src: f.msg.Src, Dst: f.msg.Dst, Flits: f.msg.Flits,
+			Arrival: f.arrival, Payload: fmt.Sprintf("%T", f.msg.Payload), Dup: f.dup,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Arrival < out[j].Arrival })
+	return out
 }

@@ -7,8 +7,11 @@ package system
 import (
 	"container/heap"
 	"fmt"
+	"strings"
+	"sync/atomic"
 
 	"rats/internal/energy"
+	"rats/internal/fault"
 	"rats/internal/probe"
 	"rats/internal/sim/cu"
 	"rats/internal/sim/memsys"
@@ -59,6 +62,12 @@ type System struct {
 	txnSeq int64
 	tr     *trace.Trace
 	probe  *probe.Hub
+	inj    *fault.Injector
+
+	// abortMsg, when set (from any goroutine), makes Run stop at the next
+	// check and return a diagnostic error — the harness's wall-clock
+	// timeout mechanism.
+	abortMsg atomic.Pointer[string]
 }
 
 // Result is the outcome of a simulation run.
@@ -91,8 +100,26 @@ func New(cfg memsys.Config) *System {
 		node := n
 		s.mesh.SetReceiver(n, func(m noc.Message) { s.deliver(node, m) })
 	}
+	if cfg.Faults != nil {
+		s.inj = fault.NewInjector(cfg.Faults, cfg.FaultSeed)
+		s.env.Fault = s.inj
+		s.mesh.SetFault(s.inj)
+	}
 	return s
 }
+
+// FaultCounts returns the injected-perturbation tally, and whether fault
+// injection is enabled at all.
+func (s *System) FaultCounts() (fault.Counts, bool) {
+	if s.inj == nil {
+		return fault.Counts{}, false
+	}
+	return s.inj.Counts(), true
+}
+
+// Abort requests that a running simulation stop with a diagnostic error.
+// Safe to call from another goroutine (wall-clock timeouts).
+func (s *System) Abort(reason string) { s.abortMsg.Store(&reason) }
 
 // AttachProbe enables the observability layer: every component's
 // emission points route to the hub. Call before Run; with no hub
@@ -145,17 +172,27 @@ func (s *System) Load(tr *trace.Trace) error {
 }
 
 // Run executes the loaded trace to completion and returns the result.
+// Non-completion — MaxCycles, the liveness watchdog, an invariant
+// violation, or an Abort — returns a *DiagnosticError carrying the run's
+// state (stuck warps, MSHR/store-buffer occupancy, in-flight messages)
+// rather than a bare message.
 func (s *System) Run() (*Result, error) {
 	if s.tr == nil {
 		return nil, fmt.Errorf("system: no trace loaded")
 	}
+	var (
+		lastSig      int64 // progress signature at lastProgress
+		lastProgress int64 // cycle progress was last observed
+		prevCoreOps  int64 // monotone-retirement invariant state
+		iters        int64 // processed-cycle count (abort polling)
+	)
 	for {
 		if s.done() {
 			break
 		}
 		s.cycle++
 		if s.cycle > s.Cfg.MaxCycles {
-			return nil, fmt.Errorf("system: exceeded %d cycles running %s (deadlock?)", s.Cfg.MaxCycles, s.tr.Name)
+			return nil, s.diagnose(fmt.Sprintf("exceeded MaxCycles=%d (deadlock?)", s.Cfg.MaxCycles))
 		}
 		if s.probe != nil {
 			s.probe.Tick(s.cycle, &s.stats)
@@ -177,8 +214,50 @@ func (s *System) Run() (*Result, error) {
 		for _, c := range s.cus {
 			c.Tick(s.cycle)
 		}
+		// Always-on invariants: catch corruption as a diagnosed error.
+		if s.stats.CoreOps < prevCoreOps {
+			return nil, s.diagnose(fmt.Sprintf(
+				"invariant violated: retired-op count decreased (%d -> %d)", prevCoreOps, s.stats.CoreOps))
+		}
+		prevCoreOps = s.stats.CoreOps
+		for _, l1 := range s.l1s {
+			d := l1.Diag()
+			if d.MSHROutstanding > d.MSHRCapacity {
+				return nil, s.diagnose(fmt.Sprintf(
+					"invariant violated: node %d MSHR occupancy %d exceeds capacity %d",
+					d.Node, d.MSHROutstanding, d.MSHRCapacity))
+			}
+			if d.SBQueued > d.SBCapacity {
+				return nil, s.diagnose(fmt.Sprintf(
+					"invariant violated: node %d store-buffer occupancy %d exceeds capacity %d",
+					d.Node, d.SBQueued, d.SBCapacity))
+			}
+		}
+		// Liveness watchdog: no counter moved for a whole window.
+		if sig := s.progressSignature(); sig != lastSig {
+			lastSig = sig
+			lastProgress = s.cycle
+		} else if w := s.Cfg.WatchdogWindow; w > 0 && s.cycle-lastProgress >= w {
+			return nil, s.diagnose(fmt.Sprintf(
+				"no forward progress for %d cycles (watchdog window %d)", s.cycle-lastProgress, w))
+		}
+		iters++
+		if iters&1023 == 0 {
+			if msg := s.abortMsg.Load(); msg != nil {
+				return nil, s.diagnose("aborted: " + *msg)
+			}
+		}
 		// 6. Fast-forward over provably idle cycles.
 		s.fastForward()
+	}
+	// End-of-run invariant: nothing outlives the run.
+	if s.mesh.Pending() {
+		return nil, s.diagnose("invariant violated: messages in flight after completion")
+	}
+	for _, l1 := range s.l1s {
+		if !l1.Quiesced() {
+			return nil, s.diagnose("invariant violated: L1 work outstanding after completion")
+		}
 	}
 	s.stats.Cycles = s.cycle
 	if s.probe != nil {
@@ -200,6 +279,148 @@ func (s *System) Run() (*Result, error) {
 		}
 	}
 	return res, nil
+}
+
+// progressSignature folds every counter that moves when the machine does
+// useful work into one value; if it is unchanged across a whole watchdog
+// window the run is wedged. Warp retirement bumps no Stats counter, so
+// retired-warp counts are folded in too — otherwise the final retire of a
+// long-quiet warp could trip the watchdog spuriously.
+func (s *System) progressSignature() int64 {
+	sig := s.stats.CoreOps + s.stats.L1Accesses + s.stats.L2Accesses +
+		s.stats.Atomics + s.stats.NoCMessages
+	for _, c := range s.cus {
+		sig += int64(c.RetiredWarps())
+	}
+	return sig
+}
+
+// Caps on how much per-item detail a DiagnosticError carries; full counts
+// are always reported.
+const (
+	maxDiagWarps    = 16
+	maxDiagMessages = 16
+)
+
+// DiagnosticError is returned by Run when a simulation cannot complete:
+// MaxCycles exhaustion, the liveness watchdog firing, an invariant
+// violation, or an external Abort. It snapshots enough machine state to
+// localize the hang — which warps are stuck and why, L1 MSHR/store-buffer
+// occupancy, and in-flight network messages.
+type DiagnosticError struct {
+	Workload string
+	Reason   string
+	Cycle    int64
+	MaxCyc   int64
+
+	RetiredOps   int64
+	RetiredWarps int
+	TotalWarps   int
+
+	// Warps holds stuck (non-retired) warps only, capped at maxDiagWarps;
+	// WarpsOmitted counts the rest.
+	Warps        []cu.WarpDiag
+	WarpsOmitted int
+
+	// L1s holds controllers with outstanding work only.
+	L1s []memsys.L1Diag
+
+	// Messages holds in-flight NoC messages, soonest arrival first, capped
+	// at maxDiagMessages; MessagesOmitted counts the rest.
+	Messages        []noc.MsgDiag
+	MessagesOmitted int
+
+	CoalescedTxns int
+	PendingEvents int
+}
+
+// Error renders a multi-line deadlock report.
+func (e *DiagnosticError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "system: %s: %s at cycle %d (retired ops %d, warps %d/%d retired)",
+		e.Workload, e.Reason, e.Cycle, e.RetiredOps, e.RetiredWarps, e.TotalWarps)
+	for _, w := range e.Warps {
+		fmt.Fprintf(&b, "\n  warp %d (node %d): %s, pc %d/%d, %d loads + %d atomics outstanding",
+			w.Warp, w.Node, w.State, w.PC, w.Ops, w.OutLoads, w.OutAtomics)
+	}
+	if e.WarpsOmitted > 0 {
+		fmt.Fprintf(&b, "\n  ... and %d more stuck warps", e.WarpsOmitted)
+	}
+	for _, d := range e.L1s {
+		fmt.Fprintf(&b, "\n  L1 node %d: MSHR %d/%d, store buffer %d/%d (%d unacked), %d atomics, %d forwards, %d flush waiters",
+			d.Node, d.MSHROutstanding, d.MSHRCapacity, d.SBQueued, d.SBCapacity,
+			d.SBUnacked, d.PendingAtomics, d.PendingForwards, d.FlushWaiters)
+	}
+	for _, m := range e.Messages {
+		tag := ""
+		if m.Dup {
+			tag = " (dup)"
+		}
+		fmt.Fprintf(&b, "\n  in flight: %s %d->%d, %d flits, arrives cycle %d%s",
+			m.Payload, m.Src, m.Dst, m.Flits, m.Arrival, tag)
+	}
+	if e.MessagesOmitted > 0 {
+		fmt.Fprintf(&b, "\n  ... and %d more in-flight messages", e.MessagesOmitted)
+	}
+	if e.CoalescedTxns > 0 {
+		fmt.Fprintf(&b, "\n  %d transactions queued in coalescers", e.CoalescedTxns)
+	}
+	if e.PendingEvents > 0 {
+		fmt.Fprintf(&b, "\n  %d scheduled events pending", e.PendingEvents)
+	}
+	return b.String()
+}
+
+// diagnose builds the DiagnosticError for a failed run and, when a probe
+// hub is attached, emits the same report as WatchdogReport events so it
+// lands in traces alongside the run's other telemetry.
+func (s *System) diagnose(reason string) *DiagnosticError {
+	e := &DiagnosticError{
+		Reason:     reason,
+		Cycle:      s.cycle,
+		MaxCyc:     s.Cfg.MaxCycles,
+		RetiredOps: s.stats.CoreOps,
+	}
+	if s.tr != nil {
+		e.Workload = s.tr.Name
+	}
+	for _, c := range s.cus {
+		e.RetiredWarps += c.RetiredWarps()
+		e.CoalescedTxns += c.CoalescerDepth()
+		for _, w := range c.Diag(s.cycle) {
+			e.TotalWarps++
+			if !w.Stuck() {
+				continue
+			}
+			if len(e.Warps) < maxDiagWarps {
+				e.Warps = append(e.Warps, w)
+			} else {
+				e.WarpsOmitted++
+			}
+		}
+	}
+	for _, l1 := range s.l1s {
+		if d := l1.Diag(); d.Busy() {
+			e.L1s = append(e.L1s, d)
+		}
+	}
+	for _, m := range s.mesh.InFlight() {
+		if len(e.Messages) < maxDiagMessages {
+			e.Messages = append(e.Messages, m)
+		} else {
+			e.MessagesOmitted++
+		}
+	}
+	e.PendingEvents = s.events.Len()
+	if s.probe != nil {
+		s.probe.Emit(probe.Event{Cycle: s.cycle, Comp: probe.CompSystem, Node: -1, Warp: -1,
+			Kind: probe.WatchdogReport, Arg: int64(len(e.Warps) + e.WarpsOmitted)})
+		for _, w := range e.Warps {
+			s.probe.Emit(probe.Event{Cycle: s.cycle, Comp: probe.CompCU, Node: w.Node,
+				Warp: w.Warp, Kind: probe.WatchdogReport, Arg: int64(w.PC), Aux: int64(w.Ops)})
+		}
+	}
+	return e
 }
 
 // done reports whether every warp has retired and the machine is idle.
