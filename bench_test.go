@@ -186,6 +186,27 @@ func BenchmarkProbeOverhead(b *testing.B) {
 		}
 		b.ReportMetric(float64(events), "events")
 	})
+	b.Run("spans", func(b *testing.B) {
+		var spans int64
+		for i := 0; i < b.N; i++ {
+			sink := probe.NewLatencySink()
+			hub := probe.NewHub()
+			hub.Attach(sink)
+			sys := system.New(cfg)
+			sys.AttachProbe(hub)
+			if err := sys.Load(e.Build(workloads.Test)); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sys.Run(); err != nil {
+				b.Fatal(err)
+			}
+			if sink.Open() != 0 {
+				b.Fatalf("%d spans left open", sink.Open())
+			}
+			spans = sink.Completed()
+		}
+		b.ReportMetric(float64(spans), "spans")
+	})
 }
 
 // --- Ablations (DESIGN.md "Key design decisions") ---

@@ -9,6 +9,8 @@
 //	ratsfigures -scale paper    # paper-scale inputs (slower)
 //	ratsfigures -only fig3      # one artifact: fig1|fig3|fig4|table1..table4|summary
 //	ratsfigures -stalls PR-3    # per-config stall attribution for one workload
+//	ratsfigures -latency        # per-config transaction-latency percentiles (microbenchmarks)
+//	ratsfigures -only fig3 -http :6060            # live /progress + /metrics while sweeping
 //	ratsfigures -only fig3 -journal sweep.jsonl   # checkpointed (resumable) sweep
 //	ratsfigures -only fig3 -faults 'delay:p=0.05,max=10' -fault-seed 3 -timeout 1m
 package main
@@ -25,6 +27,7 @@ import (
 	"rats/internal/harness"
 	"rats/internal/litmus"
 	"rats/internal/memmodel"
+	"rats/internal/obs"
 	"rats/internal/workloads"
 )
 
@@ -33,6 +36,8 @@ func main() {
 		scaleName  = flag.String("scale", "test", "workload scale: test or paper")
 		only       = flag.String("only", "", "render a single artifact")
 		stalls     = flag.String("stalls", "", "render the stall-attribution sweep for one workload and exit")
+		latency    = flag.Bool("latency", false, "render the per-config transaction-latency sweep over the microbenchmarks and exit")
+		httpAddr   = flag.String("http", "", "serve live /progress, /metrics, and pprof on this address while sweeping")
 		journal    = flag.String("journal", "", "JSONL checkpoint file: completed runs are recorded and restored on rerun")
 		timeout    = flag.Duration("timeout", 0, "wall-clock limit per simulation run (0 = none), e.g. 1m")
 		faultSpec  = flag.String("faults", "", "fault-injection spec applied to every run (see internal/fault)")
@@ -65,6 +70,17 @@ func main() {
 	}
 
 	opts := &harness.RunOptions{Timeout: *timeout, FaultSeed: *faultSeed, WatchdogWindow: *watchdog}
+	if *httpAddr != "" {
+		opts.Progress = obs.NewProgress()
+		server := obs.NewServer()
+		server.SetRunInfo("command", "ratsfigures")
+		server.SetRunInfo("scale", *scaleName)
+		server.SetProgress(opts.Progress)
+		addr, err := server.Start(*httpAddr)
+		die(err)
+		defer server.Close()
+		fmt.Printf("observability server on http://%s (/progress /metrics /debug/pprof)\n", addr)
+	}
 	if *faultSpec != "" {
 		spec, err := fault.Parse(*faultSpec)
 		die(err)
@@ -106,6 +122,13 @@ func main() {
 		rows, err := harness.StallSweep(*entry, scale, harness.ConfigOrder)
 		die(err)
 		fmt.Println(harness.RenderStallSweep(entry.Name, rows))
+		return
+	}
+
+	if *latency {
+		cells, err := harness.LatencySweep(workloads.Micro(), scale, harness.ConfigOrder)
+		die(err)
+		fmt.Println(harness.RenderLatencySweep(cells, harness.ConfigOrder))
 		return
 	}
 

@@ -5,6 +5,8 @@
 //
 //	ratsim -workload PR-3 -config DDR [-scale paper] [-energy]
 //	ratsim -workload H -config DDR -trace-out run.json -stalls
+//	ratsim -workload H -config DDR -spans-out spans.jsonl -latency
+//	ratsim -workload H -config DDR -http :6060 -http-linger 30s
 //	ratsim -workload H -config GD0 -faults 'delay:p=0.05,max=10;dup:p=0.02' -fault-seed 7
 //	ratsim -workload H -config GD0 -faults 'wedge:warp=0,from=0' -watchdog 20000
 //	ratsim -list
@@ -21,6 +23,7 @@ import (
 
 	"rats/internal/fault"
 	"rats/internal/harness"
+	"rats/internal/obs"
 	"rats/internal/probe"
 	"rats/internal/sim/system"
 	"rats/internal/trace"
@@ -44,8 +47,12 @@ func main() {
 
 		traceOut   = flag.String("trace-out", "", "write a Chrome/Perfetto trace-event JSON timeline to this file")
 		metricsOut = flag.String("metrics-out", "", "write interval-sampled counters to this file (.json for JSON, else CSV)")
-		metricsInt = flag.Int64("metrics-interval", 1000, "sampling interval in cycles for -metrics-out")
+		metricsInt = flag.Int64("metrics-interval", 1000, "sampling interval in cycles for -metrics-out and -http")
 		stalls     = flag.Bool("stalls", false, "print the per-warp stall attribution table")
+		spansOut   = flag.String("spans-out", "", "write per-transaction latency spans as JSONL to this file")
+		latency    = flag.Bool("latency", false, "print the per-transaction latency table (op class x hit level)")
+		httpAddr   = flag.String("http", "", "serve live /metrics, /progress, and pprof on this address, e.g. :6060")
+		httpLinger = flag.Duration("http-linger", 0, "keep the -http server up this long after the run finishes")
 
 		faultSpec = flag.String("faults", "", "fault-injection spec, e.g. 'delay:p=0.05,max=10;dup:p=0.02' (see internal/fault)")
 		faultSeed = flag.Int64("fault-seed", 1, "PRNG seed for fault injection (same spec+seed = same timing)")
@@ -129,11 +136,15 @@ func main() {
 
 	// Observability sinks: any of these flags attaches a probe hub.
 	var (
-		hub       *probe.Hub
-		stallSink *probe.StallSink
-		closers   []*os.File
+		hub        *probe.Hub
+		stallSink  *probe.StallSink
+		spanWriter *probe.SpanWriter
+		latSink    *probe.LatencySink
+		server     *obs.Server
+		progress   *obs.Progress
+		closers    []*os.File
 	)
-	if *traceOut != "" || *metricsOut != "" || *stalls {
+	if *traceOut != "" || *metricsOut != "" || *stalls || *spansOut != "" || *latency || *httpAddr != "" {
 		hub = probe.NewHub()
 		if *traceOut != "" {
 			f, err := os.Create(*traceOut)
@@ -160,6 +171,38 @@ func main() {
 			stallSink = probe.NewStallSink()
 			hub.Attach(stallSink)
 		}
+		if *spansOut != "" {
+			f, err := os.Create(*spansOut)
+			if err != nil {
+				fatal(err)
+			}
+			closers = append(closers, f)
+			spanWriter = probe.NewSpanWriter(f)
+			hub.Attach(spanWriter)
+		}
+		if *latency || *httpAddr != "" {
+			latSink = probe.NewLatencySink()
+			hub.Attach(latSink)
+		}
+		if *httpAddr != "" {
+			gauge := &obs.StatsGauge{}
+			hub.Attach(gauge)
+			hub.SetSampleInterval(*metricsInt)
+			progress = obs.NewProgress()
+			server = obs.NewServer()
+			server.SetRunInfo("workload", *workload)
+			server.SetRunInfo("config", *config)
+			server.SetRunInfo("scale", *scaleName)
+			server.SetGauge(gauge)
+			server.SetLatency(latSink)
+			server.SetProgress(progress)
+			addr, err := server.Start(*httpAddr)
+			if err != nil {
+				fatal(err)
+			}
+			defer server.Close()
+			fmt.Printf("observability server on http://%s (/metrics /progress /debug/pprof)\n", addr)
+		}
 	}
 
 	fmt.Printf("running %s (%d warps, %d ops) under %s/%s\n",
@@ -175,9 +218,25 @@ func main() {
 		t := time.AfterFunc(*timeout, func() { sys.Abort(fmt.Sprintf("wall-clock timeout %s exceeded", *timeout)) })
 		defer t.Stop()
 	}
+	linger := func() {
+		if server != nil && *httpLinger > 0 {
+			fmt.Printf("lingering %s for /metrics scrapes\n", *httpLinger)
+			time.Sleep(*httpLinger)
+		}
+	}
+	if progress != nil {
+		progress.Start(tr.Name, *config)
+	}
 	res, err := sys.Run()
 	if err != nil {
+		if progress != nil {
+			progress.Fail(tr.Name, *config, err)
+		}
+		linger()
 		fatal(err)
+	}
+	if progress != nil {
+		progress.Done(tr.Name, *config, res.Stats.Cycles)
 	}
 	if counts, ok := sys.FaultCounts(); ok {
 		fmt.Println("injected faults:", counts.String())
@@ -196,6 +255,10 @@ func main() {
 	if stallSink != nil {
 		fmt.Println(stallSink.Table(res.Stats.Cycles))
 	}
+	if latSink != nil && *latency {
+		fmt.Println("per-transaction latency (cycles):")
+		fmt.Print(latSink.Table())
+	}
 	if *showEn {
 		fmt.Println("energy breakdown (pJ):")
 		for _, c := range res.Energy.Components() {
@@ -209,6 +272,10 @@ func main() {
 	if *metricsOut != "" {
 		fmt.Printf("wrote interval metrics %s (every %d cycles)\n", *metricsOut, *metricsInt)
 	}
+	if spanWriter != nil {
+		fmt.Printf("wrote %d latency spans to %s\n", spanWriter.Completed(), *spansOut)
+	}
+	linger()
 
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)

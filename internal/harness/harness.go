@@ -16,6 +16,7 @@ import (
 	"rats/internal/core"
 	"rats/internal/energy"
 	"rats/internal/fault"
+	"rats/internal/obs"
 	"rats/internal/report"
 	"rats/internal/sim/memsys"
 	"rats/internal/sim/system"
@@ -81,6 +82,9 @@ type RunOptions struct {
 	// replaces the default no-progress window, negative disables the
 	// watchdog, zero keeps the configuration default.
 	WatchdogWindow int64
+	// Progress, when non-nil, receives per-run lifecycle updates
+	// (running/done/failed/restored) for the live /progress endpoint.
+	Progress *obs.Progress
 }
 
 // apply folds the options into a run configuration.
@@ -171,6 +175,9 @@ func RunAllWith(entries []workloads.Entry, scale workloads.Scale, cfgNames []str
 		if opts != nil && opts.Journal != nil {
 			if res, ok := opts.Journal.Lookup(j.entry.Name, j.cfg); ok {
 				record(j, res)
+				if opts.Progress != nil {
+					opts.Progress.Restored(j.entry.Name, j.cfg, res.Stats.Cycles)
+				}
 				continue
 			}
 		}
@@ -179,12 +186,21 @@ func RunAllWith(entries []workloads.Entry, scale workloads.Scale, cfgNames []str
 		go func() {
 			defer wg.Done()
 			defer func() { <-sem }()
+			if opts != nil && opts.Progress != nil {
+				opts.Progress.Start(j.entry.Name, j.cfg)
+			}
 			res, err := runOne(j.entry, scale, j.cfg, opts)
 			if err != nil {
 				errs[i] = fmt.Errorf("%s/%s: %w", j.entry.Name, j.cfg, err)
+				if opts != nil && opts.Progress != nil {
+					opts.Progress.Fail(j.entry.Name, j.cfg, err)
+				}
 				return
 			}
 			record(j, res)
+			if opts != nil && opts.Progress != nil {
+				opts.Progress.Done(j.entry.Name, j.cfg, res.Stats.Cycles)
+			}
 			if opts != nil && opts.Journal != nil {
 				if jerr := opts.Journal.Record(j.entry.Name, j.cfg, res); jerr != nil {
 					errs[i] = fmt.Errorf("%s/%s: journal: %w", j.entry.Name, j.cfg, jerr)

@@ -1,0 +1,150 @@
+package harness
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+
+	"rats/internal/hist"
+	"rats/internal/probe"
+	"rats/internal/sim/system"
+	"rats/internal/workloads"
+)
+
+// LatencyCell is one (workload, config) run's per-transaction latency
+// aggregates: the run length plus the histogram/segment decomposition
+// for every (op class, hit level) observed.
+type LatencyCell struct {
+	Workload string
+	Config   string
+	Cycles   int64
+	Entries  map[probe.LatencyKey]probe.LatencyEntry
+}
+
+// LatencySweep runs every workload under every named configuration with
+// a span-stitching latency sink attached, returning one cell per run in
+// (workload-major, config-minor) order. Runs execute in parallel — each
+// has its own hub and sink — but the returned order is deterministic.
+func LatencySweep(entries []workloads.Entry, scale workloads.Scale, cfgNames []string) ([]LatencyCell, error) {
+	type job struct {
+		entry workloads.Entry
+		cfg   string
+	}
+	var jobs []job
+	for _, e := range entries {
+		for _, c := range cfgNames {
+			jobs = append(jobs, job{e, c})
+		}
+	}
+	cells := make([]LatencyCell, len(jobs))
+	errs := make([]error, len(jobs))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, j := range jobs {
+		i, j := i, j
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			cells[i], errs[i] = latencyOne(j.entry, scale, j.cfg)
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return cells, nil
+}
+
+func latencyOne(entry workloads.Entry, scale workloads.Scale, cfgName string) (LatencyCell, error) {
+	cfg, err := ConfigFor(cfgName)
+	if err != nil {
+		return LatencyCell{}, err
+	}
+	sink := probe.NewLatencySink()
+	hub := probe.NewHub()
+	hub.Attach(sink)
+	sys := system.New(cfg)
+	sys.AttachProbe(hub)
+	if err := sys.Load(entry.Build(scale)); err != nil {
+		return LatencyCell{}, fmt.Errorf("%s/%s: %w", entry.Name, cfgName, err)
+	}
+	res, err := sys.Run()
+	if err != nil {
+		return LatencyCell{}, fmt.Errorf("%s/%s: %w", entry.Name, cfgName, err)
+	}
+	if err := hub.Close(); err != nil {
+		return LatencyCell{}, err
+	}
+	if n := sink.Open(); n > 0 {
+		return LatencyCell{}, fmt.Errorf("%s/%s: %d spans left open at end of run", entry.Name, cfgName, n)
+	}
+	return LatencyCell{
+		Workload: entry.Name,
+		Config:   cfgName,
+		Cycles:   res.Stats.Cycles,
+		Entries:  sink.Snapshot(),
+	}, nil
+}
+
+// overall merges every (op, level) entry of a cell into one histogram.
+func overall(entries map[probe.LatencyKey]probe.LatencyEntry) hist.Histogram {
+	var h hist.Histogram
+	for _, e := range entries {
+		eh := e.Hist
+		h.Merge(&eh)
+	}
+	return h
+}
+
+// RenderLatencySweep draws the sweep: first the overall per-run
+// percentile table, then the per-config distributions split by op class
+// (merged over workloads and hit levels) — the view that shows e.g.
+// DRFrlx's atomics completing far earlier than DRF0's.
+func RenderLatencySweep(cells []LatencyCell, cfgNames []string) string {
+	var b strings.Builder
+	b.WriteString("per-transaction memory latency sweep (cycles)\n")
+	fmt.Fprintf(&b, "  %-10s %-8s %10s %9s %7s %7s %7s %7s\n",
+		"workload", "config", "cycles", "spans", "p50", "p90", "p99", "max")
+	for _, c := range cells {
+		h := overall(c.Entries)
+		s := h.Summarize()
+		fmt.Fprintf(&b, "  %-10s %-8s %10d %9d %7d %7d %7d %7d\n",
+			c.Workload, c.Config, c.Cycles, s.Count, s.P50, s.P90, s.P99, s.Max)
+	}
+
+	b.WriteString("\nby op class, merged over workloads\n")
+	fmt.Fprintf(&b, "  %-8s %-8s %9s %7s %7s %7s %7s\n",
+		"config", "op", "spans", "p50", "p90", "p99", "max")
+	for _, cfg := range cfgNames {
+		merged := map[probe.SpanOp]*hist.Histogram{}
+		for _, c := range cells {
+			if c.Config != cfg {
+				continue
+			}
+			for k, e := range c.Entries {
+				h := merged[k.Op]
+				if h == nil {
+					h = &hist.Histogram{}
+					merged[k.Op] = h
+				}
+				eh := e.Hist
+				h.Merge(&eh)
+			}
+		}
+		for op := probe.SpanOp(0); op < probe.NumSpanOps; op++ {
+			h := merged[op]
+			if h == nil {
+				continue
+			}
+			s := h.Summarize()
+			fmt.Fprintf(&b, "  %-8s %-8s %9d %7d %7d %7d %7d\n",
+				cfg, op, s.Count, s.P50, s.P90, s.P99, s.Max)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,124 @@
+// Package obs is the live observability endpoint: an HTTP server that
+// exposes the running simulation's aggregate counters and latency
+// histograms in Prometheus text format (/metrics), per-run sweep status
+// (/progress), and the standard pprof handlers — so a multi-hour
+// paper-scale sweep can be watched (and profiled) without waiting for it
+// to finish.
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// RunState is one sweep run's lifecycle state.
+type RunState string
+
+const (
+	// RunRunning: the simulation is executing.
+	RunRunning RunState = "running"
+	// RunDone: completed successfully.
+	RunDone RunState = "done"
+	// RunFailed: returned an error (diagnostic, timeout, panic).
+	RunFailed RunState = "failed"
+	// RunRestored: restored from a checkpoint journal instead of
+	// re-simulated.
+	RunRestored RunState = "restored"
+)
+
+// RunStatus is one (workload, config) run's status snapshot.
+type RunStatus struct {
+	Workload string   `json:"workload"`
+	Config   string   `json:"config"`
+	State    RunState `json:"state"`
+	// Cycles is the run's simulated length once finished/restored.
+	Cycles int64 `json:"cycles,omitempty"`
+	// Err carries the failure message for failed runs.
+	Err string `json:"err,omitempty"`
+}
+
+// Progress tracks a sweep's per-run status for the /progress endpoint.
+// All methods are safe for concurrent use; the harness updates it from
+// its worker goroutines while the HTTP server snapshots it.
+type Progress struct {
+	mu    sync.Mutex
+	order []string // key order of first appearance (stable reporting)
+	runs  map[string]*RunStatus
+	start time.Time
+}
+
+// NewProgress builds an empty tracker.
+func NewProgress() *Progress {
+	return &Progress{runs: map[string]*RunStatus{}, start: time.Now()}
+}
+
+func (p *Progress) upsert(workload, cfg string, state RunState, cycles int64, errMsg string) {
+	key := workload + "/" + cfg
+	p.mu.Lock()
+	r := p.runs[key]
+	if r == nil {
+		r = &RunStatus{Workload: workload, Config: cfg}
+		p.runs[key] = r
+		p.order = append(p.order, key)
+	}
+	r.State = state
+	r.Cycles = cycles
+	r.Err = errMsg
+	p.mu.Unlock()
+}
+
+// Start marks a run as executing.
+func (p *Progress) Start(workload, cfg string) { p.upsert(workload, cfg, RunRunning, 0, "") }
+
+// Done marks a run completed with its simulated cycle count.
+func (p *Progress) Done(workload, cfg string, cycles int64) {
+	p.upsert(workload, cfg, RunDone, cycles, "")
+}
+
+// Fail marks a run failed.
+func (p *Progress) Fail(workload, cfg string, err error) {
+	msg := ""
+	if err != nil {
+		msg = err.Error()
+	}
+	p.upsert(workload, cfg, RunFailed, 0, msg)
+}
+
+// Restored marks a run restored from a checkpoint journal.
+func (p *Progress) Restored(workload, cfg string, cycles int64) {
+	p.upsert(workload, cfg, RunRestored, cycles, "")
+}
+
+// Report is the /progress JSON payload.
+type Report struct {
+	Total          int         `json:"total"`
+	Running        int         `json:"running"`
+	Done           int         `json:"done"`
+	Failed         int         `json:"failed"`
+	Restored       int         `json:"restored"`
+	ElapsedSeconds float64     `json:"elapsed_seconds"`
+	Runs           []RunStatus `json:"runs"`
+}
+
+// Snapshot returns the current report, runs in first-appearance order.
+func (p *Progress) Snapshot() Report {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	rep := Report{ElapsedSeconds: time.Since(p.start).Seconds()}
+	for _, key := range p.order {
+		r := *p.runs[key]
+		rep.Total++
+		switch r.State {
+		case RunRunning:
+			rep.Running++
+		case RunDone:
+			rep.Done++
+		case RunFailed:
+			rep.Failed++
+		case RunRestored:
+			rep.Restored++
+		}
+		rep.Runs = append(rep.Runs, r)
+	}
+	return rep
+}

@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"sync"
+
+	"rats/internal/probe"
+	"rats/internal/stats"
+)
+
+// StatsGauge is a probe sink that keeps the most recent interval sample
+// of the aggregate counters for the /metrics endpoint. It ignores the
+// discrete event stream (the latency sink handles per-transaction
+// detail) and is safe to read while the simulation thread samples.
+type StatsGauge struct {
+	mu    sync.Mutex
+	cycle int64
+	snap  stats.Stats
+}
+
+// Emit ignores discrete events.
+func (g *StatsGauge) Emit(probe.Event) {}
+
+// Sample stores the snapshot (called by the hub on interval boundaries
+// and at end of run).
+func (g *StatsGauge) Sample(cycle int64, snap stats.Stats) {
+	g.mu.Lock()
+	g.cycle = cycle
+	g.snap = snap
+	g.mu.Unlock()
+}
+
+// Close is a no-op.
+func (g *StatsGauge) Close() error { return nil }
+
+// Snapshot returns the latest sample.
+func (g *StatsGauge) Snapshot() (int64, stats.Stats) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.cycle, g.snap
+}
+
+// Server is the live observability HTTP endpoint. It serves:
+//
+//	/metrics  — Prometheus text exposition: run-info labels, the
+//	            aggregate simulation counters (rats_* gauges), and the
+//	            per-transaction latency histogram split by op class and
+//	            hit level
+//	/progress — sweep status JSON (per-run state, counts, elapsed time)
+//	/debug/pprof/ — the standard Go profiling handlers
+//
+// All data sources are optional; absent ones are simply omitted from the
+// output, so the same server works for a single ratsim run (gauge +
+// latency) and a ratsfigures sweep (progress + per-run merges).
+type Server struct {
+	mu       sync.Mutex
+	info     map[string]string
+	gauge    *StatsGauge
+	latency  *probe.LatencySink
+	progress *Progress
+
+	ln  net.Listener
+	srv *http.Server
+}
+
+// NewServer builds a server with no data sources attached.
+func NewServer() *Server { return &Server{info: map[string]string{}} }
+
+// SetRunInfo sets one rats_run_info label (e.g. workload, config,
+// scale).
+func (s *Server) SetRunInfo(key, value string) {
+	s.mu.Lock()
+	s.info[key] = value
+	s.mu.Unlock()
+}
+
+// SetGauge attaches the aggregate-counter source.
+func (s *Server) SetGauge(g *StatsGauge) {
+	s.mu.Lock()
+	s.gauge = g
+	s.mu.Unlock()
+}
+
+// SetLatency attaches the per-transaction latency source.
+func (s *Server) SetLatency(l *probe.LatencySink) {
+	s.mu.Lock()
+	s.latency = l
+	s.mu.Unlock()
+}
+
+// SetProgress attaches the sweep progress source.
+func (s *Server) SetProgress(p *Progress) {
+	s.mu.Lock()
+	s.progress = p
+	s.mu.Unlock()
+}
+
+func (s *Server) sources() (map[string]string, *StatsGauge, *probe.LatencySink, *Progress) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	info := make(map[string]string, len(s.info))
+	for k, v := range s.info {
+		info[k] = v
+	}
+	return info, s.gauge, s.latency, s.progress
+}
+
+// WriteMetrics renders the Prometheus text exposition. The output is
+// deterministic for a fixed state: run-info labels and latency keys are
+// sorted, counters follow stats.Rows order, and histogram buckets are
+// emitted in increasing bound order (non-empty buckets plus +Inf).
+func (s *Server) WriteMetrics(w io.Writer) {
+	info, gauge, latency, _ := s.sources()
+
+	if len(info) > 0 {
+		keys := make([]string, 0, len(info))
+		for k := range info {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Fprintf(w, "# HELP rats_run_info Run identity labels.\n# TYPE rats_run_info gauge\nrats_run_info{")
+		for i, k := range keys {
+			if i > 0 {
+				io.WriteString(w, ",")
+			}
+			fmt.Fprintf(w, "%s=%q", k, info[k])
+		}
+		io.WriteString(w, "} 1\n")
+	}
+
+	if gauge != nil {
+		cycle, snap := gauge.Snapshot()
+		snap.Cycles = cycle
+		for _, r := range snap.Rows() {
+			fmt.Fprintf(w, "# TYPE rats_%s gauge\nrats_%s %d\n", r.Name, r.Name, r.Value)
+		}
+	}
+
+	if latency != nil {
+		snap := latency.Snapshot()
+		if len(snap) > 0 {
+			fmt.Fprintf(w, "# HELP rats_txn_latency_cycles Per-transaction memory latency in cycles.\n# TYPE rats_txn_latency_cycles histogram\n")
+			for _, k := range probe.SortKeys(snap) {
+				e := snap[k]
+				labels := fmt.Sprintf("op=%q,level=%q", k.Op.String(), k.Level.String())
+				cum := int64(0)
+				e.Hist.Each(func(upper, count int64) {
+					cum += count
+					fmt.Fprintf(w, "rats_txn_latency_cycles_bucket{%s,le=\"%d\"} %d\n", labels, upper, cum)
+				})
+				fmt.Fprintf(w, "rats_txn_latency_cycles_bucket{%s,le=\"+Inf\"} %d\n", labels, e.Hist.Count())
+				fmt.Fprintf(w, "rats_txn_latency_cycles_sum{%s} %d\n", labels, e.Hist.Sum())
+				fmt.Fprintf(w, "rats_txn_latency_cycles_count{%s} %d\n", labels, e.Hist.Count())
+			}
+		}
+	}
+}
+
+// Handler returns the HTTP mux serving /metrics, /progress, and
+// /debug/pprof/.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.WriteMetrics(w)
+	})
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_, _, _, progress := s.sources()
+		rep := Report{}
+		if progress != nil {
+			rep = progress.Snapshot()
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(rep)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Start binds addr (e.g. ":6060"; ":0" picks a free port) and serves in
+// a background goroutine. It returns the bound address.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.ln = ln
+	s.srv = &http.Server{Handler: s.Handler()}
+	go s.srv.Serve(ln)
+	return ln.Addr().String(), nil
+}
+
+// Close stops the listener.
+func (s *Server) Close() error {
+	if s.srv != nil {
+		return s.srv.Close()
+	}
+	return nil
+}

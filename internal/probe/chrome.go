@@ -139,12 +139,12 @@ func (c *ChromeTrace) Emit(ev Event) {
 	case NoCEnqueue:
 		c.nameTrack(chromePidNoC, ev.Node, "NoC", fmt.Sprintf("node %d", ev.Node))
 		c.write(chromeEvent{Name: "msg", Cat: "noc", Ph: "b", Ts: ev.Cycle,
-			Pid: chromePidNoC, Tid: ev.Node, ID: ev.Txn,
+			Pid: chromePidNoC, Tid: ev.Node, ID: ev.Msg,
 			Args: map[string]any{"src": ev.Node, "dst": ev.Arg, "flits": ev.Aux}})
 	case NoCDeliver:
 		c.nameTrack(chromePidNoC, ev.Node, "NoC", fmt.Sprintf("node %d", ev.Node))
 		c.write(chromeEvent{Name: "msg", Cat: "noc", Ph: "e", Ts: ev.Cycle,
-			Pid: chromePidNoC, Tid: ev.Node, ID: ev.Txn})
+			Pid: chromePidNoC, Tid: ev.Node, ID: ev.Msg})
 	case NoCHop:
 		// Per-hop detail is too fine for the timeline; skip.
 	}

@@ -1,0 +1,54 @@
+package probe_test
+
+import (
+	"testing"
+
+	"rats/internal/probe"
+)
+
+// stringerExhaustive checks that every enum value below n renders a
+// real, unique name, and that the first out-of-range value renders "?".
+// Adding a constant without updating String fails here instead of
+// silently rendering "?" in traces and tables.
+func stringerExhaustive(t *testing.T, what string, n int, name func(int) string) {
+	t.Helper()
+	seen := map[string]int{}
+	for i := 0; i < n; i++ {
+		s := name(i)
+		if s == "?" || s == "" {
+			t.Errorf("%s %d has no name (String says %q); update String alongside the constant", what, i, s)
+			continue
+		}
+		if prev, dup := seen[s]; dup {
+			t.Errorf("%s %d and %d share the name %q", what, prev, i, s)
+		}
+		seen[s] = i
+	}
+	if s := name(n); s != "?" {
+		t.Errorf("%s %d (out of range) renders %q, want \"?\"", what, n, s)
+	}
+}
+
+func TestKindStringExhaustive(t *testing.T) {
+	stringerExhaustive(t, "Kind", int(probe.NumKinds),
+		func(i int) string { return probe.Kind(i).String() })
+}
+
+func TestComponentStringExhaustive(t *testing.T) {
+	stringerExhaustive(t, "Component", int(probe.NumComponents),
+		func(i int) string { return probe.Component(i).String() })
+}
+
+func TestStallReasonStringExhaustive(t *testing.T) {
+	stringerExhaustive(t, "StallReason", int(probe.NumStallReasons),
+		func(i int) string { return probe.StallReason(i).String() })
+}
+
+func TestSpanEnumStringsExhaustive(t *testing.T) {
+	stringerExhaustive(t, "Seg", int(probe.NumSegs),
+		func(i int) string { return probe.Seg(i).String() })
+	stringerExhaustive(t, "SpanOp", int(probe.NumSpanOps),
+		func(i int) string { return probe.SpanOp(i).String() })
+	stringerExhaustive(t, "HitLevel", int(probe.NumHitLevels),
+		func(i int) string { return probe.HitLevel(i).String() })
+}

@@ -1,0 +1,62 @@
+package probe_test
+
+import (
+	"errors"
+	"testing"
+
+	"rats/internal/probe"
+)
+
+// failSink fails Close with a fixed error and records that Close ran.
+type failSink struct {
+	err    error
+	closed bool
+}
+
+func (f *failSink) Emit(probe.Event) {}
+func (f *failSink) Close() error {
+	f.closed = true
+	return f.err
+}
+
+// TestHubCloseJoinsSinkErrors: Hub.Close must close every sink even when
+// earlier ones fail, and the returned error must carry every failure —
+// a flush error from one file must not mask another's.
+func TestHubCloseJoinsSinkErrors(t *testing.T) {
+	errA := errors.New("sink A flush failed")
+	errB := errors.New("sink B flush failed")
+	a := &failSink{err: errA}
+	mid := &failSink{}
+	b := &failSink{err: errB}
+
+	hub := probe.NewHub()
+	hub.Attach(a)
+	hub.Attach(mid)
+	hub.Attach(b)
+	err := hub.Close()
+	if err == nil {
+		t.Fatal("Close returned nil despite two failing sinks")
+	}
+	if !errors.Is(err, errA) {
+		t.Errorf("joined error %v does not carry the first sink's error", err)
+	}
+	if !errors.Is(err, errB) {
+		t.Errorf("joined error %v does not carry the last sink's error", err)
+	}
+	for i, s := range []*failSink{a, mid, b} {
+		if !s.closed {
+			t.Errorf("sink %d was not closed", i)
+		}
+	}
+}
+
+// TestHubCloseAllHealthy: the all-healthy path must stay a nil error
+// (errors.Join of nothing), not a non-nil wrapper.
+func TestHubCloseAllHealthy(t *testing.T) {
+	hub := probe.NewHub()
+	hub.Attach(&failSink{})
+	hub.Attach(&failSink{})
+	if err := hub.Close(); err != nil {
+		t.Fatalf("Close of healthy sinks returned %v", err)
+	}
+}

@@ -1,0 +1,121 @@
+package probe
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"rats/internal/hist"
+)
+
+// LatencyKey keys latency histograms by op class and hit level (the
+// consistency config is the run itself; harness.LatencySweep adds it).
+type LatencyKey struct {
+	Op    SpanOp
+	Level HitLevel
+}
+
+func (k LatencyKey) String() string { return k.Op.String() + "/" + k.Level.String() }
+
+// LatencyEntry is the aggregate for one key: the latency distribution
+// plus the summed per-segment decomposition.
+type LatencyEntry struct {
+	Hist hist.Histogram
+	Segs [NumSegs]int64
+}
+
+// LatencySink aggregates completed spans into fixed-allocation latency
+// histograms keyed by (op class, hit level). It is safe to snapshot from
+// another goroutine (the live /metrics endpoint) while the simulation
+// thread records.
+type LatencySink struct {
+	sink *SpanSink
+
+	mu      sync.Mutex
+	entries map[LatencyKey]*LatencyEntry
+}
+
+// NewLatencySink builds an empty sink.
+func NewLatencySink() *LatencySink {
+	l := &LatencySink{entries: map[LatencyKey]*LatencyEntry{}}
+	l.sink = NewSpanSink(l.record)
+	return l
+}
+
+// Emit consumes one event.
+func (l *LatencySink) Emit(ev Event) { l.sink.Emit(ev) }
+
+// Close is a no-op.
+func (l *LatencySink) Close() error { return nil }
+
+// Completed returns the number of spans recorded.
+func (l *LatencySink) Completed() int64 { return l.sink.Completed() }
+
+// Open returns the number of unterminated spans.
+func (l *LatencySink) Open() int { return l.sink.Open() }
+
+func (l *LatencySink) record(sp Span) {
+	k := LatencyKey{Op: sp.Op, Level: sp.Level}
+	l.mu.Lock()
+	e := l.entries[k]
+	if e == nil {
+		e = &LatencyEntry{}
+		l.entries[k] = e
+	}
+	e.Hist.Record(sp.Latency())
+	for i, v := range sp.Segs {
+		e.Segs[i] += v
+	}
+	l.mu.Unlock()
+}
+
+// Snapshot returns a deep copy of the aggregates, keys sorted (safe to
+// call concurrently with recording).
+func (l *LatencySink) Snapshot() map[LatencyKey]LatencyEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make(map[LatencyKey]LatencyEntry, len(l.entries))
+	for k, e := range l.entries {
+		out[k] = *e
+	}
+	return out
+}
+
+// SortKeys orders latency keys deterministically (op, then level).
+func SortKeys[V any](m map[LatencyKey]V) []LatencyKey {
+	keys := make([]LatencyKey, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Op != keys[j].Op {
+			return keys[i].Op < keys[j].Op
+		}
+		return keys[i].Level < keys[j].Level
+	})
+	return keys
+}
+
+// Table renders the per-(op, hit-level) latency summary with the mean
+// per-segment decomposition (the `ratsim -latency` output).
+func (l *LatencySink) Table() string {
+	snap := l.Snapshot()
+	var b strings.Builder
+	fmt.Fprintf(&b, "  %-8s %-10s %9s %7s %7s %7s %7s   %s\n",
+		"op", "level", "spans", "p50", "p90", "p99", "max", "mean cycles per segment")
+	for _, k := range SortKeys(snap) {
+		e := snap[k]
+		s := e.Hist.Summarize()
+		fmt.Fprintf(&b, "  %-8s %-10s %9d %7d %7d %7d %7d  ",
+			k.Op, k.Level, s.Count, s.P50, s.P90, s.P99, s.Max)
+		for seg := Seg(0); seg < NumSegs; seg++ {
+			fmt.Fprintf(&b, " %s=%.1f", seg, float64(e.Segs[seg])/float64(s.Count))
+		}
+		b.WriteByte('\n')
+	}
+	if len(snap) == 0 {
+		b.WriteString("  (no completed transactions)\n")
+	}
+	return b.String()
+}

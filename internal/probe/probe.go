@@ -2,8 +2,10 @@
 // stream tapped at the interesting points of every component (warp issue
 // and stalls, cache hits and protocol actions, MSHR/store-buffer
 // occupancy, NoC transfers) and fanned out to attached sinks — a
-// Chrome-trace/Perfetto writer, an interval-metrics sampler, and a
-// per-warp stall-attribution table.
+// Chrome-trace/Perfetto writer, an interval-metrics sampler, a per-warp
+// stall-attribution table, and a span layer (SpanSink) that stitches the
+// Txn-keyed events of one memory operation into a per-transaction latency
+// span with a per-level queueing/service decomposition.
 //
 // The layer is zero-overhead when disabled: components hold a *Hub that
 // is nil unless a sink was attached, and every emission site is guarded
@@ -11,7 +13,11 @@
 // site and allocate nothing (see BenchmarkProbeOverhead).
 package probe
 
-import "rats/internal/stats"
+import (
+	"errors"
+
+	"rats/internal/stats"
+)
 
 // Component identifies the simulated component class an event came from.
 type Component uint8
@@ -28,6 +34,9 @@ const (
 	CompL2
 	// CompNoC is the mesh interconnect.
 	CompNoC
+	// NumComponents bounds arrays indexed by component (and the drift
+	// test that keeps Component.String exhaustive).
+	NumComponents
 )
 
 func (c Component) String() string {
@@ -110,6 +119,17 @@ const (
 	// path) captured a diagnostic dump. The system-level summary event's
 	// Arg is the stuck-warp count; per-warp events name each stuck warp.
 	WatchdogReport
+	// DRAMAccess: an L2 bank handed a line fill to its DRAM port; Cycle
+	// is the hand-off cycle (end of the L2 pipeline), Txn the originating
+	// transaction. The span layer uses it to split bank time from memory
+	// time.
+	DRAMAccess
+	// TxnComplete: a memory transaction's Done callback fired — the end
+	// of its latency span.
+	TxnComplete
+	// NumKinds bounds arrays indexed by kind (and the drift test that
+	// keeps Kind.String exhaustive).
+	NumKinds
 )
 
 func (k Kind) String() string {
@@ -120,7 +140,7 @@ func (k Kind) String() string {
 		"remote-forward", "acquire-invalidation", "release-flush",
 		"atomic-performed", "writeback", "mshr-alloc", "mshr-coalesce",
 		"sb-fill", "sb-drain", "noc-enqueue", "noc-hop", "noc-deliver",
-		"fault-injected", "watchdog-report",
+		"fault-injected", "watchdog-report", "dram-access", "txn-complete",
 	}
 	if int(k) < len(names) {
 		return names[k]
@@ -188,8 +208,15 @@ type Event struct {
 	// Kind is the event kind; Reason qualifies stall events.
 	Kind   Kind
 	Reason StallReason
-	// Txn is the transaction or message id, or 0.
+	// Txn is the originating memory transaction's id (assigned at
+	// coalescer push; ids start at 1), or 0 when the event is not
+	// attributable to one transaction. It is carried end-to-end — through
+	// NoC messages, L2 banks, and responses — so SpanSink can stitch one
+	// transaction's events into a latency span.
 	Txn int64
+	// Msg is the NoC message sequence number for NoC events (the Chrome
+	// sink's async begin/end pairing key), or 0.
+	Msg int64
 	// Addr is the byte address or line-start address involved, if any.
 	Addr uint64
 	// Arg and Aux carry kind-specific detail (duration, occupancy,
@@ -286,15 +313,16 @@ func (h *Hub) sample(cycle int64, st *stats.Stats) {
 	h.lastSampled = cycle
 }
 
-// Close closes every sink, returning the first error.
+// Close closes every sink. Every sink's Close runs even if an earlier
+// one fails; all errors are joined so none is silently dropped.
 func (h *Hub) Close() error {
-	var first error
+	var errs []error
 	for _, s := range h.sinks {
-		if err := s.Close(); err != nil && first == nil {
-			first = err
+		if err := s.Close(); err != nil {
+			errs = append(errs, err)
 		}
 	}
-	return first
+	return errors.Join(errs...)
 }
 
 // CountingSink counts events without recording them — the null sink used

@@ -3,12 +3,14 @@ package probe_test
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"os"
 	"path/filepath"
 	"testing"
 
 	"rats/internal/core"
+	"rats/internal/fault"
 	"rats/internal/probe"
 	"rats/internal/sim/memsys"
 	"rats/internal/sim/system"
@@ -115,6 +117,57 @@ func TestIntervalFinalSampleMatchesStats(t *testing.T) {
 	if sink.Last() != res.Stats {
 		t.Errorf("final sample differs from end-of-run stats\nsample: %+v\nstats:  %+v",
 			sink.Last(), res.Stats)
+	}
+}
+
+// TestIntervalFinalSampleOnFailedRun: when a run dies (here: a wedged
+// warp deadlocking the barrier until the watchdog fires), the interval
+// sink must still receive a final partial sample, stamped with the cycle
+// the diagnostic captured — the tail of the time series is exactly the
+// window where a hang's signature lives.
+func TestIntervalFinalSampleOnFailedRun(t *testing.T) {
+	tr := trace.New("wedged")
+	w0 := tr.AddWarp(0)
+	w0.Load(core.Data, 0x1000)
+	w0.Barrier()
+	w1 := tr.AddWarp(1)
+	w1.Barrier()
+
+	spec, err := fault.Parse("wedge:warp=1,from=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := memsys.Default(memsys.ProtoGPU, core.DRF0)
+	cfg.Faults = spec
+	cfg.FaultSeed = 1
+	cfg.WatchdogWindow = 5000
+
+	var buf bytes.Buffer
+	sink := probe.NewIntervalSink(&buf, probe.FormatCSV)
+	hub := probe.NewHub()
+	hub.Attach(sink)
+	// An interval far beyond the watchdog window: the only sample can be
+	// the end-of-run flush.
+	hub.SetSampleInterval(1 << 40)
+
+	sys := system.New(cfg)
+	sys.AttachProbe(hub)
+	if err := sys.Load(tr); err != nil {
+		t.Fatal(err)
+	}
+	_, err = sys.Run()
+	if err == nil {
+		t.Fatal("wedged run completed; expected a watchdog diagnostic")
+	}
+	var diag *system.DiagnosticError
+	if !errors.As(err, &diag) {
+		t.Fatalf("error is %T, want *DiagnosticError: %v", err, err)
+	}
+	if sink.Count() == 0 {
+		t.Fatal("failed run flushed no interval samples")
+	}
+	if got := sink.Last().Cycles; got != diag.Cycle {
+		t.Errorf("final sample at cycle %d, diagnostic captured at %d", got, diag.Cycle)
 	}
 }
 

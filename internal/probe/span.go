@@ -1,0 +1,346 @@
+package probe
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+)
+
+// Seg indexes a span's per-level latency decomposition: each cycle
+// between a transaction's coalescer push and its completion is attributed
+// to exactly one segment, so the segments always sum to End-Start.
+type Seg uint8
+
+const (
+	// SegCoalescer: queued in the CU coalescer behind earlier
+	// transactions (issue-side queueing).
+	SegCoalescer Seg = iota
+	// SegL1: L1 tag lookup, local atomic unit, completion delivery, and
+	// remote-L1 service time in three-hop forwards.
+	SegL1
+	// SegMSHR: parked on an MSHR entry behind another transaction's
+	// outstanding request (miss-side queueing).
+	SegMSHR
+	// SegNoC: in flight on the mesh — request, forward, and response legs,
+	// including link-contention queueing.
+	SegNoC
+	// SegL2: at the home L2 bank (tag pipeline, registry, bank atomic
+	// unit).
+	SegL2
+	// SegMem: DRAM port queueing plus the DRAM access itself.
+	SegMem
+	// NumSegs bounds arrays indexed by segment.
+	NumSegs
+)
+
+func (s Seg) String() string {
+	switch s {
+	case SegCoalescer:
+		return "coalescer"
+	case SegL1:
+		return "l1"
+	case SegMSHR:
+		return "mshr"
+	case SegNoC:
+		return "noc"
+	case SegL2:
+		return "l2"
+	case SegMem:
+		return "mem"
+	}
+	return "?"
+}
+
+// SpanOp classifies a transaction for histogram keying: the plain
+// load/store data path versus the atomic classes whose consistency
+// actions the paper's argument is about.
+type SpanOp uint8
+
+const (
+	SpanLoad SpanOp = iota
+	SpanStore
+	// SpanAtomic covers relaxed/commutative/etc. atomics and paired SC
+	// atomics — everything that is not specifically acquire- or
+	// release-classified.
+	SpanAtomic
+	SpanAcquire
+	SpanRelease
+	// NumSpanOps bounds arrays indexed by op class.
+	NumSpanOps
+)
+
+func (o SpanOp) String() string {
+	switch o {
+	case SpanLoad:
+		return "load"
+	case SpanStore:
+		return "store"
+	case SpanAtomic:
+		return "atomic"
+	case SpanAcquire:
+		return "acquire"
+	case SpanRelease:
+		return "release"
+	}
+	return "?"
+}
+
+// HitLevel is the deepest point of the hierarchy a transaction reached.
+type HitLevel uint8
+
+const (
+	// HitL1: served entirely at the local L1 (hits, store-buffer stores,
+	// work-group-scoped atomics).
+	HitL1 HitLevel = iota
+	// HitL2: missed L1, served by the home L2 bank.
+	HitL2
+	// HitRemoteL1: three-hop — the L2 registry forwarded to a remote
+	// owning L1.
+	HitRemoteL1
+	// HitMem: missed L2, served by DRAM.
+	HitMem
+	// NumHitLevels bounds arrays indexed by hit level.
+	NumHitLevels
+)
+
+func (l HitLevel) String() string {
+	switch l {
+	case HitL1:
+		return "l1"
+	case HitL2:
+		return "l2"
+	case HitRemoteL1:
+		return "remote-l1"
+	case HitMem:
+		return "mem"
+	}
+	return "?"
+}
+
+// Span is one completed memory transaction's latency record.
+type Span struct {
+	Txn  int64
+	Warp int
+	Node int
+	Op   SpanOp
+	// Level is the deepest hierarchy level the transaction reached.
+	Level HitLevel
+	Addr  uint64
+	// Start is the coalescer-push cycle, End the completion cycle.
+	Start, End int64
+	// Segs is the per-level cycle decomposition; entries sum to End-Start.
+	Segs [NumSegs]int64
+}
+
+// Latency returns the span's total duration in cycles.
+func (s *Span) Latency() int64 { return s.End - s.Start }
+
+// openSpan is an in-flight span being reassembled.
+type openSpan struct {
+	Span
+	// last is the monotone per-transaction clock: the cycle of the latest
+	// event attributed so far.
+	last int64
+	// mode is the segment the next gap will be attributed to.
+	mode Seg
+	// postNoC defers attribution after a NoC delivery until the next
+	// event reveals which side (L1 or L2 bank) consumed the message.
+	postNoC bool
+}
+
+// SpanSink reassembles the Txn-keyed event stream into per-transaction
+// latency spans. It is a gap-attribution state machine: each event
+// advances the transaction's clock, charging the elapsed gap to the
+// segment implied by the previous event (waiting in the coalescer,
+// parked on an MSHR, in flight on the mesh, at the L2 bank, in DRAM),
+// then updates that mode from the event's kind. A TxnComplete event
+// finalizes the span and hands it to the callback.
+//
+// The sink is tolerant by construction: events for unknown transactions
+// (completed stores draining from the store buffer, writebacks) are
+// ignored, out-of-order timestamps never make the clock go backwards
+// (the invariant sum(Segs) == End-Start holds regardless), and
+// transactions that never complete simply stay open — bounded by the
+// machine's outstanding-transaction capacity, never leaking per event.
+type SpanSink struct {
+	open map[int64]*openSpan
+	fn   func(Span)
+
+	completed  int64
+	outOfOrder int64
+}
+
+// NewSpanSink builds a sink delivering completed spans to fn (which may
+// be nil to only count).
+func NewSpanSink(fn func(Span)) *SpanSink {
+	return &SpanSink{open: map[int64]*openSpan{}, fn: fn}
+}
+
+// Completed returns the number of spans finalized so far.
+func (s *SpanSink) Completed() int64 { return s.completed }
+
+// Open returns the number of transactions still being reassembled
+// (unterminated spans at end of run, e.g. after a watchdog abort).
+func (s *SpanSink) Open() int { return len(s.open) }
+
+// OutOfOrder returns the number of events whose timestamp was behind the
+// transaction's clock (tolerated; the gap is charged as zero).
+func (s *SpanSink) OutOfOrder() int64 { return s.outOfOrder }
+
+// Emit consumes one event.
+func (s *SpanSink) Emit(ev Event) {
+	if ev.Txn == 0 {
+		return
+	}
+	if ev.Kind == CoalescerPush {
+		// Aux carries the op class (set by the CU); transaction ids are
+		// never reused, so this cannot clobber a live span.
+		s.open[ev.Txn] = &openSpan{
+			Span: Span{Txn: ev.Txn, Warp: ev.Warp, Node: ev.Node,
+				Op: SpanOp(ev.Aux), Addr: ev.Addr, Start: ev.Cycle},
+			last: ev.Cycle,
+		}
+		return
+	}
+	o := s.open[ev.Txn]
+	if o == nil {
+		return
+	}
+	seg := o.mode
+	if o.postNoC {
+		// The message was delivered; whoever emits next consumed it.
+		if ev.Comp == CompL2 {
+			seg = SegL2
+		} else {
+			seg = SegL1
+		}
+		o.postNoC = false
+		o.mode = seg
+	}
+	switch {
+	case ev.Cycle > o.last:
+		o.Segs[seg] += ev.Cycle - o.last
+		o.last = ev.Cycle
+	case ev.Cycle < o.last:
+		s.outOfOrder++
+	}
+
+	switch ev.Kind {
+	case CoalescerDrain:
+		o.mode = SegL1
+	case CacheHit, CacheMiss, OwnershipRequest, OwnershipGrant, AtomicPerformed:
+		if ev.Comp == CompL2 {
+			o.mode = SegL2
+			o.deepen(HitL2)
+		} else {
+			o.mode = SegL1
+		}
+	case RemoteForward:
+		o.mode = SegL2
+		o.deepen(HitRemoteL1)
+	case MSHRAlloc, MSHRCoalesce:
+		o.mode = SegMSHR
+	case NoCEnqueue, NoCHop:
+		o.mode = SegNoC
+	case NoCDeliver:
+		o.mode = SegNoC
+		o.postNoC = true
+	case DRAMAccess:
+		o.mode = SegMem
+		o.deepen(HitMem)
+	case TxnComplete:
+		o.End = o.last
+		delete(s.open, ev.Txn)
+		s.completed++
+		if s.fn != nil {
+			s.fn(o.Span)
+		}
+	}
+}
+
+func (o *openSpan) deepen(l HitLevel) {
+	if l > o.Level {
+		o.Level = l
+	}
+}
+
+// Close is a no-op (unterminated spans remain observable via Open).
+func (s *SpanSink) Close() error { return nil }
+
+// spanJSON is the JSONL encoding of a span: field order is fixed so the
+// same run produces byte-identical output (the determinism contract).
+type spanJSON struct {
+	Txn   int64       `json:"txn"`
+	Warp  int         `json:"warp"`
+	Node  int         `json:"node"`
+	Op    string      `json:"op"`
+	Level string      `json:"level"`
+	Addr  uint64      `json:"addr"`
+	Start int64       `json:"start"`
+	End   int64       `json:"end"`
+	Segs  spanSegJSON `json:"segs"`
+}
+
+type spanSegJSON struct {
+	Coalescer int64 `json:"coalescer"`
+	L1        int64 `json:"l1"`
+	MSHR      int64 `json:"mshr"`
+	NoC       int64 `json:"noc"`
+	L2        int64 `json:"l2"`
+	Mem       int64 `json:"mem"`
+}
+
+// SpanWriter is a sink writing one JSON object per completed span
+// (JSONL), in completion order.
+type SpanWriter struct {
+	sink *SpanSink
+	bw   *bufio.Writer
+	err  error
+}
+
+// NewSpanWriter builds the sink over w. The caller owns w and closes it
+// after Close.
+func NewSpanWriter(w io.Writer) *SpanWriter {
+	sw := &SpanWriter{bw: bufio.NewWriter(w)}
+	sw.sink = NewSpanSink(sw.write)
+	return sw
+}
+
+// Emit consumes one event.
+func (sw *SpanWriter) Emit(ev Event) { sw.sink.Emit(ev) }
+
+// Completed returns the number of spans written.
+func (sw *SpanWriter) Completed() int64 { return sw.sink.Completed() }
+
+// Open returns the number of unterminated spans.
+func (sw *SpanWriter) Open() int { return sw.sink.Open() }
+
+func (sw *SpanWriter) write(sp Span) {
+	if sw.err != nil {
+		return
+	}
+	b, err := json.Marshal(spanJSON{
+		Txn: sp.Txn, Warp: sp.Warp, Node: sp.Node,
+		Op: sp.Op.String(), Level: sp.Level.String(), Addr: sp.Addr,
+		Start: sp.Start, End: sp.End,
+		Segs: spanSegJSON{
+			Coalescer: sp.Segs[SegCoalescer], L1: sp.Segs[SegL1],
+			MSHR: sp.Segs[SegMSHR], NoC: sp.Segs[SegNoC],
+			L2: sp.Segs[SegL2], Mem: sp.Segs[SegMem],
+		},
+	})
+	if err != nil {
+		sw.err = err
+		return
+	}
+	sw.bw.Write(b)
+	sw.err = sw.bw.WriteByte('\n')
+}
+
+// Close flushes the output.
+func (sw *SpanWriter) Close() error {
+	if sw.err != nil {
+		return sw.err
+	}
+	return sw.bw.Flush()
+}

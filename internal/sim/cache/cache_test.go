@@ -114,7 +114,7 @@ func TestMSHRLifecycle(t *testing.T) {
 	if m.Full() || m.Lookup(5) != nil {
 		t.Fatal("fresh MSHR wrong")
 	}
-	e := m.Allocate(5, true)
+	e := m.Allocate(5, true, 1)
 	e.Waiters = append(e.Waiters, "a")
 	if !m.CanCoalesce(e) {
 		t.Fatal("one waiter of two targets should coalesce")
@@ -123,7 +123,7 @@ func TestMSHRLifecycle(t *testing.T) {
 	if m.CanCoalesce(e) {
 		t.Fatal("target cap not enforced")
 	}
-	m.Allocate(9, false)
+	m.Allocate(9, false, 2)
 	if !m.Full() {
 		t.Fatal("capacity 2 should be full")
 	}
@@ -135,9 +135,9 @@ func TestMSHRLifecycle(t *testing.T) {
 
 func TestMSHRPanics(t *testing.T) {
 	m := NewMSHR(1, 4)
-	m.Allocate(1, false)
+	m.Allocate(1, false, 1)
 	for _, fn := range []func(){
-		func() { m.Allocate(2, false) }, // full
+		func() { m.Allocate(2, false, 2) }, // full
 		func() { m.Release(3) },         // absent
 	} {
 		func() {
@@ -151,13 +151,13 @@ func TestMSHRPanics(t *testing.T) {
 	}
 	// Double allocate panics even with room.
 	m2 := NewMSHR(4, 4)
-	m2.Allocate(1, false)
+	m2.Allocate(1, false, 1)
 	defer func() {
 		if recover() == nil {
 			t.Error("expected double-allocate panic")
 		}
 	}()
-	m2.Allocate(1, true)
+	m2.Allocate(1, true, 2)
 }
 
 func TestStoreBuffer(t *testing.T) {

@@ -46,13 +46,14 @@ func (m *MSHR) AttachProbe(h *probe.Hub, node int) {
 // CanCoalesce reports whether the entry has a free target slot.
 func (m *MSHR) CanCoalesce(e *MSHREntry) bool { return len(e.Waiters) < m.targets }
 
-// Coalesce parks a request on an existing entry. The caller must have
-// checked CanCoalesce.
-func (m *MSHR) Coalesce(e *MSHREntry, w any) {
+// Coalesce parks a request on an existing entry, attributed to the
+// joining transaction (txn, 0 when none). The caller must have checked
+// CanCoalesce.
+func (m *MSHR) Coalesce(e *MSHREntry, w any, txn int64) {
 	e.Waiters = append(e.Waiters, w)
 	if h := m.probe; h != nil {
 		h.Emit(probe.Event{Cycle: h.Now(), Comp: probe.CompL1, Node: m.node, Warp: -1,
-			Kind: probe.MSHRCoalesce, Addr: e.LineAddr, Arg: int64(len(e.Waiters))})
+			Kind: probe.MSHRCoalesce, Txn: txn, Addr: e.LineAddr, Arg: int64(len(e.Waiters))})
 	}
 }
 
@@ -62,9 +63,10 @@ func (m *MSHR) Lookup(lineAddr uint64) *MSHREntry { return m.entries[lineAddr] }
 // Full reports whether a new entry cannot be allocated.
 func (m *MSHR) Full() bool { return len(m.entries) >= m.capacity }
 
-// Allocate creates an entry for the line. The caller must have checked
-// Full and Lookup.
-func (m *MSHR) Allocate(lineAddr uint64, wantOwnership bool) *MSHREntry {
+// Allocate creates an entry for the line, attributed to the allocating
+// transaction (txn, 0 when none). The caller must have checked Full and
+// Lookup.
+func (m *MSHR) Allocate(lineAddr uint64, wantOwnership bool, txn int64) *MSHREntry {
 	if m.Full() {
 		panic("cache: MSHR allocate when full")
 	}
@@ -79,7 +81,7 @@ func (m *MSHR) Allocate(lineAddr uint64, wantOwnership bool) *MSHREntry {
 			own = 1
 		}
 		h.Emit(probe.Event{Cycle: h.Now(), Comp: probe.CompL1, Node: m.node, Warp: -1,
-			Kind: probe.MSHRAlloc, Addr: lineAddr, Arg: own})
+			Kind: probe.MSHRAlloc, Txn: txn, Addr: lineAddr, Arg: own})
 	}
 	return e
 }

@@ -279,6 +279,23 @@ func (c *CU) clearFence(w *warpState) {
 	}
 }
 
+// spanOpOf classifies a transaction for the latency-span layer.
+func spanOpOf(t *memsys.Txn) probe.SpanOp {
+	switch t.Kind {
+	case memsys.TxnLoad:
+		return probe.SpanLoad
+	case memsys.TxnStore:
+		return probe.SpanStore
+	}
+	switch t.Class {
+	case core.Acquire:
+		return probe.SpanAcquire
+	case core.Release:
+		return probe.SpanRelease
+	}
+	return probe.SpanAtomic
+}
+
 func (c *CU) push(w *warpState, t *memsys.Txn) {
 	*c.txnSeq++
 	t.ID = *c.txnSeq
@@ -286,7 +303,8 @@ func (c *CU) push(w *warpState, t *memsys.Txn) {
 	c.coalescer = append(c.coalescer, t)
 	if h := c.env.Probe; h != nil {
 		h.Emit(probe.Event{Cycle: h.Now(), Comp: probe.CompCU, Node: c.node, Warp: w.id,
-			Kind: probe.CoalescerPush, Txn: t.ID, Addr: t.Addr, Arg: int64(len(c.coalescer))})
+			Kind: probe.CoalescerPush, Txn: t.ID, Addr: t.Addr,
+			Arg: int64(len(c.coalescer)), Aux: int64(spanOpOf(t))})
 	}
 }
 

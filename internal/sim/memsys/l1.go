@@ -9,9 +9,24 @@ import (
 )
 
 // sbStore is a store parked in the store buffer (or, under DeNovo, parked
-// on an MSHR entry awaiting ownership).
+// on an MSHR entry awaiting ownership). txn is the originating store
+// transaction's id, kept for probe attribution of the drain traffic (the
+// transaction itself completes when the store enters the buffer).
 type sbStore struct {
 	line uint64
+	txn  int64
+}
+
+// txnIDOf extracts the transaction id from an MSHR waiter for probe
+// attribution.
+func txnIDOf(w any) int64 {
+	switch w := w.(type) {
+	case *Txn:
+		return w.ID
+	case sbStore:
+		return w.txn
+	}
+	return 0
 }
 
 // L1 is a per-node first-level cache controller. Protocol behaviour
@@ -73,8 +88,18 @@ func (l *L1) emitTxn(cycle int64, kind probe.Kind, txn *Txn) {
 	}
 }
 
-func (l *L1) send(cycle int64, dst, flits int, payload any) {
-	l.env.Mesh.Send(cycle, noc.Message{Src: l.node, Dst: dst, Flits: flits, Payload: payload})
+// complete finishes a transaction: the TxnComplete event closes its
+// latency span, then the Done callback fires.
+func (l *L1) complete(cycle int64, txn *Txn, value int64) {
+	if h := l.env.Probe; h != nil {
+		h.Emit(probe.Event{Cycle: cycle, Comp: probe.CompL1, Node: l.node,
+			Warp: txn.Warp, Kind: probe.TxnComplete, Txn: txn.ID, Addr: txn.Addr})
+	}
+	txn.Done(cycle, value)
+}
+
+func (l *L1) send(cycle int64, dst, flits int, txn int64, payload any) {
+	l.env.Mesh.Send(cycle, noc.Message{Src: l.node, Dst: dst, Flits: flits, Txn: txn, Payload: payload})
 }
 
 func (l *L1) home(line uint64) int { return l.env.Cfg.HomeNode(line) }
@@ -114,7 +139,7 @@ func (l *L1) insertLine(cycle int64, line uint64, st cache.State, dirty bool) {
 			h.Emit(probe.Event{Cycle: cycle, Comp: probe.CompL1, Node: l.node, Warp: -1,
 				Kind: probe.Writeback, Addr: v.LineAddr * l.env.Cfg.LineSize})
 		}
-		l.send(cycle, l.home(v.LineAddr), l.env.Cfg.DataFlits, wbReq{Line: v.LineAddr, Requester: l.node})
+		l.send(cycle, l.home(v.LineAddr), l.env.Cfg.DataFlits, 0, wbReq{Line: v.LineAddr, Requester: l.node})
 	}
 }
 
@@ -132,7 +157,7 @@ func (l *L1) TryIssue(cycle int64, txn *Txn) bool {
 			st.L1Accesses++
 			st.L1Hits++
 			l.emitTxn(cycle, probe.CacheHit, txn)
-			l.env.At(cycle+cfg.L1HitLat, func(c int64) { txn.Done(c, l.env.Read(txn.Addr)) })
+			l.env.At(cycle+cfg.L1HitLat, func(c int64) { l.complete(c, txn, l.env.Read(txn.Addr)) })
 			return true
 		}
 		if e := l.mshr.Lookup(line); e != nil {
@@ -144,7 +169,7 @@ func (l *L1) TryIssue(cycle int64, txn *Txn) bool {
 			st.L1Misses++
 			st.MSHRCoalesced++
 			l.emitTxn(cycle, probe.CacheMiss, txn)
-			l.mshr.Coalesce(e, txn)
+			l.mshr.Coalesce(e, txn, txn.ID)
 			return true
 		}
 		if l.mshrFull(cycle) {
@@ -154,9 +179,9 @@ func (l *L1) TryIssue(cycle int64, txn *Txn) bool {
 		st.L1Accesses++
 		st.L1Misses++
 		l.emitTxn(cycle, probe.CacheMiss, txn)
-		e := l.mshr.Allocate(line, false)
+		e := l.mshr.Allocate(line, false, txn.ID)
 		e.Waiters = append(e.Waiters, txn)
-		l.send(cycle, l.home(line), cfg.ControlFlits, readReq{Line: line, Requester: l.node})
+		l.send(cycle, l.home(line), cfg.ControlFlits, txn.ID, readReq{Line: line, Requester: l.node, Txn: txn.ID})
 		return true
 
 	case TxnStore:
@@ -164,8 +189,8 @@ func (l *L1) TryIssue(cycle int64, txn *Txn) bool {
 			st.StoreBufferFullStalls++
 			return false
 		}
-		l.sb.Push(sbStore{line: line})
-		l.env.At(cycle+1, func(c int64) { txn.Done(c, 0) })
+		l.sb.Push(sbStore{line: line, txn: txn.ID})
+		l.env.At(cycle+1, func(c int64) { l.complete(c, txn, 0) })
 		return true
 
 	case TxnAtomic:
@@ -189,7 +214,7 @@ func (l *L1) TryIssue(cycle int64, txn *Txn) bool {
 				return false
 			}
 			l.pendingAtomics[txn.ID] = txn
-			l.send(cycle, l.home(line), cfg.ControlFlits, atomicReq{
+			l.send(cycle, l.home(line), cfg.ControlFlits, txn.ID, atomicReq{
 				ID: txn.ID, Addr: txn.Addr, AOp: txn.AOp, Operand: txn.Operand, Requester: l.node,
 			})
 			return true
@@ -211,7 +236,7 @@ func (l *L1) TryIssue(cycle int64, txn *Txn) bool {
 			st.L1Misses++
 			st.MSHRCoalesced++
 			l.emitTxn(cycle, probe.CacheMiss, txn)
-			l.mshr.Coalesce(e, txn)
+			l.mshr.Coalesce(e, txn, txn.ID)
 			e.WantOwnership = true
 			return true
 		}
@@ -223,9 +248,9 @@ func (l *L1) TryIssue(cycle int64, txn *Txn) bool {
 		st.L1Misses++
 		l.emitTxn(cycle, probe.CacheMiss, txn)
 		l.emitTxn(cycle, probe.OwnershipRequest, txn)
-		e := l.mshr.Allocate(line, true)
+		e := l.mshr.Allocate(line, true, txn.ID)
 		e.Waiters = append(e.Waiters, txn)
-		l.send(cycle, l.home(line), cfg.ControlFlits, ownReq{Line: line, Requester: l.node})
+		l.send(cycle, l.home(line), cfg.ControlFlits, txn.ID, ownReq{Line: line, Requester: l.node, Txn: txn.ID})
 		return true
 	}
 	panic("memsys: unknown txn kind")
@@ -245,7 +270,7 @@ func (l *L1) performLocalAtomic(cycle int64, txn *Txn) {
 		l.env.Stats.AtomicsAtL1++
 		l.emitTxn(c, probe.AtomicPerformed, txn)
 		old := l.env.ApplyAtomic(txn.Addr, txn.AOp, txn.Operand)
-		txn.Done(c, old)
+		l.complete(c, txn, old)
 	})
 }
 
@@ -255,7 +280,7 @@ func (l *L1) yieldOwnership(cycle int64, m fwdOwn) {
 	if l.array.Peek(m.Line) == cache.Owned {
 		l.array.Invalidate(m.Line)
 	}
-	l.send(cycle+l.env.Cfg.L1HitLat, m.Requester, l.env.Cfg.DataFlits, ownResp{Line: m.Line})
+	l.send(cycle+l.env.Cfg.L1HitLat, m.Requester, l.env.Cfg.DataFlits, m.Txn, ownResp{Line: m.Line, Txn: m.Txn})
 }
 
 // Handle processes a delivered network message.
@@ -272,7 +297,7 @@ func (l *L1) Handle(cycle int64, payload any) {
 			case *Txn:
 				if w.Kind == TxnLoad {
 					txn := w
-					l.env.At(cycle+1, func(c int64) { txn.Done(c, l.env.Read(txn.Addr)) })
+					l.env.At(cycle+1, func(c int64) { l.complete(c, txn, l.env.Read(txn.Addr)) })
 				} else {
 					needOwn = append(needOwn, w)
 				}
@@ -282,10 +307,12 @@ func (l *L1) Handle(cycle int64, payload any) {
 		}
 		if len(needOwn) > 0 {
 			// The read raced with writers that joined the entry: the line
-			// arrived readable but the writers still need ownership.
-			e := l.mshr.Allocate(m.Line, true)
+			// arrived readable but the writers still need ownership. The
+			// re-request is attributed to the first waiting writer.
+			lead := txnIDOf(needOwn[0])
+			e := l.mshr.Allocate(m.Line, true, lead)
 			e.Waiters = needOwn
-			l.send(cycle, l.home(m.Line), cfg.ControlFlits, ownReq{Line: m.Line, Requester: l.node})
+			l.send(cycle, l.home(m.Line), cfg.ControlFlits, lead, ownReq{Line: m.Line, Requester: l.node, Txn: lead})
 		}
 
 	case ownResp:
@@ -295,7 +322,7 @@ func (l *L1) Handle(cycle int64, payload any) {
 			case *Txn:
 				if w.Kind == TxnLoad {
 					txn := w
-					l.env.At(cycle+1, func(c int64) { txn.Done(c, l.env.Read(txn.Addr)) })
+					l.env.At(cycle+1, func(c int64) { l.complete(c, txn, l.env.Read(txn.Addr)) })
 				} else {
 					l.performLocalAtomic(cycle, w)
 				}
@@ -321,7 +348,7 @@ func (l *L1) Handle(cycle int64, payload any) {
 	case fwdRead:
 		// Serve a remote reader from the owned copy; keep ownership.
 		st.L1Accesses++
-		l.send(cycle+cfg.L1HitLat, m.Requester, cfg.DataFlits, readResp{Line: m.Line})
+		l.send(cycle+cfg.L1HitLat, m.Requester, cfg.DataFlits, m.Txn, readResp{Line: m.Line, Txn: m.Txn})
 
 	case fwdOwn:
 		st.L1Accesses++
@@ -346,7 +373,7 @@ func (l *L1) Handle(cycle int64, payload any) {
 		}
 		delete(l.pendingAtomics, m.ID)
 		val := m.Value
-		l.env.At(cycle+1, func(c int64) { txn.Done(c, val) })
+		l.env.At(cycle+1, func(c int64) { l.complete(c, txn, val) })
 
 	default:
 		panic("memsys: L1 received unknown message")
@@ -363,7 +390,7 @@ func (l *L1) Tick(cycle int64) {
 		if cfg.Protocol == ProtoGPU {
 			st.L1Accesses++
 			l.sb.Pop()
-			l.send(cycle, l.home(entry.line), cfg.DataFlits, wtReq{Line: entry.line, Requester: l.node})
+			l.send(cycle, l.home(entry.line), cfg.DataFlits, entry.txn, wtReq{Line: entry.line, Requester: l.node})
 		} else {
 			switch {
 			case l.array.Lookup(entry.line) == cache.Owned:
@@ -377,20 +404,20 @@ func (l *L1) Tick(cycle int64) {
 				st.L1Misses++
 				st.MSHRCoalesced++
 				e := l.mshr.Lookup(entry.line)
-				l.mshr.Coalesce(e, entry)
+				l.mshr.Coalesce(e, entry, entry.txn)
 				e.WantOwnership = true
 				l.sb.Pop()
 			case !l.mshrFull(cycle):
 				st.L1Accesses++
 				st.L1Misses++
-				me := l.mshr.Allocate(entry.line, true)
+				me := l.mshr.Allocate(entry.line, true, entry.txn)
 				me.Waiters = append(me.Waiters, entry)
 				l.sb.Pop()
 				if h := l.env.Probe; h != nil {
 					h.Emit(probe.Event{Cycle: cycle, Comp: probe.CompL1, Node: l.node, Warp: -1,
-						Kind: probe.OwnershipRequest, Addr: entry.line * cfg.LineSize})
+						Kind: probe.OwnershipRequest, Txn: entry.txn, Addr: entry.line * cfg.LineSize})
 				}
-				l.send(cycle, l.home(entry.line), cfg.ControlFlits, ownReq{Line: entry.line, Requester: l.node})
+				l.send(cycle, l.home(entry.line), cfg.ControlFlits, entry.txn, ownReq{Line: entry.line, Requester: l.node, Txn: entry.txn})
 			default:
 				// MSHR full: retry next cycle.
 			}

@@ -45,28 +45,31 @@ func (b *L2Bank) Owner(line uint64) int {
 }
 
 // emit reports a bank event when a probe hub is attached.
-func (b *L2Bank) emit(cycle int64, kind probe.Kind, addr uint64, arg int64) {
+func (b *L2Bank) emit(cycle int64, kind probe.Kind, txn int64, addr uint64, arg int64) {
 	if h := b.env.Probe; h != nil {
 		h.Emit(probe.Event{Cycle: cycle, Comp: probe.CompL2, Node: b.node, Warp: -1,
-			Kind: kind, Addr: addr, Arg: arg})
+			Kind: kind, Txn: txn, Addr: addr, Arg: arg})
 	}
 }
 
 // serveLine ensures the line is present in the bank, returning the cycle
-// at which its data is available. Misses go to the bank's DRAM port.
-func (b *L2Bank) serveLine(cycle int64, line uint64, dirty bool) int64 {
+// at which its data is available. Misses go to the bank's DRAM port. The
+// DRAMAccess event marks the end of the bank pipeline so the span layer
+// can split bank time from memory (port queueing + access) time.
+func (b *L2Bank) serveLine(cycle int64, line uint64, dirty bool, txn int64) int64 {
 	st := b.env.Stats
 	if b.array.Lookup(line) != cache.Invalid {
 		st.L2Hits++
-		b.emit(cycle, probe.CacheHit, line*b.env.Cfg.LineSize, 0)
+		b.emit(cycle, probe.CacheHit, txn, line*b.env.Cfg.LineSize, 0)
 		if dirty {
 			b.array.SetDirty(line)
 		}
 		return cycle + b.env.Cfg.L2Lat
 	}
 	st.L2Misses++
-	b.emit(cycle, probe.CacheMiss, line*b.env.Cfg.LineSize, 0)
+	b.emit(cycle, probe.CacheMiss, txn, line*b.env.Cfg.LineSize, 0)
 	st.DRAMAccesses++
+	b.emit(cycle+b.env.Cfg.L2Lat, probe.DRAMAccess, txn, line*b.env.Cfg.LineSize, 0)
 	start := cycle + b.env.Cfg.L2Lat
 	if b.dramFree > start {
 		start = b.dramFree
@@ -81,8 +84,8 @@ func (b *L2Bank) serveLine(cycle int64, line uint64, dirty bool) int64 {
 	return ready
 }
 
-func (b *L2Bank) send(cycle int64, dst, flits int, payload any) {
-	b.env.Mesh.Send(cycle, noc.Message{Src: b.node, Dst: dst, Flits: flits, Payload: payload})
+func (b *L2Bank) send(cycle int64, dst, flits int, txn int64, payload any) {
+	b.env.Mesh.Send(cycle, noc.Message{Src: b.node, Dst: dst, Flits: flits, Txn: txn, Payload: payload})
 }
 
 // Handle processes one delivered network request at the given cycle.
@@ -104,12 +107,12 @@ func (b *L2Bank) Handle(cycle int64, payload any) {
 		if owner := b.Owner(m.Line); cfg.Protocol == ProtoDeNovo && owner >= 0 && owner != m.Requester {
 			// Three-hop: ask the owning L1 to supply the requester.
 			st.RemoteL1Forwards++
-			b.emit(cycle, probe.RemoteForward, m.Line*cfg.LineSize, int64(owner))
-			b.send(cycle+cfg.L2TagLat, owner, cfg.ControlFlits, fwdRead{Line: m.Line, Requester: m.Requester})
+			b.emit(cycle, probe.RemoteForward, m.Txn, m.Line*cfg.LineSize, int64(owner))
+			b.send(cycle+cfg.L2TagLat, owner, cfg.ControlFlits, m.Txn, fwdRead{Line: m.Line, Requester: m.Requester, Txn: m.Txn})
 			return
 		}
-		ready := b.serveLine(cycle, m.Line, false)
-		b.send(ready, m.Requester, cfg.DataFlits, readResp{Line: m.Line})
+		ready := b.serveLine(cycle, m.Line, false, m.Txn)
+		b.send(ready, m.Requester, cfg.DataFlits, m.Txn, readResp{Line: m.Line, Txn: m.Txn})
 
 	case ownReq:
 		st.L2Accesses++
@@ -118,29 +121,29 @@ func (b *L2Bank) Handle(cycle int64, payload any) {
 		b.registry[m.Line] = m.Requester
 		if prev >= 0 && prev != m.Requester {
 			st.RemoteL1Forwards++
-			b.emit(cycle, probe.RemoteForward, m.Line*cfg.LineSize, int64(prev))
-			b.send(cycle+cfg.L2TagLat, prev, cfg.ControlFlits, fwdOwn{Line: m.Line, Requester: m.Requester})
+			b.emit(cycle, probe.RemoteForward, m.Txn, m.Line*cfg.LineSize, int64(prev))
+			b.send(cycle+cfg.L2TagLat, prev, cfg.ControlFlits, m.Txn, fwdOwn{Line: m.Line, Requester: m.Requester, Txn: m.Txn})
 			return
 		}
-		b.emit(cycle, probe.OwnershipGrant, m.Line*cfg.LineSize, int64(m.Requester))
-		ready := b.serveLine(cycle, m.Line, false)
-		b.send(ready, m.Requester, cfg.DataFlits, ownResp{Line: m.Line})
+		b.emit(cycle, probe.OwnershipGrant, m.Txn, m.Line*cfg.LineSize, int64(m.Requester))
+		ready := b.serveLine(cycle, m.Line, false, m.Txn)
+		b.send(ready, m.Requester, cfg.DataFlits, m.Txn, ownResp{Line: m.Line, Txn: m.Txn})
 
 	case wtReq:
 		st.L2Accesses++
-		ready := b.serveLine(cycle, m.Line, true)
-		b.send(ready, m.Requester, cfg.ControlFlits, wtAck{Line: m.Line})
+		ready := b.serveLine(cycle, m.Line, true, 0)
+		b.send(ready, m.Requester, cfg.ControlFlits, 0, wtAck{Line: m.Line})
 
 	case wbReq:
 		st.L2Accesses++
 		if b.Owner(m.Line) == m.Requester {
 			delete(b.registry, m.Line)
 		}
-		b.serveLine(cycle, m.Line, true)
+		b.serveLine(cycle, m.Line, true, 0)
 
 	case atomicReq:
 		st.L2Accesses++
-		ready := b.serveLine(cycle, m.Addr/cfg.LineSize, true)
+		ready := b.serveLine(cycle, m.Addr/cfg.LineSize, true, m.ID)
 		start := ready
 		if b.atomicFree > start {
 			start = b.atomicFree
@@ -151,9 +154,9 @@ func (b *L2Bank) Handle(cycle int64, payload any) {
 		b.env.At(done, func(c int64) {
 			st.Atomics++
 			st.AtomicsAtL2++
-			b.emit(c, probe.AtomicPerformed, req.Addr, req.ID)
+			b.emit(c, probe.AtomicPerformed, req.ID, req.Addr, req.ID)
 			old := b.env.ApplyAtomic(req.Addr, req.AOp, req.Operand)
-			b.send(c, req.Requester, cfg.ControlFlits, atomicResp{ID: req.ID, Value: old})
+			b.send(c, req.Requester, cfg.ControlFlits, req.ID, atomicResp{ID: req.ID, Value: old})
 		})
 
 	default:

@@ -3,18 +3,23 @@ package memsys
 import "rats/internal/core"
 
 // Network message payloads. All requests carry the requester's node so
-// responses (and three-hop forwards) can be routed back.
+// responses (and three-hop forwards) can be routed back, and the
+// originating transaction's id (Txn, 0 when none — e.g. store-buffer
+// drains whose transaction already completed) so the latency-span layer
+// can attribute protocol legs end-to-end.
 
 // readReq asks the home L2 bank for a readable copy of a line.
 type readReq struct {
 	Line      uint64
 	Requester int
+	Txn       int64
 }
 
 // readResp delivers a readable copy (from the L2 bank or, under DeNovo,
 // directly from a remote owning L1).
 type readResp struct {
 	Line uint64
+	Txn  int64
 }
 
 // ownReq asks the home L2 bank for ownership of a line (DeNovo stores and
@@ -22,11 +27,13 @@ type readResp struct {
 type ownReq struct {
 	Line      uint64
 	Requester int
+	Txn       int64
 }
 
 // ownResp grants ownership (from the bank or the previous owner).
 type ownResp struct {
 	Line uint64
+	Txn  int64
 }
 
 // fwdRead asks a remote owning L1 to send a copy to the requester (the
@@ -34,12 +41,14 @@ type ownResp struct {
 type fwdRead struct {
 	Line      uint64
 	Requester int
+	Txn       int64
 }
 
 // fwdOwn asks a remote owning L1 to yield ownership to the requester.
 type fwdOwn struct {
 	Line      uint64
 	Requester int
+	Txn       int64
 }
 
 // wtReq is a GPU-coherence write-through of one line's dirty words.

@@ -22,6 +22,9 @@ type Message struct {
 	// Flits is the message size (1 for control, DataFlits for a cache
 	// line plus header).
 	Flits int
+	// Txn is the originating memory transaction's id for latency-span
+	// attribution, or 0 (e.g. writebacks, store-buffer drains).
+	Txn int64
 	// Payload is delivered to the destination's receiver.
 	Payload any
 }
@@ -148,7 +151,7 @@ func (m *Mesh) Send(cycle int64, msg Message) {
 	m.seq++
 	if h := m.probe; h != nil {
 		h.Emit(probe.Event{Cycle: cycle, Comp: probe.CompNoC, Node: msg.Src, Warp: -1,
-			Kind: probe.NoCEnqueue, Txn: m.seq, Arg: int64(msg.Dst), Aux: int64(msg.Flits)})
+			Kind: probe.NoCEnqueue, Txn: msg.Txn, Msg: m.seq, Arg: int64(msg.Dst), Aux: int64(msg.Flits)})
 	}
 	t := m.route(cycle, msg, m.seq)
 	if f := m.fault; f != nil {
@@ -156,7 +159,7 @@ func (m *Mesh) Send(cycle int64, msg Message) {
 			t += d
 			if h := m.probe; h != nil {
 				h.Emit(probe.Event{Cycle: cycle, Comp: probe.CompNoC, Node: msg.Src, Warp: -1,
-					Kind: probe.FaultInjected, Txn: m.seq, Arg: 0, Aux: d})
+					Kind: probe.FaultInjected, Txn: msg.Txn, Msg: m.seq, Arg: 0, Aux: d})
 			}
 		}
 	}
@@ -172,7 +175,7 @@ func (m *Mesh) Send(cycle int64, msg Message) {
 		heap.Push(&m.inbox, inflight{arrival: td, seq: m.seq, msg: msg, dup: true})
 		if h := m.probe; h != nil {
 			h.Emit(probe.Event{Cycle: cycle, Comp: probe.CompNoC, Node: msg.Src, Warp: -1,
-				Kind: probe.FaultInjected, Txn: m.seq, Arg: 1})
+				Kind: probe.FaultInjected, Txn: msg.Txn, Msg: m.seq, Arg: 1})
 		}
 	}
 }
@@ -194,7 +197,7 @@ func (m *Mesh) route(cycle int64, msg Message, seq int64) int64 {
 			m.stats.NoCFlitHops += int64(msg.Flits)
 			if h := m.probe; h != nil {
 				h.Emit(probe.Event{Cycle: t, Comp: probe.CompNoC, Node: next, Warp: -1,
-					Kind: probe.NoCHop, Txn: seq, Aux: int64(msg.Flits)})
+					Kind: probe.NoCHop, Txn: msg.Txn, Msg: seq, Aux: int64(msg.Flits)})
 			}
 			prev = next
 		}
@@ -219,7 +222,7 @@ func (m *Mesh) Tick(cycle int64) {
 		}
 		if h := m.probe; h != nil {
 			h.Emit(probe.Event{Cycle: cycle, Comp: probe.CompNoC, Node: f.msg.Dst, Warp: -1,
-				Kind: probe.NoCDeliver, Txn: f.seq, Arg: int64(f.msg.Src)})
+				Kind: probe.NoCDeliver, Txn: f.msg.Txn, Msg: f.seq, Arg: int64(f.msg.Src)})
 		}
 		r(f.msg)
 	}

@@ -260,12 +260,7 @@ func (s *System) Run() (*Result, error) {
 		}
 	}
 	s.stats.Cycles = s.cycle
-	if s.probe != nil {
-		for _, c := range s.cus {
-			c.CloseStalls(s.cycle, s.probe)
-		}
-		s.probe.FinalSample(s.cycle, &s.stats)
-	}
+	s.finishProbe()
 	res := &Result{
 		Name:   s.tr.Name,
 		Cfg:    s.Cfg,
@@ -420,7 +415,24 @@ func (s *System) diagnose(reason string) *DiagnosticError {
 				Warp: w.Warp, Kind: probe.WatchdogReport, Arg: int64(w.PC), Aux: int64(w.Ops)})
 		}
 	}
+	// Failed runs flush their telemetry too: open stall intervals close
+	// and the final partial metrics interval is sampled, so the tail
+	// window leading up to the failure isn't silently dropped.
+	s.finishProbe()
 	return e
+}
+
+// finishProbe closes per-warp stall intervals and emits the end-of-run
+// (or end-of-diagnosis) sample. Called on both the success and the
+// diagnosed-failure paths.
+func (s *System) finishProbe() {
+	if s.probe == nil {
+		return
+	}
+	for _, c := range s.cus {
+		c.CloseStalls(s.cycle, s.probe)
+	}
+	s.probe.FinalSample(s.cycle, &s.stats)
 }
 
 // done reports whether every warp has retired and the machine is idle.
