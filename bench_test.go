@@ -168,6 +168,21 @@ func BenchmarkProbeOverhead(b *testing.B) {
 	b.Run("disabled", func(b *testing.B) {
 		runSim(b, e, cfg)
 	})
+	b.Run("sinkless", func(b *testing.B) {
+		// A hub with nothing attached must cost the same as no hub at
+		// all: AttachProbe folds it to nil (Hub.ActiveOrNil), so every
+		// emission site is back to the single nil-check branch.
+		for i := 0; i < b.N; i++ {
+			sys := system.New(cfg)
+			sys.AttachProbe(probe.NewHub())
+			if err := sys.Load(e.Build(workloads.Test)); err != nil {
+				b.Fatal(err)
+			}
+			if _, err := sys.Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 	b.Run("counting", func(b *testing.B) {
 		var events int64
 		for i := 0; i < b.N; i++ {

@@ -342,10 +342,50 @@ func (i *Injector) L2StallUntil(cycle int64) int64 {
 // Wedged reports whether the warp's issue is suppressed at the cycle (the
 // liveness-breaking drill fault).
 func (i *Injector) Wedged(warp int, cycle int64) bool {
-	c := i.spec.Wedge
-	if c == nil || warp != c.Warp || cycle < c.From {
+	if !i.WedgeActive(warp, cycle) {
 		return false
 	}
 	i.counts.WedgeHolds++
 	return true
+}
+
+// WedgeActive is the side-effect-free form of Wedged: it answers without
+// bumping the perturbation tally, so wake-hint computations (which may
+// probe the same cycle several times) leave the counts exactly as a
+// cycle-by-cycle run would.
+func (i *Injector) WedgeActive(warp int, cycle int64) bool {
+	c := i.spec.Wedge
+	return c != nil && warp == c.Warp && cycle >= c.From
+}
+
+// NextWork returns the next cycle at which a pressure-window clause
+// (mshr, sb, l2stall) changes state — the injector's wake hint. Window
+// caps are consulted lazily at issue attempts, so a boundary crossing
+// cannot by itself create work; the hint still reports boundaries so the
+// driver re-evaluates the machine there rather than relying on that
+// reasoning holding for future components. Returns -1 with no window
+// clauses configured.
+func (i *Injector) NextWork(cycle int64) int64 {
+	next := int64(-1)
+	edge := func(w *WindowClause) {
+		if w == nil {
+			return
+		}
+		// Next boundary after `cycle`: the active window's end, or the next
+		// window's start.
+		phase := cycle % w.Period
+		var t int64
+		if phase < w.Len {
+			t = cycle - phase + w.Len
+		} else {
+			t = cycle - phase + w.Period
+		}
+		if next < 0 || t < next {
+			next = t
+		}
+	}
+	edge(i.spec.MSHR)
+	edge(i.spec.SB)
+	edge(i.spec.L2Stall)
+	return next
 }

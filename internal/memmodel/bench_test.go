@@ -1,0 +1,67 @@
+package memmodel
+
+import (
+	"testing"
+
+	"rats/internal/core"
+	"rats/internal/litmus"
+)
+
+// benchProgram pulls a named program from the suite in its analysis form
+// (quantum-equivalent under DRFrlx — what CheckProgram enumerates).
+func benchProgram(b *testing.B, name string) *litmus.Program {
+	b.Helper()
+	for _, tc := range litmus.Suite() {
+		if tc.Prog.Name == name {
+			return tc.Prog.Under(core.DRFrlx)
+		}
+	}
+	b.Fatalf("no suite program named %q", name)
+	return nil
+}
+
+func benchEnumerate(b *testing.B, p *litmus.Program, opts EnumOptions) {
+	b.Helper()
+	b.ReportAllocs()
+	execs := 0
+	for i := 0; i < b.N; i++ {
+		got, err := Enumerate(p, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		execs = len(got)
+	}
+	b.ReportMetric(float64(execs), "execs")
+	b.ReportMetric(float64(execs)*float64(b.N)/b.Elapsed().Seconds(), "execs/sec")
+}
+
+// BenchmarkEnumerate compares the naive enumerator against the default
+// parallel + sleep-set-reduced one on the catalog's enumeration-heavy
+// programs. IRIW is the independence showcase (4 threads, 2 locations:
+// the reduction collapses 6300 interleavings to 15); RefCounterTwo is
+// dominated by conflicting RMWs, bounding the reduction's overhead when
+// little commutes; Flags_2 sits in between.
+func BenchmarkEnumerate(b *testing.B) {
+	for _, name := range []string{"IRIW", "Flags_2", "RefCounterTwo"} {
+		p := benchProgram(b, name)
+		b.Run(name+"/naive", func(b *testing.B) {
+			benchEnumerate(b, p, EnumOptions{Quantum: true, Naive: true})
+		})
+		b.Run(name+"/por", func(b *testing.B) {
+			benchEnumerate(b, p, EnumOptions{Quantum: true})
+		})
+	}
+}
+
+// BenchmarkSystemResults pins the memoized system-model search on the
+// theorem fuzzer's worst case shape (every interleaving of a 3×3
+// program converges onto few distinct states).
+func BenchmarkSystemResults(b *testing.B) {
+	p := benchProgram(b, "RefCounterTwo")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := SystemResults(p, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -22,7 +22,7 @@ func ExampleCheckProgram() {
 		fmt.Println(v.Summary())
 	}
 	// Output:
-	// mp_paired under DRFrlx: LEGAL (3 SC executions)
+	// mp_paired under DRFrlx: LEGAL (2 SC executions)
 	// MPData under DRFrlx: ILLEGAL — 1 data race(s)
 }
 

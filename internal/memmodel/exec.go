@@ -10,8 +10,11 @@ package memmodel
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"rats/internal/core"
 	"rats/internal/litmus"
@@ -88,6 +91,12 @@ type EnumOptions struct {
 	Quantum bool
 	// Limit bounds the number of executions produced (0 = DefaultLimit).
 	Limit int
+	// Naive disables partial-order reduction and the parallel first-step
+	// fan-out, exploring every SC interleaving sequentially. It is the
+	// reference semantics the reduced enumerator is tested against; the
+	// analyses only need one representative per Mazurkiewicz trace, which
+	// the default mode guarantees.
+	Naive bool
 }
 
 // DefaultLimit bounds enumeration to keep litmus tests tractable.
@@ -154,6 +163,13 @@ type enumerator struct {
 	lay    eventLayout
 	opts   EnumOptions
 	domain []int64
+	// por enables sleep-set partial-order reduction (off in Naive mode
+	// and for programs with more threads than the sleep bitmask holds).
+	por bool
+	// count is the execution counter shared across the parallel workers;
+	// it enforces Limit globally so the reduced enumerator errors exactly
+	// when the sequential one would (total recorded executions > Limit).
+	count *atomic.Int64
 
 	// mutable search state
 	pc      []int
@@ -166,25 +182,23 @@ type enumerator struct {
 	rf      []int
 	random  []bool
 	present []bool
+	// sleep is the sleep set of the node being explored: a bitmask of
+	// threads whose next transition was already fully explored from an
+	// equivalent sibling branch and is therefore redundant here.
+	sleep uint64
 
 	execs []*Execution
 	err   error
 }
 
-// Enumerate produces every SC execution of the program (or of its
-// quantum-equivalent program when opts.Quantum is set).
-func Enumerate(p *litmus.Program, opts EnumOptions) ([]*Execution, error) {
-	if err := p.Validate(); err != nil {
-		return nil, err
-	}
-	if opts.Limit == 0 {
-		opts.Limit = DefaultLimit
-	}
+func newEnumerator(p *litmus.Program, opts EnumOptions) *enumerator {
 	e := &enumerator{
 		prog:   p,
 		lay:    layout(p),
 		opts:   opts,
 		domain: QuantumDomain(p),
+		por:    !opts.Naive && len(p.Threads) <= 64,
+		count:  new(atomic.Int64),
 		pc:     make([]int, len(p.Threads)),
 		mem:    map[litmus.Loc]int64{},
 		lastW:  map[litmus.Loc]int{},
@@ -204,11 +218,194 @@ func Enumerate(p *litmus.Program, opts EnumOptions) ([]*Execution, error) {
 	e.rf = make([]int, n)
 	e.random = make([]bool, n)
 	e.present = make([]bool, n)
-	e.step()
-	if e.err != nil {
-		return nil, e.err
+	return e
+}
+
+// clone copies the enumerator's full search state. Workers clone the root
+// after its leading no-ops are consumed, so each first-step branch
+// explores an independent copy.
+func (e *enumerator) clone() *enumerator {
+	c := &enumerator{
+		prog: e.prog, lay: e.lay, opts: e.opts, domain: e.domain,
+		por: e.por, count: e.count,
+		pc:      append([]int(nil), e.pc...),
+		mem:     make(map[litmus.Loc]int64, len(e.mem)),
+		lastW:   make(map[litmus.Loc]int, len(e.lastW)),
+		order:   append(make([]int, 0, 16), e.order...),
+		loaded:  append([]int64(nil), e.loaded...),
+		stored:  append([]int64(nil), e.stored...),
+		rf:      append([]int(nil), e.rf...),
+		random:  append([]bool(nil), e.random...),
+		present: append([]bool(nil), e.present...),
+		sleep:   e.sleep,
 	}
-	return e.execs, nil
+	for l, v := range e.mem {
+		c.mem[l] = v
+	}
+	for l, v := range e.lastW {
+		c.lastW[l] = v
+	}
+	c.regs = make([][]int64, len(e.regs))
+	for t := range e.regs {
+		c.regs[t] = append([]int64(nil), e.regs[t]...)
+	}
+	return c
+}
+
+// Enumerate produces the SC executions of the program (or of its
+// quantum-equivalent program when opts.Quantum is set).
+//
+// By default it applies sleep-set partial-order reduction and fans the
+// first-step branches out over a worker pool: the result contains at
+// least one representative of every Mazurkiewicz trace (executions that
+// differ only in the order of non-conflicting accesses), so the set of
+// final states, reads-from choices, per-event values, and every relation
+// the analyses derive (conflict order, so1, hb1, races — all functions
+// of the total order restricted to conflicting pairs) are identical to
+// the Naive enumeration; only the multiplicity of order-equivalent
+// executions shrinks. Set opts.Naive to enumerate every interleaving.
+func Enumerate(p *litmus.Program, opts EnumOptions) ([]*Execution, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Limit == 0 {
+		opts.Limit = DefaultLimit
+	}
+	e := newEnumerator(p, opts)
+	if opts.Naive || len(p.Threads) < 2 {
+		e.step()
+		if e.err != nil {
+			return nil, e.err
+		}
+		return e.execs, nil
+	}
+	return e.runParallel()
+}
+
+// runParallel explores the first-step branches on a worker pool: each
+// (thread, value-choice) root transition gets a cloned enumerator, and
+// the per-branch execution lists are concatenated in the sequential
+// branch order, so the output is deterministic and identical to a
+// sequential run of the reduced enumerator.
+func (e *enumerator) runParallel() ([]*Execution, error) {
+	// Consume leading branch markers and disabled guarded ops exactly as
+	// the recursive skip phase in step would: they are thread-local
+	// no-ops, so draining them per thread reaches the same state.
+	for t, th := range e.prog.Threads {
+		for e.pc[t] < len(th.Ops) {
+			op := th.Ops[e.pc[t]]
+			if op.IsBranch || (len(op.Guards) > 0 && !op.GuardsHold(e.regs[t])) {
+				e.pc[t]++
+				continue
+			}
+			break
+		}
+	}
+	done := true
+	for t := range e.prog.Threads {
+		if e.pc[t] < len(e.prog.Threads[t].Ops) {
+			done = false
+		}
+	}
+	if done {
+		e.record()
+		if e.err != nil {
+			return nil, e.err
+		}
+		return e.execs, nil
+	}
+
+	type task struct {
+		t, id   int
+		op      litmus.Op
+		quantum bool
+		lv, sv  int64
+		sleep   uint64
+	}
+	var tasks []task
+	var sleepAcc uint64
+	for t, th := range e.prog.Threads {
+		if e.pc[t] >= len(th.Ops) {
+			continue
+		}
+		op := th.Ops[e.pc[t]]
+		id := e.lay.id[t][e.pc[t]]
+		var child uint64
+		if e.por {
+			child = e.filterSleep(sleepAcc, op)
+		}
+		quantum := e.opts.Quantum && op.Class == core.Quantum
+		loads, stores := e.choices(op, quantum)
+		for _, lv := range loads {
+			for _, sv := range stores {
+				tasks = append(tasks, task{t: t, id: id, op: op, quantum: quantum, lv: lv, sv: sv, sleep: child})
+			}
+		}
+		if e.por {
+			sleepAcc |= 1 << uint(t)
+		}
+	}
+
+	workers := make([]*enumerator, len(tasks))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	n := runtime.GOMAXPROCS(0)
+	if n > len(tasks) {
+		n = len(tasks)
+	}
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				tk := tasks[i]
+				c := e.clone()
+				c.sleep = tk.sleep
+				c.execOne(tk.t, tk.op, tk.id, tk.quantum, tk.lv, tk.sv)
+				workers[i] = c
+			}
+		}()
+	}
+	for i := range tasks {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	var out []*Execution
+	for _, c := range workers {
+		if c.err != nil {
+			return nil, c.err
+		}
+		out = append(out, c.execs...)
+	}
+	return out, nil
+}
+
+// filterSleep returns the sleeping threads that remain asleep after op
+// executes: a sleeping thread's deferred transition stays redundant only
+// while the transitions taken commute with it (Godefroid's sleep-set
+// rule). Two ops are dependent exactly when they touch the same location
+// and at least one writes; everything else commutes — threads' register
+// files are disjoint, a thread's next visible op and its guard outcomes
+// depend only on its own registers, and quantum value choices are
+// order-independent.
+func (e *enumerator) filterSleep(sleep uint64, op litmus.Op) uint64 {
+	var out uint64
+	for u := 0; sleep>>uint(u) != 0; u++ {
+		if sleep&(1<<uint(u)) == 0 {
+			continue
+		}
+		th := e.prog.Threads[u]
+		if e.pc[u] >= len(th.Ops) {
+			continue
+		}
+		uop := th.Ops[e.pc[u]]
+		if uop.Loc != op.Loc || (!uop.Writes() && !op.Writes()) {
+			out |= 1 << uint(u)
+		}
+	}
+	return out
 }
 
 // step is the DFS over interleavings (and quantum value choices).
@@ -237,6 +434,17 @@ func (e *enumerator) step() {
 		e.record()
 		return
 	}
+	// Fan out over every runnable thread. With POR on, a thread in the
+	// sleep set is skipped (its transition here only permutes
+	// non-conflicting accesses of a branch already explored), each child
+	// inherits the sleeping threads that commute with the chosen op, and
+	// a fully explored thread joins the sleep set of its later siblings.
+	// Every thread head is a visible op at this point: the skip phase
+	// above consumed branch markers and disabled guarded ops, so the
+	// independence checks in filterSleep see each thread's actual next
+	// transition.
+	entry := e.sleep
+	sleep := e.sleep
 	for t := range e.prog.Threads {
 		if e.pc[t] >= len(e.prog.Threads[t].Ops) {
 			continue
@@ -245,8 +453,21 @@ func (e *enumerator) step() {
 		if op.IsBranch {
 			continue // handled above; only one branch head processed per level
 		}
+		if e.por {
+			if sleep&(1<<uint(t)) != 0 {
+				continue
+			}
+			e.sleep = e.filterSleep(sleep, op)
+		}
 		e.exec(t, op)
+		if e.err != nil {
+			return
+		}
+		if e.por {
+			sleep |= 1 << uint(t)
+		}
 	}
+	e.sleep = entry
 }
 
 // exec runs thread t's current op with all applicable value choices,
@@ -254,16 +475,7 @@ func (e *enumerator) step() {
 func (e *enumerator) exec(t int, op litmus.Op) {
 	id := e.lay.id[t][e.pc[t]]
 	quantum := e.opts.Quantum && op.Class == core.Quantum
-	loadChoices := []int64{0}
-	storeChoices := []int64{0}
-	if quantum {
-		if op.Reads() {
-			loadChoices = e.domain
-		}
-		if op.Writes() {
-			storeChoices = e.domain
-		}
-	}
+	loadChoices, storeChoices := e.choices(op, quantum)
 	for _, lv := range loadChoices {
 		for _, sv := range storeChoices {
 			e.execOne(t, op, id, quantum, lv, sv)
@@ -272,6 +484,24 @@ func (e *enumerator) exec(t int, op litmus.Op) {
 			}
 		}
 	}
+}
+
+// oneChoice is the value-choice list of non-quantum accesses (the value
+// is ignored; the access reads/computes its real value).
+var oneChoice = []int64{0}
+
+// choices returns the quantum load/store value-choice lists for op.
+func (e *enumerator) choices(op litmus.Op, quantum bool) (loads, stores []int64) {
+	loads, stores = oneChoice, oneChoice
+	if quantum {
+		if op.Reads() {
+			loads = e.domain
+		}
+		if op.Writes() {
+			stores = e.domain
+		}
+	}
+	return loads, stores
 }
 
 func (e *enumerator) execOne(t int, op litmus.Op, id int, quantum bool, qload, qstore int64) {
@@ -327,9 +557,10 @@ func (e *enumerator) execOne(t int, op litmus.Op, id int, quantum bool, qload, q
 	}
 }
 
-// record snapshots the completed execution.
+// record snapshots the completed execution. The counter is shared across
+// the parallel workers, so Limit bounds the total across all branches.
 func (e *enumerator) record() {
-	if len(e.execs) >= e.opts.Limit {
+	if n := e.count.Add(1); n > int64(e.opts.Limit) {
 		e.err = fmt.Errorf("%w (limit %d, program %s)", ErrLimit, e.opts.Limit, e.prog.Name)
 		return
 	}

@@ -213,7 +213,9 @@ type Verdict struct {
 	// Races collects, per kind, the distinct racy op pairs found across
 	// executions, described as "thread.opindex" strings.
 	Races map[RaceKind][]string
-	// Execs is the number of SC executions analyzed.
+	// Execs is the number of SC executions analyzed. The enumerator
+	// applies partial-order reduction, so this counts one representative
+	// per trace of commuting accesses, not every interleaving.
 	Execs int
 	// SCResults is the set of final memory states over all SC executions
 	// of the (quantum-equivalent) program.

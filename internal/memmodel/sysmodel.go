@@ -2,6 +2,7 @@ package memmodel
 
 import (
 	"fmt"
+	"strconv"
 
 	"rats/internal/core"
 	"rats/internal/litmus"
@@ -146,7 +147,8 @@ func SystemResults(p *litmus.Program, limit int) (map[string]bool, error) {
 
 	results := map[string]bool{}
 	mem := map[litmus.Loc]int64{}
-	for _, l := range p.Locs() {
+	locs := p.Locs()
+	for _, l := range locs {
 		mem[l] = p.Init[l]
 	}
 	regs := make([][]int64, len(p.Threads))
@@ -156,6 +158,40 @@ func SystemResults(p *litmus.Program, limit int) (map[string]bool, error) {
 	done := make([]bool, lay.n)
 	nDone := 0
 	count := 0
+
+	// Seen-state memoization: the search state is fully determined by
+	// (done set, memory, register files) — the preds relation is static —
+	// and nDone strictly increases along any path, so the state graph is
+	// a DAG. Once a state has been explored, every final result reachable
+	// from it is already in the results set, and revisiting it (different
+	// interleavings of commuting prefixes converge on the same state)
+	// would only re-derive them. This collapses the factorially redundant
+	// part of the search, which is what makes the exhaustive theorem
+	// fuzzer run without an execution-count escape hatch.
+	seen := map[string]bool{}
+	var keyBuf []byte
+	stateKey := func() string {
+		b := keyBuf[:0]
+		for i := 0; i < lay.n; i++ {
+			if done[i] {
+				b = append(b, '1')
+			} else {
+				b = append(b, '0')
+			}
+		}
+		for _, l := range locs {
+			b = strconv.AppendInt(b, mem[l], 10)
+			b = append(b, ',')
+		}
+		for t := range regs {
+			for _, v := range regs[t] {
+				b = strconv.AppendInt(b, v, 10)
+				b = append(b, ',')
+			}
+		}
+		keyBuf = b
+		return string(b)
+	}
 
 	var step func() error
 	step = func() error {
@@ -167,6 +203,11 @@ func SystemResults(p *litmus.Program, limit int) (map[string]bool, error) {
 			results[resultKey(mem)] = true
 			return nil
 		}
+		k := stateKey()
+		if seen[k] {
+			return nil
+		}
+		seen[k] = true
 	next:
 		for i := 0; i < lay.n; i++ {
 			if done[i] {

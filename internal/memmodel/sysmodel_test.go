@@ -3,7 +3,6 @@ package memmodel
 import (
 	"math/rand"
 	"testing"
-	"testing/quick"
 
 	"rats/internal/core"
 	"rats/internal/litmus"
@@ -164,33 +163,38 @@ func randomProgram(seed int64) *litmus.Program {
 
 // TestTheoremPropertyRandom is the property-based form of Theorem 3.1:
 // for random programs, legality under DRFrlx implies the system model
-// produces only SC (quantum-equivalent) results.
+// produces only SC (quantum-equivalent) results. The seed range is fixed
+// so runs are deterministic, and an enumeration blowup is a hard failure
+// — with partial-order reduction in the enumerator and seen-state
+// memoization in the system model, every generated program must validate
+// within the execution limit. The three trailing seeds are programs
+// whose naive enumeration exceeds the limit; before the reduction this
+// test silently skipped such programs.
 func TestTheoremPropertyRandom(t *testing.T) {
 	if testing.Short() {
 		t.Skip("short mode")
 	}
-	checked, legal := 0, 0
-	f := func(seed int64) bool {
+	seeds := make([]int64, 0, 303)
+	for s := int64(0); s < 300; s++ {
+		seeds = append(seeds, s)
+	}
+	seeds = append(seeds, 346, 960, 5861)
+	legal := 0
+	for _, seed := range seeds {
 		p := randomProgram(seed)
 		rep, err := ValidateTheorem(p)
 		if err != nil {
-			return true // enumeration blowup: skip, not a failure
+			t.Fatalf("seed %d: enumeration blew the limit: %v", seed, err)
 		}
-		checked++
 		if rep.Legal {
 			legal++
 			if !rep.SystemSC {
-				t.Logf("seed %d: legal program with non-SC system results %v", seed, rep.NonSCResults)
-				return false
+				t.Errorf("seed %d: legal program with non-SC system results %v", seed, rep.NonSCResults)
 			}
 		}
-		return true
 	}
-	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
-		t.Fatal(err)
-	}
-	if checked == 0 || legal == 0 {
-		t.Fatalf("property vacuous: checked=%d legal=%d", checked, legal)
+	if legal == 0 {
+		t.Fatalf("property vacuous: %d seeds, none legal", len(seeds))
 	}
 }
 

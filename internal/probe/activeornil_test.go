@@ -1,0 +1,27 @@
+package probe_test
+
+import (
+	"testing"
+
+	"rats/internal/probe"
+)
+
+func TestActiveOrNilFolds(t *testing.T) {
+	var nilHub *probe.Hub
+	if nilHub.ActiveOrNil() != nil {
+		t.Error("nil hub must stay nil")
+	}
+	h := probe.NewHub()
+	if h.ActiveOrNil() != nil {
+		t.Error("empty hub must fold to nil")
+	}
+	h.SetSampleInterval(100)
+	if h.ActiveOrNil() == nil {
+		t.Error("sampling hub must stay active")
+	}
+	h2 := probe.NewHub()
+	h2.Attach(&probe.CountingSink{})
+	if h2.ActiveOrNil() == nil {
+		t.Error("hub with sink must stay active")
+	}
+}

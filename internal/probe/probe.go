@@ -271,6 +271,19 @@ func (h *Hub) SetSampleInterval(n int64) {
 	h.next = n
 }
 
+// ActiveOrNil returns the hub when it has at least one sink or interval
+// sampling enabled, and nil otherwise. Component wiring (System.
+// AttachProbe) routes through it so attaching an empty hub degrades to
+// the disabled nil-*Hub fast path — one predictable branch per emission
+// site instead of a call plus an empty fan-out loop per event. Attach
+// sinks and set the sample interval before wiring the hub into a system.
+func (h *Hub) ActiveOrNil() *Hub {
+	if h == nil || (len(h.sinks) == 0 && h.interval <= 0) {
+		return nil
+	}
+	return h
+}
+
 // Emit fans one event out to every sink.
 func (h *Hub) Emit(ev Event) {
 	for _, s := range h.sinks {

@@ -115,11 +115,11 @@ func TestMSHRLifecycle(t *testing.T) {
 		t.Fatal("fresh MSHR wrong")
 	}
 	e := m.Allocate(5, true, 1)
-	e.Waiters = append(e.Waiters, "a")
+	m.Coalesce(e, Waiter{Store: SBEntry{Line: 5, Txn: 1}}, 1)
 	if !m.CanCoalesce(e) {
 		t.Fatal("one waiter of two targets should coalesce")
 	}
-	e.Waiters = append(e.Waiters, "b")
+	m.Coalesce(e, Waiter{Store: SBEntry{Line: 5, Txn: 2}}, 2)
 	if m.CanCoalesce(e) {
 		t.Fatal("target cap not enforced")
 	}
@@ -127,9 +127,14 @@ func TestMSHRLifecycle(t *testing.T) {
 	if !m.Full() {
 		t.Fatal("capacity 2 should be full")
 	}
-	ws := m.Release(5)
-	if len(ws) != 2 || m.Outstanding() != 1 {
+	ws := m.Release(5, nil)
+	if len(ws) != 2 || ws[0].Store.Txn != 1 || ws[1].Store.Txn != 2 || m.Outstanding() != 1 {
 		t.Fatal("release wrong")
+	}
+	// Released entries recycle with their waiter lists cleared.
+	e2 := m.Allocate(5, false, 3)
+	if len(e2.Waiters) != 0 {
+		t.Fatal("recycled entry kept stale waiters")
 	}
 }
 
@@ -138,7 +143,7 @@ func TestMSHRPanics(t *testing.T) {
 	m.Allocate(1, false, 1)
 	for _, fn := range []func(){
 		func() { m.Allocate(2, false, 2) }, // full
-		func() { m.Release(3) },         // absent
+		func() { m.Release(3, nil) },    // absent
 	} {
 		func() {
 			defer func() {
@@ -165,15 +170,15 @@ func TestStoreBuffer(t *testing.T) {
 	if !b.Drained() || b.Full() {
 		t.Fatal("fresh buffer wrong")
 	}
-	b.Push("s1")
-	b.Push("s2")
+	b.Push(SBEntry{Line: 1, Txn: 1})
+	b.Push(SBEntry{Line: 2, Txn: 2})
 	if !b.Full() || b.Drained() || b.Len() != 2 {
 		t.Fatal("full buffer wrong")
 	}
-	if b.Peek().(string) != "s1" {
+	if e, ok := b.Peek(); !ok || e.Txn != 1 {
 		t.Fatal("peek wrong")
 	}
-	if b.Pop().(string) != "s1" || b.Unacked() != 1 {
+	if e, ok := b.Pop(); !ok || e.Txn != 1 || b.Unacked() != 1 {
 		t.Fatal("pop wrong")
 	}
 	b.Pop()
@@ -185,8 +190,8 @@ func TestStoreBuffer(t *testing.T) {
 	if !b.Drained() {
 		t.Fatal("acked buffer should be drained")
 	}
-	if b.Pop() != nil {
-		t.Fatal("empty pop should be nil")
+	if _, ok := b.Pop(); ok {
+		t.Fatal("empty pop should report not-ok")
 	}
 }
 
@@ -200,13 +205,13 @@ func TestStoreBufferPanics(t *testing.T) {
 		}()
 		b.Ack()
 	}()
-	b.Push(1)
+	b.Push(SBEntry{Line: 1})
 	defer func() {
 		if recover() == nil {
 			t.Error("expected push-full panic")
 		}
 	}()
-	b.Push(2)
+	b.Push(SBEntry{Line: 2})
 }
 
 // TestStoreBufferFIFO: drain order equals push order (property).
@@ -215,10 +220,10 @@ func TestStoreBufferFIFO(t *testing.T) {
 		k := int(n%32) + 1
 		b := NewStoreBuffer(k)
 		for i := 0; i < k; i++ {
-			b.Push(i)
+			b.Push(SBEntry{Txn: int64(i)})
 		}
 		for i := 0; i < k; i++ {
-			if b.Pop().(int) != i {
+			if e, ok := b.Pop(); !ok || e.Txn != int64(i) {
 				return false
 			}
 		}

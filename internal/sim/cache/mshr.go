@@ -2,6 +2,16 @@ package cache
 
 import "rats/internal/probe"
 
+// Waiter is one request parked on an MSHR entry: either a transaction
+// (Txn holds an opaque pointer supplied by the controller — boxing a
+// pointer allocates nothing) or, when Txn is nil, a store-buffer entry
+// awaiting ownership. The concrete union avoids boxing the by-value
+// SBEntry through `any` on every coalesce.
+type Waiter struct {
+	Txn   any
+	Store SBEntry
+}
+
 // MSHR is a miss-status holding register file keyed by line address.
 // Multiple requests to the same line coalesce into one entry — the
 // mechanism that lets DeNovo's L1 absorb bursts of overlapped atomics to
@@ -12,6 +22,9 @@ type MSHR struct {
 	capacity int
 	targets  int
 	entries  map[uint64]*MSHREntry
+	// free recycles released entries (and their waiter backing arrays);
+	// steady-state miss handling allocates nothing.
+	free []*MSHREntry
 
 	// probe, when non-nil, receives alloc/coalesce events attributed to
 	// node (the owning L1).
@@ -22,9 +35,9 @@ type MSHR struct {
 // MSHREntry tracks one outstanding line request.
 type MSHREntry struct {
 	LineAddr uint64
-	// Waiters are opaque requests parked on the entry, drained when the
+	// Waiters are the requests parked on the entry, drained when the
 	// response arrives.
-	Waiters []any
+	Waiters []Waiter
 	// WantOwnership marks the entry as an ownership (store/atomic) miss
 	// rather than a read miss.
 	WantOwnership bool
@@ -49,7 +62,7 @@ func (m *MSHR) CanCoalesce(e *MSHREntry) bool { return len(e.Waiters) < m.target
 // Coalesce parks a request on an existing entry, attributed to the
 // joining transaction (txn, 0 when none). The caller must have checked
 // CanCoalesce.
-func (m *MSHR) Coalesce(e *MSHREntry, w any, txn int64) {
+func (m *MSHR) Coalesce(e *MSHREntry, w Waiter, txn int64) {
 	e.Waiters = append(e.Waiters, w)
 	if h := m.probe; h != nil {
 		h.Emit(probe.Event{Cycle: h.Now(), Comp: probe.CompL1, Node: m.node, Warp: -1,
@@ -73,7 +86,15 @@ func (m *MSHR) Allocate(lineAddr uint64, wantOwnership bool, txn int64) *MSHREnt
 	if m.entries[lineAddr] != nil {
 		panic("cache: MSHR double allocate")
 	}
-	e := &MSHREntry{LineAddr: lineAddr, WantOwnership: wantOwnership}
+	var e *MSHREntry
+	if n := len(m.free); n > 0 {
+		e = m.free[n-1]
+		m.free = m.free[:n-1]
+		e.LineAddr = lineAddr
+		e.WantOwnership = wantOwnership
+	} else {
+		e = &MSHREntry{LineAddr: lineAddr, WantOwnership: wantOwnership}
+	}
 	m.entries[lineAddr] = e
 	if h := m.probe; h != nil {
 		own := int64(0)
@@ -86,14 +107,22 @@ func (m *MSHR) Allocate(lineAddr uint64, wantOwnership bool, txn int64) *MSHREnt
 	return e
 }
 
-// Release removes the entry and returns its waiters.
-func (m *MSHR) Release(lineAddr uint64) []any {
+// Release removes the entry, appends its waiters to buf (use a reusable
+// scratch sliced to zero length), and recycles the entry. The returned
+// slice aliases buf's backing array, not the entry's.
+func (m *MSHR) Release(lineAddr uint64, buf []Waiter) []Waiter {
 	e := m.entries[lineAddr]
 	if e == nil {
 		panic("cache: MSHR release of absent entry")
 	}
 	delete(m.entries, lineAddr)
-	return e.Waiters
+	buf = append(buf, e.Waiters...)
+	for i := range e.Waiters {
+		e.Waiters[i] = Waiter{}
+	}
+	e.Waiters = e.Waiters[:0]
+	m.free = append(m.free, e)
+	return buf
 }
 
 // Outstanding returns the number of live entries.

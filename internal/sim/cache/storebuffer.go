@@ -2,6 +2,15 @@ package cache
 
 import "rats/internal/probe"
 
+// SBEntry is one buffered store: the line it dirties and the originating
+// store transaction's id (0 when none), kept for probe attribution of the
+// drain traffic. A concrete type rather than `any` keeps the push/drain
+// path free of per-store boxing allocations.
+type SBEntry struct {
+	Line uint64
+	Txn  int64
+}
+
 // StoreBuffer models the per-core FIFO of stores that have issued but not
 // yet become globally visible. Under GPU coherence entries drain as
 // write-throughs to the LLC; under DeNovo they drain as ownership
@@ -11,7 +20,11 @@ import "rats/internal/probe"
 // atomics (Table 4).
 type StoreBuffer struct {
 	capacity int
-	queue    []any
+	// queue[head:] holds the live entries; head-index draining reuses the
+	// backing array instead of reslicing it away (steady-state the buffer
+	// allocates nothing).
+	queue []SBEntry
+	head  int
 	// unacked counts entries drained into the memory system whose
 	// completion acknowledgements are still pending.
 	unacked int
@@ -31,41 +44,50 @@ func (b *StoreBuffer) AttachProbe(h *probe.Hub, node int) {
 
 // NewStoreBuffer builds a buffer with the given capacity.
 func NewStoreBuffer(capacity int) *StoreBuffer {
-	return &StoreBuffer{capacity: capacity}
+	return &StoreBuffer{capacity: capacity, queue: make([]SBEntry, 0, capacity)}
 }
 
 // Full reports whether a new store cannot be accepted.
-func (b *StoreBuffer) Full() bool { return len(b.queue) >= b.capacity }
+func (b *StoreBuffer) Full() bool { return b.Len() >= b.capacity }
 
 // Len returns the number of queued (not yet drained) entries.
-func (b *StoreBuffer) Len() int { return len(b.queue) }
+func (b *StoreBuffer) Len() int { return len(b.queue) - b.head }
 
 // Push appends a store. The caller must have checked Full.
-func (b *StoreBuffer) Push(e any) {
+func (b *StoreBuffer) Push(e SBEntry) {
 	if b.Full() {
 		panic("cache: store buffer push when full")
+	}
+	if b.head > 0 && len(b.queue) == cap(b.queue) {
+		n := copy(b.queue, b.queue[b.head:])
+		b.queue = b.queue[:n]
+		b.head = 0
 	}
 	b.queue = append(b.queue, e)
 	if h := b.probe; h != nil {
 		h.Emit(probe.Event{Cycle: h.Now(), Comp: probe.CompL1, Node: b.node, Warp: -1,
-			Kind: probe.SBFill, Arg: int64(len(b.queue))})
+			Kind: probe.SBFill, Arg: int64(b.Len())})
 	}
 }
 
 // Pop drains the oldest entry into the memory system, incrementing the
-// unacked count. Returns nil when empty.
-func (b *StoreBuffer) Pop() any {
-	if len(b.queue) == 0 {
-		return nil
+// unacked count. The second return is false when the buffer is empty.
+func (b *StoreBuffer) Pop() (SBEntry, bool) {
+	if b.Len() == 0 {
+		return SBEntry{}, false
 	}
-	e := b.queue[0]
-	b.queue = b.queue[1:]
+	e := b.queue[b.head]
+	b.head++
+	if b.head == len(b.queue) {
+		b.queue = b.queue[:0]
+		b.head = 0
+	}
 	b.unacked++
 	if h := b.probe; h != nil {
 		h.Emit(probe.Event{Cycle: h.Now(), Comp: probe.CompL1, Node: b.node, Warp: -1,
-			Kind: probe.SBDrain, Arg: int64(len(b.queue))})
+			Kind: probe.SBDrain, Arg: int64(b.Len())})
 	}
-	return e
+	return e, true
 }
 
 // Ack records completion of a drained entry.
@@ -78,15 +100,16 @@ func (b *StoreBuffer) Ack() {
 
 // Drained reports whether the buffer is empty and every drained entry has
 // been acknowledged — the flush condition.
-func (b *StoreBuffer) Drained() bool { return len(b.queue) == 0 && b.unacked == 0 }
+func (b *StoreBuffer) Drained() bool { return b.Len() == 0 && b.unacked == 0 }
 
 // Unacked returns the in-flight drained count.
 func (b *StoreBuffer) Unacked() int { return b.unacked }
 
-// Peek returns the oldest entry without draining it, or nil.
-func (b *StoreBuffer) Peek() any {
-	if len(b.queue) == 0 {
-		return nil
+// Peek returns the oldest entry without draining it; the second return is
+// false when the buffer is empty.
+func (b *StoreBuffer) Peek() (SBEntry, bool) {
+	if b.Len() == 0 {
+		return SBEntry{}, false
 	}
-	return b.queue[0]
+	return b.queue[b.head], true
 }

@@ -45,6 +45,33 @@ type warpState struct {
 	// layer (maintained only when a hub is attached).
 	curStall   probe.StallReason
 	stallSince int64
+
+	// groups are the warp's in-flight instruction groups: one per memory
+	// instruction, counting its transactions still outstanding. Slots are
+	// reused once a group completes, so steady-state issue allocates
+	// nothing (the per-transaction completion closures this replaces were
+	// the CU's dominant allocation source).
+	groups []instrGroup
+}
+
+// instrGroup counts one memory instruction's outstanding transactions.
+type instrGroup struct {
+	remaining int
+	atomic    bool
+	active    bool
+}
+
+// allocGroup claims a free group slot (or grows) for an instruction with
+// n transactions.
+func (w *warpState) allocGroup(n int, atomic bool) int32 {
+	for i := range w.groups {
+		if !w.groups[i].active {
+			w.groups[i] = instrGroup{remaining: n, atomic: atomic, active: true}
+			return int32(i)
+		}
+	}
+	w.groups = append(w.groups, instrGroup{remaining: n, atomic: atomic, active: true})
+	return int32(len(w.groups) - 1)
 }
 
 // CU drives the warps placed on one node.
@@ -56,9 +83,17 @@ type CU struct {
 	warps []*warpState
 	rr    int
 
-	// coalescer is the queue of line transactions awaiting L1 issue.
+	// coalescer is the queue of line transactions awaiting L1 issue;
+	// coalescer[coalHead:] holds the live entries (head-index draining
+	// reuses the backing array, pre-sized to the configured queue depth).
 	coalescer []*memsys.Txn
+	coalHead  int
 	txnSeq    *int64
+
+	// txnFree recycles completed transactions; lineScratch is the reusable
+	// buffer linesOf dedupes into (valid until its next call).
+	txnFree     []*memsys.Txn
+	lineScratch []uint64
 
 	st *stats.Stats
 
@@ -69,7 +104,45 @@ type CU struct {
 
 // New builds a CU on the given node over its L1.
 func New(env *memsys.Env, node int, l1 *memsys.L1, txnSeq *int64) *CU {
-	return &CU{env: env, node: node, l1: l1, txnSeq: txnSeq, st: env.Stats}
+	return &CU{env: env, node: node, l1: l1, txnSeq: txnSeq, st: env.Stats,
+		coalescer: make([]*memsys.Txn, 0, env.Cfg.CoalescerQueue)}
+}
+
+// depth returns the number of transactions queued in the coalescer.
+func (c *CU) depth() int { return len(c.coalescer) - c.coalHead }
+
+// newTxn takes a transaction from the free list (or allocates one),
+// zeroed, with Group set to the no-group sentinel.
+func (c *CU) newTxn() *memsys.Txn {
+	if n := len(c.txnFree); n > 0 {
+		t := c.txnFree[n-1]
+		c.txnFree = c.txnFree[:n-1]
+		*t = memsys.Txn{Group: -1}
+		return t
+	}
+	return &memsys.Txn{Group: -1}
+}
+
+// TxnDone implements memsys.Completer: it closes the transaction's
+// instruction group (decrementing the warp's outstanding counts when the
+// group empties) and recycles the transaction. Safe because nothing in
+// the memory system retains a transaction past its completion call.
+func (c *CU) TxnDone(t *memsys.Txn, cycle, value int64) {
+	if t.Group >= 0 {
+		w := t.Owner.(*warpState)
+		g := &w.groups[t.Group]
+		g.remaining--
+		if g.remaining == 0 {
+			g.active = false
+			if g.atomic {
+				w.outAtomics--
+			} else {
+				w.outLoads--
+			}
+			c.clearFence(w)
+		}
+	}
+	c.txnFree = append(c.txnFree, t)
 }
 
 // AddWarp assigns a warp to this CU, numbering it globally in placement
@@ -90,7 +163,7 @@ func (c *CU) NumWarps() int { return len(c.warps) }
 // Done reports whether every warp has retired and all transactions
 // completed.
 func (c *CU) Done() bool {
-	if len(c.coalescer) > 0 {
+	if c.depth() > 0 {
 		return false
 	}
 	for _, w := range c.warps {
@@ -122,17 +195,26 @@ func (c *CU) ReleaseBarrier() {
 // L1 exposes the CU's cache controller (for the barrier protocol).
 func (c *CU) L1() *memsys.L1 { return c.l1 }
 
-// lineOf groups addresses by cache line, preserving first-touch order.
+// linesOf groups addresses by cache line, preserving first-touch order.
+// The result is the CU's reusable scratch buffer, valid only until the
+// next call; with at most one warp's worth of lanes the linear-scan
+// dedupe beats a map and allocates nothing.
 func (c *CU) linesOf(addrs []uint64) []uint64 {
-	seen := map[uint64]bool{}
-	var lines []uint64
+	lines := c.lineScratch[:0]
 	for _, a := range addrs {
 		l := a / c.env.Cfg.LineSize
-		if !seen[l] {
-			seen[l] = true
+		dup := false
+		for _, seen := range lines {
+			if seen == l {
+				dup = true
+				break
+			}
+		}
+		if !dup {
 			lines = append(lines, l)
 		}
 	}
+	c.lineScratch = lines
 	return lines
 }
 
@@ -205,7 +287,7 @@ func (c *CU) issueOp(cycle int64, w *warpState, op *trace.Op) bool {
 	case trace.Atomic:
 		txns = len(op.Addrs)
 	}
-	if len(c.coalescer)+txns > c.env.Cfg.CoalescerQueue {
+	if c.depth()+txns > c.env.Cfg.CoalescerQueue {
 		return false
 	}
 
@@ -218,50 +300,49 @@ func (c *CU) issueOp(cycle int64, w *warpState, op *trace.Op) bool {
 	case trace.Load:
 		lines := c.linesOf(op.Addrs)
 		w.outLoads++
-		remaining := len(lines)
+		g := w.allocGroup(len(lines), false)
 		for _, line := range lines {
-			c.push(w, &memsys.Txn{
-				Kind: memsys.TxnLoad, Addr: line * c.env.Cfg.LineSize, Class: op.Class,
-				AOp: core.OpLoad,
-				Done: func(int64, int64) {
-					remaining--
-					if remaining == 0 {
-						w.outLoads--
-						c.clearFence(w)
-					}
-				},
-			})
+			t := c.newTxn()
+			t.Kind = memsys.TxnLoad
+			t.Addr = line * c.env.Cfg.LineSize
+			t.Class = op.Class
+			t.AOp = core.OpLoad
+			t.Done = c
+			t.Owner = w
+			t.Group = g
+			c.push(w, t)
 		}
 	case trace.Store:
 		for _, line := range c.linesOf(op.Addrs) {
 			// Stores complete into the store buffer; they do not hold the
 			// warp. Flush semantics make them visible.
-			c.push(w, &memsys.Txn{
-				Kind: memsys.TxnStore, Addr: line * c.env.Cfg.LineSize, Class: op.Class,
-				AOp:  core.OpStore,
-				Done: func(int64, int64) {},
-			})
+			t := c.newTxn()
+			t.Kind = memsys.TxnStore
+			t.Addr = line * c.env.Cfg.LineSize
+			t.Class = op.Class
+			t.AOp = core.OpStore
+			t.Done = c
+			c.push(w, t)
 		}
 	case trace.Atomic:
 		w.outAtomics++
-		remaining := len(op.Addrs)
+		g := w.allocGroup(len(op.Addrs), true)
 		for i, a := range op.Addrs {
 			operand := op.Operand
 			if op.Operands != nil {
 				operand = op.Operands[i]
 			}
-			c.push(w, &memsys.Txn{
-				Kind: memsys.TxnAtomic, Addr: a, Class: op.Class,
-				LocalScope: op.Scope == trace.ScopeLocal,
-				AOp:        op.AOp, Operand: operand,
-				Done: func(int64, int64) {
-					remaining--
-					if remaining == 0 {
-						w.outAtomics--
-						c.clearFence(w)
-					}
-				},
-			})
+			t := c.newTxn()
+			t.Kind = memsys.TxnAtomic
+			t.Addr = a
+			t.Class = op.Class
+			t.LocalScope = op.Scope == trace.ScopeLocal
+			t.AOp = op.AOp
+			t.Operand = operand
+			t.Done = c
+			t.Owner = w
+			t.Group = g
+			c.push(w, t)
 		}
 	}
 
@@ -300,18 +381,34 @@ func (c *CU) push(w *warpState, t *memsys.Txn) {
 	*c.txnSeq++
 	t.ID = *c.txnSeq
 	t.Warp = w.id
+	if c.coalHead > 0 && len(c.coalescer) == cap(c.coalescer) {
+		n := copy(c.coalescer, c.coalescer[c.coalHead:])
+		for i := n; i < len(c.coalescer); i++ {
+			c.coalescer[i] = nil
+		}
+		c.coalescer = c.coalescer[:n]
+		c.coalHead = 0
+	}
 	c.coalescer = append(c.coalescer, t)
 	if h := c.env.Probe; h != nil {
 		h.Emit(probe.Event{Cycle: h.Now(), Comp: probe.CompCU, Node: c.node, Warp: w.id,
 			Kind: probe.CoalescerPush, Txn: t.ID, Addr: t.Addr,
-			Arg: int64(len(c.coalescer)), Aux: int64(spanOpOf(t))})
+			Arg: int64(c.depth()), Aux: int64(spanOpOf(t))})
 	}
 }
 
 // Tick advances the CU one cycle: retire finished warps, drain the
 // coalescer into the L1, then issue at most one warp op (CPU nodes may
 // issue several, reflecting the faster CPU clock).
-func (c *CU) Tick(cycle int64) {
+//
+// quiet marks a cycle the skip oracle (NextWork) proved idle but that is
+// being processed anyway because fast-forwarding is disabled. Stall
+// accounting and stall-interval tracking are suppressed on quiet cycles
+// — exactly the accounting a skipped cycle gets — while all state
+// transitions still run, so an oracle that wrongly skips a productive
+// cycle shows up as diverging architectural counters in the equivalence
+// tests rather than being masked.
+func (c *CU) Tick(cycle int64, quiet bool) {
 	// Retirement: the op stream is exhausted, trailing compute has
 	// elapsed, and no memory operations remain in flight.
 	for _, w := range c.warps {
@@ -320,9 +417,14 @@ func (c *CU) Tick(cycle int64) {
 		}
 	}
 	// Coalescer → L1 (one transaction per cycle port).
-	if len(c.coalescer) > 0 {
-		if t := c.coalescer[0]; c.l1.TryIssue(cycle, t) {
-			c.coalescer = c.coalescer[1:]
+	if c.depth() > 0 {
+		if t := c.coalescer[c.coalHead]; c.l1.TryIssue(cycle, t) {
+			c.coalescer[c.coalHead] = nil
+			c.coalHead++
+			if c.coalHead == len(c.coalescer) {
+				c.coalescer = c.coalescer[:0]
+				c.coalHead = 0
+			}
 			if h := c.env.Probe; h != nil {
 				h.Emit(probe.Event{Cycle: cycle, Comp: probe.CompCU, Node: c.node,
 					Warp: t.Warp, Kind: probe.CoalescerDrain, Txn: t.ID, Addr: t.Addr})
@@ -335,17 +437,17 @@ func (c *CU) Tick(cycle int64) {
 		issues = c.env.Cfg.CPUIssuePerCycle
 	}
 	for n := 0; n < issues; n++ {
-		if !c.issueOne(cycle) {
+		if !c.issueOne(cycle, quiet) {
 			break
 		}
 	}
-	if h := c.env.Probe; h != nil {
+	if h := c.env.Probe; h != nil && !quiet {
 		c.trackStalls(cycle, h)
 	}
 }
 
 // issueOne finds one ready warp round-robin and issues its next op.
-func (c *CU) issueOne(cycle int64) bool {
+func (c *CU) issueOne(cycle int64, quiet bool) bool {
 	nw := len(c.warps)
 	if nw == 0 {
 		return false
@@ -356,12 +458,16 @@ func (c *CU) issueOne(cycle int64) bool {
 			continue
 		}
 		if f := c.env.Fault; f != nil && f.Wedged(w.id, cycle) {
-			c.st.WarpIssueStalls++
+			if !quiet {
+				c.st.WarpIssueStalls++
+			}
 			continue
 		}
 		op := &w.ops.Ops[w.pc]
 		if !c.canIssue(w, op) {
-			c.st.WarpIssueStalls++
+			if !quiet {
+				c.st.WarpIssueStalls++
+			}
 			continue
 		}
 		switch op.Kind {
@@ -385,7 +491,9 @@ func (c *CU) issueOne(cycle int64) bool {
 			// Pure dependency marker: free once issuable.
 		default:
 			if !c.issueOp(cycle, w, op) {
-				c.st.WarpIssueStalls++
+				if !quiet {
+					c.st.WarpIssueStalls++
+				}
 				continue
 			}
 			c.st.CoreOps++
@@ -404,24 +512,21 @@ func (c *CU) issueOne(cycle int64) bool {
 	return false
 }
 
-// NextWake returns the earliest cycle at which this CU could make
-// progress on its own (compute completions), or -1 if it is entirely
-// waiting on external events.
-func (c *CU) NextWake(cycle int64) int64 {
-	if len(c.coalescer) > 0 {
+// NextWork returns the earliest cycle at which this CU can make progress
+// on its own, or -1 if it is entirely waiting on external events
+// (message deliveries and scheduled completions). The hint must be
+// exact, not merely conservative in one direction: the driver fast
+// forwards the clock straight to the minimum hint across all
+// components, so a cycle where this CU would have acted but which the
+// hint did not report would silently change timing. The equivalence
+// tests (skip on vs off) pin this property.
+func (c *CU) NextWork(cycle int64) int64 {
+	if c.depth() > 0 {
+		// A queued transaction retries L1 issue every cycle.
 		return cycle + 1
 	}
 	wake := int64(-1)
-	for _, w := range c.warps {
-		if w.done || w.atBarrier {
-			continue
-		}
-		if w.fence || w.waitingFlush || w.outLoads > 0 || w.outAtomics > 0 {
-			// Waiting on memory: progress comes from events/mesh.
-			continue
-		}
-		// Retiring warps need one wake after their trailing compute.
-		t := w.busyUntil
+	min := func(t int64) {
 		if t <= cycle {
 			t = cycle + 1
 		}
@@ -429,12 +534,45 @@ func (c *CU) NextWake(cycle int64) int64 {
 			wake = t
 		}
 	}
+	for _, w := range c.warps {
+		switch {
+		case w.done || w.atBarrier:
+			// Retired, or parked until the driver-side barrier release (which
+			// itself only happens at processed cycles).
+		case w.atEnd:
+			// Retiring: wakes when trailing compute elapses, but only once
+			// outstanding memory has completed — completions are events.
+			if w.outLoads == 0 && w.outAtomics == 0 {
+				min(w.busyUntil)
+			}
+		case w.fence, w.waitingFlush && !w.flushDone:
+			// SC fence / release flush: unblocked by completions.
+		case w.busyUntil > cycle:
+			// Computing: the next op issues (or begins stalling) the moment
+			// compute finishes, regardless of memory still in flight.
+			min(w.busyUntil)
+		default:
+			// Ready warp. A wedged warp must stay hot so the fault tally and
+			// the watchdog timeline match cycle-by-cycle execution exactly.
+			if f := c.env.Fault; f != nil && f.WedgeActive(w.id, cycle+1) {
+				min(cycle + 1)
+				continue
+			}
+			// If the consistency gates pass, the warp issues (or retries a
+			// full coalescer) next cycle. If they fail, every gate is a pure
+			// function of outstanding-op counts, which only completions
+			// change — so the warp is provably idle until the next event.
+			if c.canIssue(w, &w.ops.Ops[w.pc]) {
+				min(cycle + 1)
+			}
+		}
+	}
 	return wake
 }
 
 // CoalescerDepth returns the number of transactions queued for L1 issue
 // (liveness diagnostics).
-func (c *CU) CoalescerDepth() int { return len(c.coalescer) }
+func (c *CU) CoalescerDepth() int { return c.depth() }
 
 // WarpDiag is one warp's state snapshot for liveness diagnostics.
 type WarpDiag struct {
@@ -461,7 +599,7 @@ func (c *CU) Diag(cycle int64) []WarpDiag {
 			d.State = "retired"
 		case w.atBarrier:
 			d.State = "at-barrier"
-		case c.env.Fault != nil && c.env.Fault.Wedged(w.id, cycle):
+		case c.env.Fault != nil && c.env.Fault.WedgeActive(w.id, cycle):
 			d.State = "wedged (injected fault)"
 		case w.fence:
 			d.State = "sc-fence drain"
@@ -512,7 +650,7 @@ func (c *CU) stallReasonOf(w *warpState, cycle int64) probe.StallReason {
 	case w.waitingFlush && !w.flushDone:
 		return probe.StallConsistency // release flush in progress
 	}
-	if f := c.env.Fault; f != nil && f.Wedged(w.id, cycle) {
+	if f := c.env.Fault; f != nil && f.WedgeActive(w.id, cycle) {
 		return probe.StallFault
 	}
 	op := &w.ops.Ops[w.pc]
@@ -545,7 +683,7 @@ func (c *CU) stallReasonOf(w *warpState, cycle int64) probe.StallReason {
 	case trace.Atomic:
 		txns = len(op.Addrs)
 	}
-	if len(c.coalescer)+txns > c.env.Cfg.CoalescerQueue {
+	if c.depth()+txns > c.env.Cfg.CoalescerQueue {
 		if c.l1.SBFull() {
 			return probe.StallStoreBufferFull
 		}

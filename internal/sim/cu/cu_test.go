@@ -29,7 +29,7 @@ type harness struct {
 
 type ev struct {
 	cycle, seq int64
-	fn         func(int64)
+	d          memsys.Deferred
 }
 type evq []ev
 
@@ -49,12 +49,12 @@ func newHarness(model core.Model) *harness {
 	h.mesh = noc.NewMesh(h.cfg.MeshWidth, h.cfg.MeshHeight, h.cfg.HopLat, &h.st)
 	h.env = &memsys.Env{
 		Cfg: &h.cfg, Mesh: h.mesh, Stats: &h.st, Values: map[uint64]int64{},
-		At: func(c int64, fn func(int64)) {
+		At: func(c int64, d memsys.Deferred) {
 			if c <= h.cycle {
 				c = h.cycle + 1
 			}
 			h.seq++
-			heap.Push(&h.evs, ev{cycle: c, seq: h.seq, fn: fn})
+			heap.Push(&h.evs, ev{cycle: c, seq: h.seq, d: d})
 		},
 	}
 	for n := 0; n < h.cfg.Nodes(); n++ {
@@ -79,13 +79,13 @@ func (h *harness) step() {
 	h.cycle++
 	for h.evs.Len() > 0 && h.evs[0].cycle <= h.cycle {
 		e := heap.Pop(&h.evs).(ev)
-		e.fn(h.cycle)
+		e.d.Fire(h.cycle)
 	}
 	h.mesh.Tick(h.cycle)
 	for _, l1 := range h.l1s {
 		l1.Tick(h.cycle)
 	}
-	h.cu.Tick(h.cycle)
+	h.cu.Tick(h.cycle, false)
 }
 
 func (h *harness) runUntilDone(t *testing.T, bound int) {
@@ -187,17 +187,19 @@ func TestBarrierParksWarp(t *testing.T) {
 	}
 }
 
-func TestNextWake(t *testing.T) {
+func TestNextWork(t *testing.T) {
 	h := newHarness(core.DRFrlx)
 	w := &trace.Warp{CU: 0}
 	w.Compute(50)
 	h.cu.AddWarp(w)
 	h.step() // issues the compute; busy until cycle+50
-	wake := h.cu.NextWake(h.cycle)
+	wake := h.cu.NextWork(h.cycle)
 	if wake <= h.cycle || wake > h.cycle+51 {
-		t.Errorf("NextWake = %d at cycle %d", wake, h.cycle)
+		t.Errorf("NextWork = %d at cycle %d", wake, h.cycle)
 	}
-	// A memory-bound warp reports no self-wake.
+	// A memory-bound warp reports no self-wake: its Join is gated on the
+	// outstanding load, and only the load's completion (an event) can
+	// change that.
 	h2 := newHarness(core.DRF0)
 	w2 := &trace.Warp{CU: 0}
 	w2.Load(core.Data, 0x1000)
@@ -205,7 +207,7 @@ func TestNextWake(t *testing.T) {
 	h2.cu.AddWarp(w2)
 	h2.step()
 	h2.step()
-	if wk := h2.cu.NextWake(h2.cycle); wk >= 0 && h2.cu.Done() {
+	if wk := h2.cu.NextWork(h2.cycle); wk >= 0 && !h2.cu.Done() {
 		t.Errorf("memory-bound warp should not self-wake (wake=%d)", wk)
 	}
 	h2.runUntilDone(t, 2000)

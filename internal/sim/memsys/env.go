@@ -21,8 +21,10 @@ type Env struct {
 	// owning L1 under DeNovo — so workload functional checks hold under
 	// every configuration.
 	Values map[uint64]int64
-	// At schedules fn to run at the given cycle (>= current).
-	At func(cycle int64, fn func(int64))
+	// At schedules a deferred continuation to run at the given cycle
+	// (>= current). Same-cycle continuations must fire in scheduling
+	// order (FIFO) — protocol handlers rely on it.
+	At func(cycle int64, d Deferred)
 	// Probe is the observability hub, or nil when disabled. Emission
 	// sites guard with a nil check so disabled runs pay nothing.
 	Probe *probe.Hub
@@ -63,10 +65,30 @@ type Txn struct {
 	// the L1 without coherence actions (the programmer guarantees no
 	// cross-CU access between global synchronizations).
 	LocalScope bool
-	// Done is invoked exactly once when the transaction completes; value
-	// is meaningful for atomics.
-	Done func(cycle int64, value int64)
+	// Done receives the completion callback exactly once; value is
+	// meaningful for atomics. An interface rather than a func so issuers
+	// can register themselves (a pointer — no per-transaction closure).
+	Done Completer
+	// Owner and Group are opaque completion bookkeeping for the issuing
+	// compute unit (which instruction this transaction belongs to).
+	Owner any
+	Group int32
 }
+
+// Completer receives a transaction's completion.
+type Completer interface {
+	// TxnDone is invoked exactly once when t completes; value is
+	// meaningful for atomics. The transaction may be recycled by its
+	// issuer once TxnDone returns — no component may retain t past it.
+	TxnDone(t *Txn, cycle, value int64)
+}
+
+// DoneFunc adapts a plain function to Completer (tests and ad-hoc
+// issuers).
+type DoneFunc func(cycle, value int64)
+
+// TxnDone implements Completer.
+func (f DoneFunc) TxnDone(_ *Txn, cycle, value int64) { f(cycle, value) }
 
 // TxnKind distinguishes transaction types at the L1.
 type TxnKind uint8

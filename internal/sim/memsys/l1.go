@@ -8,25 +8,13 @@ import (
 	"rats/internal/sim/noc"
 )
 
-// sbStore is a store parked in the store buffer (or, under DeNovo, parked
-// on an MSHR entry awaiting ownership). txn is the originating store
-// transaction's id, kept for probe attribution of the drain traffic (the
-// transaction itself completes when the store enters the buffer).
-type sbStore struct {
-	line uint64
-	txn  int64
-}
-
 // txnIDOf extracts the transaction id from an MSHR waiter for probe
 // attribution.
-func txnIDOf(w any) int64 {
-	switch w := w.(type) {
-	case *Txn:
-		return w.ID
-	case sbStore:
-		return w.txn
+func txnIDOf(w cache.Waiter) int64 {
+	if w.Txn != nil {
+		return w.Txn.(*Txn).ID
 	}
-	return 0
+	return w.Store.Txn
 }
 
 // L1 is a per-node first-level cache controller. Protocol behaviour
@@ -54,7 +42,13 @@ type L1 struct {
 	// L2 registry can hand ownership onward before the previous grant
 	// lands). The yield is performed once ownership arrives and the
 	// queued local operations have drained.
-	pendingFwds map[uint64][]fwdOwn
+	pendingFwds map[uint64][]noc.Payload
+
+	// waiterScratch and needOwnScratch are reusable buffers for draining
+	// MSHR waiter lists in response handlers (steady state allocates
+	// nothing).
+	waiterScratch  []cache.Waiter
+	needOwnScratch []cache.Waiter
 
 	flushCbs []func(int64)
 }
@@ -68,7 +62,7 @@ func NewL1(env *Env, node int) *L1 {
 		mshr:           cache.NewMSHR(env.Cfg.L1MSHRs, env.Cfg.L1MSHRTargets),
 		sb:             cache.NewStoreBuffer(env.Cfg.StoreBuffer),
 		pendingAtomics: map[int64]*Txn{},
-		pendingFwds:    map[uint64][]fwdOwn{},
+		pendingFwds:    map[uint64][]noc.Payload{},
 	}
 }
 
@@ -89,17 +83,18 @@ func (l *L1) emitTxn(cycle int64, kind probe.Kind, txn *Txn) {
 }
 
 // complete finishes a transaction: the TxnComplete event closes its
-// latency span, then the Done callback fires.
+// latency span, then the Done callback fires. The transaction must not
+// be touched afterwards (its issuer may recycle it).
 func (l *L1) complete(cycle int64, txn *Txn, value int64) {
 	if h := l.env.Probe; h != nil {
 		h.Emit(probe.Event{Cycle: cycle, Comp: probe.CompL1, Node: l.node,
 			Warp: txn.Warp, Kind: probe.TxnComplete, Txn: txn.ID, Addr: txn.Addr})
 	}
-	txn.Done(cycle, value)
+	txn.Done.TxnDone(txn, cycle, value)
 }
 
-func (l *L1) send(cycle int64, dst, flits int, txn int64, payload any) {
-	l.env.Mesh.Send(cycle, noc.Message{Src: l.node, Dst: dst, Flits: flits, Txn: txn, Payload: payload})
+func (l *L1) send(cycle int64, dst, flits int, txn int64, p noc.Payload) {
+	l.env.Mesh.Send(cycle, noc.Message{Src: l.node, Dst: dst, Flits: flits, Txn: txn, Payload: p})
 }
 
 func (l *L1) home(line uint64) int { return l.env.Cfg.HomeNode(line) }
@@ -139,7 +134,8 @@ func (l *L1) insertLine(cycle int64, line uint64, st cache.State, dirty bool) {
 			h.Emit(probe.Event{Cycle: cycle, Comp: probe.CompL1, Node: l.node, Warp: -1,
 				Kind: probe.Writeback, Addr: v.LineAddr * l.env.Cfg.LineSize})
 		}
-		l.send(cycle, l.home(v.LineAddr), l.env.Cfg.DataFlits, 0, wbReq{Line: v.LineAddr, Requester: l.node})
+		l.send(cycle, l.home(v.LineAddr), l.env.Cfg.DataFlits, 0,
+			noc.Payload{Kind: pkWbReq, Line: v.LineAddr, Requester: l.node})
 	}
 }
 
@@ -157,7 +153,7 @@ func (l *L1) TryIssue(cycle int64, txn *Txn) bool {
 			st.L1Accesses++
 			st.L1Hits++
 			l.emitTxn(cycle, probe.CacheHit, txn)
-			l.env.At(cycle+cfg.L1HitLat, func(c int64) { l.complete(c, txn, l.env.Read(txn.Addr)) })
+			l.env.At(cycle+cfg.L1HitLat, Deferred{kind: deferCompleteRead, l1: l, txn: txn})
 			return true
 		}
 		if e := l.mshr.Lookup(line); e != nil {
@@ -169,7 +165,7 @@ func (l *L1) TryIssue(cycle int64, txn *Txn) bool {
 			st.L1Misses++
 			st.MSHRCoalesced++
 			l.emitTxn(cycle, probe.CacheMiss, txn)
-			l.mshr.Coalesce(e, txn, txn.ID)
+			l.mshr.Coalesce(e, cache.Waiter{Txn: txn}, txn.ID)
 			return true
 		}
 		if l.mshrFull(cycle) {
@@ -180,8 +176,9 @@ func (l *L1) TryIssue(cycle int64, txn *Txn) bool {
 		st.L1Misses++
 		l.emitTxn(cycle, probe.CacheMiss, txn)
 		e := l.mshr.Allocate(line, false, txn.ID)
-		e.Waiters = append(e.Waiters, txn)
-		l.send(cycle, l.home(line), cfg.ControlFlits, txn.ID, readReq{Line: line, Requester: l.node, Txn: txn.ID})
+		e.Waiters = append(e.Waiters, cache.Waiter{Txn: txn})
+		l.send(cycle, l.home(line), cfg.ControlFlits, txn.ID,
+			noc.Payload{Kind: pkReadReq, Line: line, Requester: l.node, Txn: txn.ID})
 		return true
 
 	case TxnStore:
@@ -189,8 +186,8 @@ func (l *L1) TryIssue(cycle int64, txn *Txn) bool {
 			st.StoreBufferFullStalls++
 			return false
 		}
-		l.sb.Push(sbStore{line: line, txn: txn.ID})
-		l.env.At(cycle+1, func(c int64) { l.complete(c, txn, 0) })
+		l.sb.Push(cache.SBEntry{Line: line, Txn: txn.ID})
+		l.env.At(cycle+1, Deferred{kind: deferComplete, l1: l, txn: txn, value: 0})
 		return true
 
 	case TxnAtomic:
@@ -214,8 +211,9 @@ func (l *L1) TryIssue(cycle int64, txn *Txn) bool {
 				return false
 			}
 			l.pendingAtomics[txn.ID] = txn
-			l.send(cycle, l.home(line), cfg.ControlFlits, txn.ID, atomicReq{
-				ID: txn.ID, Addr: txn.Addr, AOp: txn.AOp, Operand: txn.Operand, Requester: l.node,
+			l.send(cycle, l.home(line), cfg.ControlFlits, txn.ID, noc.Payload{
+				Kind: pkAtomicReq, Line: txn.Addr, Requester: l.node,
+				Txn: txn.ID, Op: uint8(txn.AOp), Operand: txn.Operand,
 			})
 			return true
 		}
@@ -236,7 +234,7 @@ func (l *L1) TryIssue(cycle int64, txn *Txn) bool {
 			st.L1Misses++
 			st.MSHRCoalesced++
 			l.emitTxn(cycle, probe.CacheMiss, txn)
-			l.mshr.Coalesce(e, txn, txn.ID)
+			l.mshr.Coalesce(e, cache.Waiter{Txn: txn}, txn.ID)
 			e.WantOwnership = true
 			return true
 		}
@@ -249,14 +247,16 @@ func (l *L1) TryIssue(cycle int64, txn *Txn) bool {
 		l.emitTxn(cycle, probe.CacheMiss, txn)
 		l.emitTxn(cycle, probe.OwnershipRequest, txn)
 		e := l.mshr.Allocate(line, true, txn.ID)
-		e.Waiters = append(e.Waiters, txn)
-		l.send(cycle, l.home(line), cfg.ControlFlits, txn.ID, ownReq{Line: line, Requester: l.node, Txn: txn.ID})
+		e.Waiters = append(e.Waiters, cache.Waiter{Txn: txn})
+		l.send(cycle, l.home(line), cfg.ControlFlits, txn.ID,
+			noc.Payload{Kind: pkOwnReq, Line: line, Requester: l.node, Txn: txn.ID})
 		return true
 	}
 	panic("memsys: unknown txn kind")
 }
 
-// performLocalAtomic runs a DeNovo atomic through the L1 atomic unit.
+// performLocalAtomic books a DeNovo atomic into the L1 atomic unit and
+// schedules its perform.
 func (l *L1) performLocalAtomic(cycle int64, txn *Txn) {
 	cfg := l.env.Cfg
 	start := cycle + cfg.L1HitLat
@@ -265,43 +265,45 @@ func (l *L1) performLocalAtomic(cycle int64, txn *Txn) {
 	}
 	done := start + cfg.L1AtomicOccupancy
 	l.atomicFree = done
-	l.env.At(done, func(c int64) {
-		l.env.Stats.Atomics++
-		l.env.Stats.AtomicsAtL1++
-		l.emitTxn(c, probe.AtomicPerformed, txn)
-		old := l.env.ApplyAtomic(txn.Addr, txn.AOp, txn.Operand)
-		l.complete(c, txn, old)
-	})
+	l.env.At(done, Deferred{kind: deferLocalAtomic, l1: l, txn: txn})
+}
+
+// fireLocalAtomic runs the scheduled atomic through the value layer.
+func (l *L1) fireLocalAtomic(cycle int64, txn *Txn) {
+	l.env.Stats.Atomics++
+	l.env.Stats.AtomicsAtL1++
+	l.emitTxn(cycle, probe.AtomicPerformed, txn)
+	old := l.env.ApplyAtomic(txn.Addr, txn.AOp, txn.Operand)
+	l.complete(cycle, txn, old)
 }
 
 // yieldOwnership invalidates the local copy and grants ownership to the
 // forwarded requester.
-func (l *L1) yieldOwnership(cycle int64, m fwdOwn) {
+func (l *L1) yieldOwnership(cycle int64, m noc.Payload) {
 	if l.array.Peek(m.Line) == cache.Owned {
 		l.array.Invalidate(m.Line)
 	}
-	l.send(cycle+l.env.Cfg.L1HitLat, m.Requester, l.env.Cfg.DataFlits, m.Txn, ownResp{Line: m.Line, Txn: m.Txn})
+	l.send(cycle+l.env.Cfg.L1HitLat, m.Requester, l.env.Cfg.DataFlits, m.Txn,
+		noc.Payload{Kind: pkOwnResp, Line: m.Line, Txn: m.Txn})
 }
 
 // Handle processes a delivered network message.
-func (l *L1) Handle(cycle int64, payload any) {
+func (l *L1) Handle(cycle int64, p noc.Payload) {
 	cfg := l.env.Cfg
 	st := l.env.Stats
-	switch m := payload.(type) {
-	case readResp:
-		l.insertLine(cycle, m.Line, cache.Valid, false)
-		waiters := l.mshr.Release(m.Line)
-		var needOwn []any
+	switch p.Kind {
+	case pkReadResp:
+		l.insertLine(cycle, p.Line, cache.Valid, false)
+		waiters := l.mshr.Release(p.Line, l.waiterScratch[:0])
+		needOwn := l.needOwnScratch[:0]
 		for _, w := range waiters {
-			switch w := w.(type) {
-			case *Txn:
-				if w.Kind == TxnLoad {
-					txn := w
-					l.env.At(cycle+1, func(c int64) { l.complete(c, txn, l.env.Read(txn.Addr)) })
+			if w.Txn != nil {
+				if txn := w.Txn.(*Txn); txn.Kind == TxnLoad {
+					l.env.At(cycle+1, Deferred{kind: deferCompleteRead, l1: l, txn: txn})
 				} else {
 					needOwn = append(needOwn, w)
 				}
-			case sbStore:
+			} else {
 				needOwn = append(needOwn, w)
 			}
 		}
@@ -310,70 +312,71 @@ func (l *L1) Handle(cycle int64, payload any) {
 			// arrived readable but the writers still need ownership. The
 			// re-request is attributed to the first waiting writer.
 			lead := txnIDOf(needOwn[0])
-			e := l.mshr.Allocate(m.Line, true, lead)
-			e.Waiters = needOwn
-			l.send(cycle, l.home(m.Line), cfg.ControlFlits, lead, ownReq{Line: m.Line, Requester: l.node, Txn: lead})
+			e := l.mshr.Allocate(p.Line, true, lead)
+			e.Waiters = append(e.Waiters, needOwn...)
+			l.send(cycle, l.home(p.Line), cfg.ControlFlits, lead,
+				noc.Payload{Kind: pkOwnReq, Line: p.Line, Requester: l.node, Txn: lead})
 		}
+		l.waiterScratch = waiters[:0]
+		l.needOwnScratch = needOwn[:0]
 
-	case ownResp:
-		l.insertLine(cycle, m.Line, cache.Owned, true)
-		for _, w := range l.mshr.Release(m.Line) {
-			switch w := w.(type) {
-			case *Txn:
-				if w.Kind == TxnLoad {
-					txn := w
-					l.env.At(cycle+1, func(c int64) { l.complete(c, txn, l.env.Read(txn.Addr)) })
+	case pkOwnResp:
+		l.insertLine(cycle, p.Line, cache.Owned, true)
+		waiters := l.mshr.Release(p.Line, l.waiterScratch[:0])
+		for _, w := range waiters {
+			if w.Txn != nil {
+				if txn := w.Txn.(*Txn); txn.Kind == TxnLoad {
+					l.env.At(cycle+1, Deferred{kind: deferCompleteRead, l1: l, txn: txn})
 				} else {
-					l.performLocalAtomic(cycle, w)
+					l.performLocalAtomic(cycle, txn)
 				}
-			case sbStore:
+			} else {
 				l.sb.Ack()
 			}
 		}
+		l.waiterScratch = waiters[:0]
 		// Ownership was already handed onward by the L2 while our request
 		// was in flight: yield after the queued local work drains.
-		if fwds := l.pendingFwds[m.Line]; len(fwds) > 0 {
-			delete(l.pendingFwds, m.Line)
+		if fwds := l.pendingFwds[p.Line]; len(fwds) > 0 {
+			delete(l.pendingFwds, p.Line)
 			when := cycle + 1
 			if l.atomicFree > when {
 				when = l.atomicFree
 			}
-			l.env.At(when, func(c int64) {
+			l.env.At(when, deferCall(func(c int64) {
 				for _, f := range fwds {
 					l.yieldOwnership(c, f)
 				}
-			})
+			}))
 		}
 
-	case fwdRead:
+	case pkFwdRead:
 		// Serve a remote reader from the owned copy; keep ownership.
 		st.L1Accesses++
-		l.send(cycle+cfg.L1HitLat, m.Requester, cfg.DataFlits, m.Txn, readResp{Line: m.Line, Txn: m.Txn})
+		l.send(cycle+cfg.L1HitLat, p.Requester, cfg.DataFlits, p.Txn,
+			noc.Payload{Kind: pkReadResp, Line: p.Line, Txn: p.Txn})
 
-	case fwdOwn:
+	case pkFwdOwn:
 		st.L1Accesses++
-		if e := l.mshr.Lookup(m.Line); e != nil && e.WantOwnership && l.array.Peek(m.Line) != cache.Owned {
+		if e := l.mshr.Lookup(p.Line); e != nil && e.WantOwnership && l.array.Peek(p.Line) != cache.Owned {
 			// Our own ownership request is still in flight: defer the
 			// yield until it lands (otherwise two L1s would both believe
 			// they own the line).
-			l.pendingFwds[m.Line] = append(l.pendingFwds[m.Line], m)
+			l.pendingFwds[p.Line] = append(l.pendingFwds[p.Line], p)
 			break
 		}
-		l.yieldOwnership(cycle, m)
+		l.yieldOwnership(cycle, p)
 
-	case wtAck:
+	case pkWtAck:
 		l.sb.Ack()
 
-	//nolint:gocritic // keep message cases together
-
-	case atomicResp:
-		txn := l.pendingAtomics[m.ID]
+	case pkAtomicResp:
+		txn := l.pendingAtomics[p.Txn]
 		if txn == nil {
-			panic(fmt.Sprintf("memsys: node %d atomic response for unknown id %d", l.node, m.ID))
+			panic(fmt.Sprintf("memsys: node %d atomic response for unknown id %d", l.node, p.Txn))
 		}
-		delete(l.pendingAtomics, m.ID)
-		val := m.Value
-		l.env.At(cycle+1, func(c int64) { l.complete(c, txn, val) })
+		delete(l.pendingAtomics, p.Txn)
+		l.env.At(cycle+1, Deferred{kind: deferComplete, l1: l, txn: txn, value: p.Operand})
 
 	default:
 		panic("memsys: L1 received unknown message")
@@ -385,39 +388,40 @@ func (l *L1) Handle(cycle int64, payload any) {
 func (l *L1) Tick(cycle int64) {
 	cfg := l.env.Cfg
 	st := l.env.Stats
-	if e := l.sb.Peek(); e != nil {
-		entry := e.(sbStore)
+	if entry, ok := l.sb.Peek(); ok {
 		if cfg.Protocol == ProtoGPU {
 			st.L1Accesses++
 			l.sb.Pop()
-			l.send(cycle, l.home(entry.line), cfg.DataFlits, entry.txn, wtReq{Line: entry.line, Requester: l.node})
+			l.send(cycle, l.home(entry.Line), cfg.DataFlits, entry.Txn,
+				noc.Payload{Kind: pkWtReq, Line: entry.Line, Requester: l.node})
 		} else {
 			switch {
-			case l.array.Lookup(entry.line) == cache.Owned:
+			case l.array.Lookup(entry.Line) == cache.Owned:
 				st.L1Accesses++
 				st.L1Hits++
-				l.array.SetDirty(entry.line)
+				l.array.SetDirty(entry.Line)
 				l.sb.Pop()
 				l.sb.Ack()
-			case l.mshr.Lookup(entry.line) != nil && l.mshr.CanCoalesce(l.mshr.Lookup(entry.line)):
+			case l.mshr.Lookup(entry.Line) != nil && l.mshr.CanCoalesce(l.mshr.Lookup(entry.Line)):
 				st.L1Accesses++
 				st.L1Misses++
 				st.MSHRCoalesced++
-				e := l.mshr.Lookup(entry.line)
-				l.mshr.Coalesce(e, entry, entry.txn)
+				e := l.mshr.Lookup(entry.Line)
+				l.mshr.Coalesce(e, cache.Waiter{Store: entry}, entry.Txn)
 				e.WantOwnership = true
 				l.sb.Pop()
 			case !l.mshrFull(cycle):
 				st.L1Accesses++
 				st.L1Misses++
-				me := l.mshr.Allocate(entry.line, true, entry.txn)
-				me.Waiters = append(me.Waiters, entry)
+				me := l.mshr.Allocate(entry.Line, true, entry.Txn)
+				me.Waiters = append(me.Waiters, cache.Waiter{Store: entry})
 				l.sb.Pop()
 				if h := l.env.Probe; h != nil {
 					h.Emit(probe.Event{Cycle: cycle, Comp: probe.CompL1, Node: l.node, Warp: -1,
-						Kind: probe.OwnershipRequest, Txn: entry.txn, Addr: entry.line * cfg.LineSize})
+						Kind: probe.OwnershipRequest, Txn: entry.Txn, Addr: entry.Line * cfg.LineSize})
 				}
-				l.send(cycle, l.home(entry.line), cfg.ControlFlits, entry.txn, ownReq{Line: entry.line, Requester: l.node, Txn: entry.txn})
+				l.send(cycle, l.home(entry.Line), cfg.ControlFlits, entry.Txn,
+					noc.Payload{Kind: pkOwnReq, Line: entry.Line, Requester: l.node, Txn: entry.Txn})
 			default:
 				// MSHR full: retry next cycle.
 			}
@@ -444,6 +448,18 @@ func (l *L1) Flush(cycle int64, cb func(int64)) {
 
 // SBDrained reports whether the store buffer is empty and acknowledged.
 func (l *L1) SBDrained() bool { return l.sb.Drained() }
+
+// NextWork returns the earliest cycle this controller acts on its own:
+// the store buffer drains (or retries) one entry per cycle while it
+// holds pending or unacked stores. Everything else the L1 does — MSHR
+// fills, forwarded requests, flush completion — happens in response to
+// deliveries or scheduled events, which are processed cycles already.
+func (l *L1) NextWork(cycle int64) int64 {
+	if !l.sb.Drained() {
+		return cycle + 1
+	}
+	return -1
+}
 
 // SBFull reports whether the store buffer cannot accept another store
 // (probe stall attribution).

@@ -1,6 +1,7 @@
 package memsys
 
 import (
+	"rats/internal/core"
 	"rats/internal/probe"
 	"rats/internal/sim/cache"
 	"rats/internal/sim/noc"
@@ -84,82 +85,100 @@ func (b *L2Bank) serveLine(cycle int64, line uint64, dirty bool, txn int64) int6
 	return ready
 }
 
-func (b *L2Bank) send(cycle int64, dst, flits int, txn int64, payload any) {
-	b.env.Mesh.Send(cycle, noc.Message{Src: b.node, Dst: dst, Flits: flits, Txn: txn, Payload: payload})
+func (b *L2Bank) send(cycle int64, dst, flits int, txn int64, p noc.Payload) {
+	b.env.Mesh.Send(cycle, noc.Message{Src: b.node, Dst: dst, Flits: flits, Txn: txn, Payload: p})
 }
 
+// NextWork implements the wake-hint contract for the driver's
+// fast-forward. An L2 bank has no clocked loop at all: it acts only
+// when Handle delivers a request (a mesh arrival) or a deferred
+// continuation fires (a scheduled event), and both of those force the
+// driver to process the cycle anyway. Hence always -1.
+func (b *L2Bank) NextWork(cycle int64) int64 { return -1 }
+
 // Handle processes one delivered network request at the given cycle.
-func (b *L2Bank) Handle(cycle int64, payload any) {
+func (b *L2Bank) Handle(cycle int64, p noc.Payload) {
 	if f := b.env.Fault; f != nil {
 		if until := f.L2StallUntil(cycle); until > cycle {
 			// Injected bank stall storm: the bank is unavailable until the
 			// window ends; deferral preserves arrival order (same-cycle
 			// events run FIFO), so this perturbs timing only.
-			b.env.At(until, func(c int64) { b.Handle(c, payload) })
+			b.env.At(until, deferCall(func(c int64) { b.Handle(c, p) }))
 			return
 		}
 	}
 	cfg := b.env.Cfg
 	st := b.env.Stats
-	switch m := payload.(type) {
-	case readReq:
+	switch p.Kind {
+	case pkReadReq:
 		st.L2Accesses++
-		if owner := b.Owner(m.Line); cfg.Protocol == ProtoDeNovo && owner >= 0 && owner != m.Requester {
+		if owner := b.Owner(p.Line); cfg.Protocol == ProtoDeNovo && owner >= 0 && owner != p.Requester {
 			// Three-hop: ask the owning L1 to supply the requester.
 			st.RemoteL1Forwards++
-			b.emit(cycle, probe.RemoteForward, m.Txn, m.Line*cfg.LineSize, int64(owner))
-			b.send(cycle+cfg.L2TagLat, owner, cfg.ControlFlits, m.Txn, fwdRead{Line: m.Line, Requester: m.Requester, Txn: m.Txn})
+			b.emit(cycle, probe.RemoteForward, p.Txn, p.Line*cfg.LineSize, int64(owner))
+			b.send(cycle+cfg.L2TagLat, owner, cfg.ControlFlits, p.Txn,
+				noc.Payload{Kind: pkFwdRead, Line: p.Line, Requester: p.Requester, Txn: p.Txn})
 			return
 		}
-		ready := b.serveLine(cycle, m.Line, false, m.Txn)
-		b.send(ready, m.Requester, cfg.DataFlits, m.Txn, readResp{Line: m.Line, Txn: m.Txn})
+		ready := b.serveLine(cycle, p.Line, false, p.Txn)
+		b.send(ready, p.Requester, cfg.DataFlits, p.Txn,
+			noc.Payload{Kind: pkReadResp, Line: p.Line, Txn: p.Txn})
 
-	case ownReq:
+	case pkOwnReq:
 		st.L2Accesses++
 		st.OwnershipRequests++
-		prev := b.Owner(m.Line)
-		b.registry[m.Line] = m.Requester
-		if prev >= 0 && prev != m.Requester {
+		prev := b.Owner(p.Line)
+		b.registry[p.Line] = p.Requester
+		if prev >= 0 && prev != p.Requester {
 			st.RemoteL1Forwards++
-			b.emit(cycle, probe.RemoteForward, m.Txn, m.Line*cfg.LineSize, int64(prev))
-			b.send(cycle+cfg.L2TagLat, prev, cfg.ControlFlits, m.Txn, fwdOwn{Line: m.Line, Requester: m.Requester, Txn: m.Txn})
+			b.emit(cycle, probe.RemoteForward, p.Txn, p.Line*cfg.LineSize, int64(prev))
+			b.send(cycle+cfg.L2TagLat, prev, cfg.ControlFlits, p.Txn,
+				noc.Payload{Kind: pkFwdOwn, Line: p.Line, Requester: p.Requester, Txn: p.Txn})
 			return
 		}
-		b.emit(cycle, probe.OwnershipGrant, m.Txn, m.Line*cfg.LineSize, int64(m.Requester))
-		ready := b.serveLine(cycle, m.Line, false, m.Txn)
-		b.send(ready, m.Requester, cfg.DataFlits, m.Txn, ownResp{Line: m.Line, Txn: m.Txn})
+		b.emit(cycle, probe.OwnershipGrant, p.Txn, p.Line*cfg.LineSize, int64(p.Requester))
+		ready := b.serveLine(cycle, p.Line, false, p.Txn)
+		b.send(ready, p.Requester, cfg.DataFlits, p.Txn,
+			noc.Payload{Kind: pkOwnResp, Line: p.Line, Txn: p.Txn})
 
-	case wtReq:
+	case pkWtReq:
 		st.L2Accesses++
-		ready := b.serveLine(cycle, m.Line, true, 0)
-		b.send(ready, m.Requester, cfg.ControlFlits, 0, wtAck{Line: m.Line})
+		ready := b.serveLine(cycle, p.Line, true, 0)
+		b.send(ready, p.Requester, cfg.ControlFlits, 0,
+			noc.Payload{Kind: pkWtAck, Line: p.Line})
 
-	case wbReq:
+	case pkWbReq:
 		st.L2Accesses++
-		if b.Owner(m.Line) == m.Requester {
-			delete(b.registry, m.Line)
+		if b.Owner(p.Line) == p.Requester {
+			delete(b.registry, p.Line)
 		}
-		b.serveLine(cycle, m.Line, true, 0)
+		b.serveLine(cycle, p.Line, true, 0)
 
-	case atomicReq:
+	case pkAtomicReq:
+		// Payload carries the word address in Line for atomics.
 		st.L2Accesses++
-		ready := b.serveLine(cycle, m.Addr/cfg.LineSize, true, m.ID)
+		ready := b.serveLine(cycle, p.Line/cfg.LineSize, true, p.Txn)
 		start := ready
 		if b.atomicFree > start {
 			start = b.atomicFree
 		}
 		done := start + cfg.L2AtomicOccupancy
 		b.atomicFree = done
-		req := m
-		b.env.At(done, func(c int64) {
-			st.Atomics++
-			st.AtomicsAtL2++
-			b.emit(c, probe.AtomicPerformed, req.ID, req.Addr, req.ID)
-			old := b.env.ApplyAtomic(req.Addr, req.AOp, req.Operand)
-			b.send(c, req.Requester, cfg.ControlFlits, req.ID, atomicResp{ID: req.ID, Value: old})
-		})
+		b.env.At(done, Deferred{kind: deferL2Atomic, l2: b, pkt: p})
 
 	default:
 		panic("memsys: L2 bank received unknown message")
 	}
+}
+
+// fireAtomic performs a GPU-coherence atomic at the bank atomic unit and
+// replies with the old value.
+func (b *L2Bank) fireAtomic(cycle int64, p noc.Payload) {
+	st := b.env.Stats
+	st.Atomics++
+	st.AtomicsAtL2++
+	b.emit(cycle, probe.AtomicPerformed, p.Txn, p.Line, p.Txn)
+	old := b.env.ApplyAtomic(p.Line, core.AtomicOp(p.Op), p.Operand)
+	b.send(cycle, p.Requester, b.env.Cfg.ControlFlits, p.Txn,
+		noc.Payload{Kind: pkAtomicResp, Txn: p.Txn, Operand: old})
 }

@@ -26,7 +26,7 @@ type rig struct {
 type rigEvent struct {
 	cycle int64
 	seq   int64
-	fn    func(int64)
+	d     Deferred
 }
 type evq []rigEvent
 
@@ -46,12 +46,12 @@ func newRig(proto Protocol) *rig {
 	r.mesh = noc.NewMesh(r.cfg.MeshWidth, r.cfg.MeshHeight, r.cfg.HopLat, &r.st)
 	r.env = &Env{
 		Cfg: &r.cfg, Mesh: r.mesh, Stats: &r.st, Values: map[uint64]int64{},
-		At: func(c int64, fn func(int64)) {
+		At: func(c int64, d Deferred) {
 			if c <= r.cycle {
 				c = r.cycle + 1
 			}
 			r.seq++
-			heap.Push(&r.evs, rigEvent{cycle: c, seq: r.seq, fn: fn})
+			heap.Push(&r.evs, rigEvent{cycle: c, seq: r.seq, d: d})
 		},
 	}
 	for n := 0; n < r.cfg.Nodes(); n++ {
@@ -76,7 +76,7 @@ func (r *rig) step() {
 	r.cycle++
 	for r.evs.Len() > 0 && r.evs[0].cycle <= r.cycle {
 		e := heap.Pop(&r.evs).(rigEvent)
-		e.fn(r.cycle)
+		e.d.Fire(r.cycle)
 	}
 	r.mesh.Tick(r.cycle)
 	for _, l1 := range r.l1s {
@@ -108,7 +108,7 @@ func (r *rig) run(t *testing.T, bound int64) {
 func atomicTxn(addr uint64, done *int) *Txn {
 	return &Txn{
 		Kind: TxnAtomic, Addr: addr, Class: core.Commutative, AOp: core.OpInc,
-		Done: func(int64, int64) { *done++ },
+		Done: DoneFunc(func(int64, int64) { *done++ }),
 	}
 }
 
@@ -158,7 +158,7 @@ func TestReadThenWriteUpgrade(t *testing.T) {
 	loads, atomics := 0, 0
 	r.l1s[0].TryIssue(r.cycle, &Txn{
 		Kind: TxnLoad, Addr: addr, Class: core.Data, AOp: core.OpLoad,
-		Done: func(int64, int64) { loads++ },
+		Done: DoneFunc(func(int64, int64) { loads++ }),
 	})
 	// Same cycle: an atomic to the same line joins the read entry.
 	if !r.l1s[0].TryIssue(r.cycle, atomicTxn(addr, &atomics)) {
@@ -191,7 +191,7 @@ func TestFwdReadKeepsOwnership(t *testing.T) {
 	loaded := 0
 	r.l1s[6].TryIssue(r.cycle, &Txn{
 		Kind: TxnLoad, Addr: addr, Class: core.Data, AOp: core.OpLoad,
-		Done: func(_ int64, v int64) { loaded++; _ = v },
+		Done: DoneFunc(func(_ int64, v int64) { loaded++; _ = v }),
 	})
 	r.run(t, 2000)
 	if loaded != 1 {
@@ -217,7 +217,7 @@ func TestGPUAtomicRoundTrip(t *testing.T) {
 	var got int64 = -1
 	r.l1s[0].TryIssue(r.cycle, &Txn{
 		Kind: TxnAtomic, Addr: addr, Class: core.Commutative, AOp: core.OpInc,
-		Done: func(_ int64, v int64) { got = v },
+		Done: DoneFunc(func(_ int64, v int64) { got = v }),
 	})
 	r.run(t, 2000)
 	if got != 41 {
@@ -236,7 +236,7 @@ func TestGPUAtomicRoundTrip(t *testing.T) {
 func TestStoreBufferFlushCallback(t *testing.T) {
 	r := newRig(ProtoGPU)
 	l1 := r.l1s[4]
-	l1.TryIssue(r.cycle, &Txn{Kind: TxnStore, Addr: 0x3000, Class: core.Data, AOp: core.OpStore, Done: func(int64, int64) {}})
+	l1.TryIssue(r.cycle, &Txn{Kind: TxnStore, Addr: 0x3000, Class: core.Data, AOp: core.OpStore, Done: DoneFunc(func(int64, int64) {})})
 	flushed := int64(-1)
 	l1.Flush(r.cycle, func(c int64) { flushed = c })
 	if flushed >= 0 {
@@ -266,7 +266,7 @@ func TestAcquireInvalidatePolicies(t *testing.T) {
 		line := addr / r.cfg.LineSize
 		n := 0
 		if proto == ProtoGPU {
-			r.l1s[0].TryIssue(r.cycle, &Txn{Kind: TxnLoad, Addr: addr, Class: core.Data, AOp: core.OpLoad, Done: func(int64, int64) { n++ }})
+			r.l1s[0].TryIssue(r.cycle, &Txn{Kind: TxnLoad, Addr: addr, Class: core.Data, AOp: core.OpLoad, Done: DoneFunc(func(int64, int64) { n++ })})
 		} else {
 			r.l1s[0].TryIssue(r.cycle, atomicTxn(addr, &n))
 		}

@@ -1,95 +1,86 @@
 package memsys
 
-import "rats/internal/core"
+import "rats/internal/sim/noc"
 
-// Network message payloads. All requests carry the requester's node so
-// responses (and three-hop forwards) can be routed back, and the
-// originating transaction's id (Txn, 0 when none — e.g. store-buffer
-// drains whose transaction already completed) so the latency-span layer
-// can attribute protocol legs end-to-end.
-
-// readReq asks the home L2 bank for a readable copy of a line.
-type readReq struct {
-	Line      uint64
-	Requester int
-	Txn       int64
-}
-
-// readResp delivers a readable copy (from the L2 bank or, under DeNovo,
-// directly from a remote owning L1).
-type readResp struct {
-	Line uint64
-	Txn  int64
-}
-
-// ownReq asks the home L2 bank for ownership of a line (DeNovo stores and
-// atomics).
-type ownReq struct {
-	Line      uint64
-	Requester int
-	Txn       int64
-}
-
-// ownResp grants ownership (from the bank or the previous owner).
-type ownResp struct {
-	Line uint64
-	Txn  int64
-}
-
-// fwdRead asks a remote owning L1 to send a copy to the requester (the
-// owner keeps its registration).
-type fwdRead struct {
-	Line      uint64
-	Requester int
-	Txn       int64
-}
-
-// fwdOwn asks a remote owning L1 to yield ownership to the requester.
-type fwdOwn struct {
-	Line      uint64
-	Requester int
-	Txn       int64
-}
-
-// wtReq is a GPU-coherence write-through of one line's dirty words.
-type wtReq struct {
-	Line      uint64
-	Requester int
-}
-
-// wtAck acknowledges a write-through (store-buffer flush accounting).
-type wtAck struct {
-	Line uint64
-}
-
-// wbReq writes an evicted owned line back to the L2 (DeNovo), clearing
-// the registration.
-type wbReq struct {
-	Line      uint64
-	Requester int
-}
-
-// atomicReq performs an atomic at the home L2 bank (GPU coherence).
-type atomicReq struct {
-	ID        int64
-	Addr      uint64
-	AOp       core.AtomicOp
-	Operand   int64
-	Requester int
-}
-
-// atomicResp returns the atomic's old value.
-type atomicResp struct {
-	ID    int64
-	Value int64
-}
+// Network message kinds, carried in noc.Payload.Kind. The payload is a
+// by-value union (no per-message boxing on the Send path); the field
+// mapping per kind is:
+//
+//	Line      — the line address (the word address for atomics)
+//	Requester — the node a response (or three-hop forward) routes back to
+//	Txn       — the originating transaction's id (0 when none, e.g.
+//	            store-buffer drains whose transaction already completed);
+//	            doubles as the atomic request id
+//	Op        — the core.AtomicOp for atomic requests
+//	Operand   — the atomic operand (requests) or old value (responses)
+const (
+	// pkReadReq asks the home L2 bank for a readable copy of a line.
+	pkReadReq uint8 = iota + 1
+	// pkReadResp delivers a readable copy (from the L2 bank or, under
+	// DeNovo, directly from a remote owning L1).
+	pkReadResp
+	// pkOwnReq asks the home L2 bank for ownership of a line (DeNovo
+	// stores and atomics).
+	pkOwnReq
+	// pkOwnResp grants ownership (from the bank or the previous owner).
+	pkOwnResp
+	// pkFwdRead asks a remote owning L1 to send a copy to the requester
+	// (the owner keeps its registration).
+	pkFwdRead
+	// pkFwdOwn asks a remote owning L1 to yield ownership to the
+	// requester.
+	pkFwdOwn
+	// pkWtReq is a GPU-coherence write-through of one line's dirty words.
+	pkWtReq
+	// pkWtAck acknowledges a write-through (store-buffer flush
+	// accounting).
+	pkWtAck
+	// pkWbReq writes an evicted owned line back to the L2 (DeNovo),
+	// clearing the registration.
+	pkWbReq
+	// pkAtomicReq performs an atomic at the home L2 bank (GPU coherence).
+	pkAtomicReq
+	// pkAtomicResp returns the atomic's old value.
+	pkAtomicResp
+)
 
 // IsL2Request reports whether a network payload is served by the L2 bank
 // (as opposed to an L1 controller).
-func IsL2Request(payload any) bool {
-	switch payload.(type) {
-	case readReq, ownReq, wtReq, wbReq, atomicReq:
+func IsL2Request(p noc.Payload) bool {
+	switch p.Kind {
+	case pkReadReq, pkOwnReq, pkWtReq, pkWbReq, pkAtomicReq:
 		return true
 	}
 	return false
+}
+
+// PayloadName renders a payload kind for liveness diagnostics (registered
+// with the mesh by the system driver). The names match the concrete
+// payload types this package used before the by-value union.
+func PayloadName(p noc.Payload) string {
+	switch p.Kind {
+	case pkReadReq:
+		return "memsys.readReq"
+	case pkReadResp:
+		return "memsys.readResp"
+	case pkOwnReq:
+		return "memsys.ownReq"
+	case pkOwnResp:
+		return "memsys.ownResp"
+	case pkFwdRead:
+		return "memsys.fwdRead"
+	case pkFwdOwn:
+		return "memsys.fwdOwn"
+	case pkWtReq:
+		return "memsys.wtReq"
+	case pkWtAck:
+		return "memsys.wtAck"
+	case pkWbReq:
+		return "memsys.wbReq"
+	case pkAtomicReq:
+		return "memsys.atomicReq"
+	case pkAtomicResp:
+		return "memsys.atomicResp"
+	}
+	return ""
 }

@@ -7,7 +7,6 @@
 package noc
 
 import (
-	"container/heap"
 	"fmt"
 	"sort"
 
@@ -15,6 +14,28 @@ import (
 	"rats/internal/probe"
 	"rats/internal/stats"
 )
+
+// Payload is the by-value body of a Message. The mesh treats it as opaque
+// packet bits: the endpoints (package memsys) define the Kind codes and
+// the meaning of each field, and register a namer for diagnostics. A
+// fixed-shape struct rather than an interface keeps Send/Tick free of
+// per-message boxing allocations on the simulator's hottest path.
+type Payload struct {
+	// Kind is the endpoint-defined message type code (0 is reserved for
+	// "no payload").
+	Kind uint8
+	// Op is an endpoint-defined operation code (e.g. an atomic op).
+	Op uint8
+	// Requester is the node a response should be routed back to.
+	Requester int
+	// Line is the address the message concerns (line or word granular,
+	// per Kind).
+	Line uint64
+	// Txn is the endpoint-level transaction or request id.
+	Txn int64
+	// Operand carries a kind-specific value (atomic operand or result).
+	Operand int64
+}
 
 // Message is one network transfer.
 type Message struct {
@@ -26,7 +47,7 @@ type Message struct {
 	// attribution, or 0 (e.g. writebacks, store-buffer drains).
 	Txn int64
 	// Payload is delivered to the destination's receiver.
-	Payload any
+	Payload Payload
 }
 
 // link identifies a directed link between adjacent nodes.
@@ -41,18 +62,56 @@ type inflight struct {
 	dup bool
 }
 
+// pq is a hand-rolled binary min-heap of in-flight messages, ordered by
+// (arrival, seq). container/heap's interface would box every element
+// through `any` on Push/Pop — one allocation per message in each
+// direction — so the sift loops are written out against the concrete
+// element type instead.
 type pq []inflight
 
-func (p pq) Len() int { return len(p) }
-func (p pq) Less(i, j int) bool {
+func (p pq) less(i, j int) bool {
 	if p[i].arrival != p[j].arrival {
 		return p[i].arrival < p[j].arrival
 	}
 	return p[i].seq < p[j].seq
 }
-func (p pq) Swap(i, j int) { p[i], p[j] = p[j], p[i] }
-func (p *pq) Push(x any)   { *p = append(*p, x.(inflight)) }
-func (p *pq) Pop() any     { old := *p; n := len(old); v := old[n-1]; *p = old[:n-1]; return v }
+
+func (p *pq) push(f inflight) {
+	q := append(*p, f)
+	*p = q
+	for i := len(q) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			break
+		}
+		q[i], q[parent] = q[parent], q[i]
+		i = parent
+	}
+}
+
+func (p *pq) pop() inflight {
+	q := *p
+	top := q[0]
+	n := len(q) - 1
+	q[0] = q[n]
+	q = q[:n]
+	*p = q
+	for i := 0; ; {
+		s := i
+		if l := 2*i + 1; l < n && q.less(l, s) {
+			s = l
+		}
+		if r := 2*i + 2; r < n && q.less(r, s) {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		q[i], q[s] = q[s], q[i]
+		i = s
+	}
+	return top
+}
 
 // Mesh is the interconnect.
 type Mesh struct {
@@ -68,7 +127,13 @@ type Mesh struct {
 	stats    *stats.Stats
 	probe    *probe.Hub
 	fault    *fault.Injector
+	// kindName renders a payload's Kind for diagnostics (set by the
+	// endpoint package, which defines the codes).
+	kindName func(Payload) string
 }
+
+// SetPayloadNamer registers the diagnostic renderer for payload kinds.
+func (m *Mesh) SetPayloadNamer(fn func(Payload) string) { m.kindName = fn }
 
 // AttachProbe routes enqueue/hop/deliver events to the hub.
 func (m *Mesh) AttachProbe(h *probe.Hub) { m.probe = h }
@@ -164,7 +229,7 @@ func (m *Mesh) Send(cycle int64, msg Message) {
 		}
 	}
 	m.stats.NoCMessages++
-	heap.Push(&m.inbox, inflight{arrival: t, seq: m.seq, msg: msg})
+	m.inbox.push(inflight{arrival: t, seq: m.seq, msg: msg})
 	if f := m.fault; f != nil && f.Duplicate() {
 		// The duplicate traverses (and occupies) the links like a real
 		// message — a pure timing perturbation — and is dropped at
@@ -172,7 +237,7 @@ func (m *Mesh) Send(cycle int64, msg Message) {
 		m.seq++
 		td := m.route(cycle, msg, m.seq)
 		m.stats.NoCMessages++
-		heap.Push(&m.inbox, inflight{arrival: td, seq: m.seq, msg: msg, dup: true})
+		m.inbox.push(inflight{arrival: td, seq: m.seq, msg: msg, dup: true})
 		if h := m.probe; h != nil {
 			h.Emit(probe.Event{Cycle: cycle, Comp: probe.CompNoC, Node: msg.Src, Warp: -1,
 				Kind: probe.FaultInjected, Txn: msg.Txn, Msg: m.seq, Arg: 1})
@@ -181,12 +246,30 @@ func (m *Mesh) Send(cycle int64, msg Message) {
 }
 
 // route books the message across its XY path, advancing per-link
-// free times, and returns the delivery cycle.
+// free times, and returns the delivery cycle. The walk mirrors Route but
+// is inlined hop by hop: materializing the path as a slice allocated on
+// every message, which dominated the simulator's allocation profile.
 func (m *Mesh) route(cycle int64, msg Message, seq int64) int64 {
+	if msg.Src < 0 || msg.Dst < 0 || msg.Src >= m.Nodes() || msg.Dst >= m.Nodes() {
+		panic(fmt.Sprintf("noc: route %d -> %d out of range", msg.Src, msg.Dst))
+	}
 	t := cycle
 	if msg.Src != msg.Dst {
+		x, y := m.xy(msg.Src)
+		dx, dy := m.xy(msg.Dst)
 		prev := msg.Src
-		for _, next := range m.Route(msg.Src, msg.Dst) {
+		for x != dx || y != dy {
+			switch {
+			case x < dx:
+				x++
+			case x > dx:
+				x--
+			case y < dy:
+				y++
+			default:
+				y--
+			}
+			next := y*m.Width + x
 			l := link{prev, next}
 			depart := t
 			if nf := m.nextFree[l]; nf > depart {
@@ -210,8 +293,8 @@ func (m *Mesh) route(cycle int64, msg Message, seq int64) int64 {
 
 // Tick delivers every message whose arrival time has been reached.
 func (m *Mesh) Tick(cycle int64) {
-	for m.inbox.Len() > 0 && m.inbox[0].arrival <= cycle {
-		f := heap.Pop(&m.inbox).(inflight)
+	for len(m.inbox) > 0 && m.inbox[0].arrival <= cycle {
+		f := m.inbox.pop()
 		if f.dup {
 			// Injected duplicate: consumed bandwidth, dropped here.
 			continue
@@ -229,22 +312,28 @@ func (m *Mesh) Tick(cycle int64) {
 }
 
 // Pending reports whether messages are still in flight.
-func (m *Mesh) Pending() bool { return m.inbox.Len() > 0 }
+func (m *Mesh) Pending() bool { return len(m.inbox) > 0 }
 
 // NextArrival returns the earliest in-flight arrival cycle, or -1.
 func (m *Mesh) NextArrival() int64 {
-	if m.inbox.Len() == 0 {
+	if len(m.inbox) == 0 {
 		return -1
 	}
 	return m.inbox[0].arrival
 }
+
+// NextWork is the mesh's wake hint: delivering in-flight messages is its
+// only self-driven work, so the earliest arrival is the next cycle it
+// needs to be ticked (-1 when nothing is in flight).
+func (m *Mesh) NextWork(cycle int64) int64 { return m.NextArrival() }
 
 // MsgDiag is one in-flight message's snapshot for liveness diagnostics.
 type MsgDiag struct {
 	Src, Dst int
 	Flits    int
 	Arrival  int64
-	// Payload is the payload's concrete type name (e.g. memsys.readReq).
+	// Payload is the payload's rendered name (e.g. memsys.readReq), via
+	// the registered namer, or "kind(N)" when none is set.
 	Payload string
 	Dup     bool
 }
@@ -253,9 +342,16 @@ type MsgDiag struct {
 func (m *Mesh) InFlight() []MsgDiag {
 	out := make([]MsgDiag, 0, len(m.inbox))
 	for _, f := range m.inbox {
+		name := ""
+		if m.kindName != nil {
+			name = m.kindName(f.msg.Payload)
+		}
+		if name == "" {
+			name = fmt.Sprintf("kind(%d)", f.msg.Payload.Kind)
+		}
 		out = append(out, MsgDiag{
 			Src: f.msg.Src, Dst: f.msg.Dst, Flits: f.msg.Flits,
-			Arrival: f.arrival, Payload: fmt.Sprintf("%T", f.msg.Payload), Dup: f.dup,
+			Arrival: f.arrival, Payload: name, Dup: f.dup,
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Arrival < out[j].Arrival })

@@ -48,7 +48,7 @@ func TestHops(t *testing.T) {
 
 func TestDeliveryLatency(t *testing.T) {
 	m, _, delivered := newTestMesh(2)
-	m.Send(0, Message{Src: 0, Dst: 15, Flits: 1, Payload: "x"})
+	m.Send(0, Message{Src: 0, Dst: 15, Flits: 1, Payload: Payload{Txn: 1}})
 	// 6 hops x 2 cycles = arrival at 12.
 	for c := int64(0); c < 12; c++ {
 		m.Tick(c)
@@ -64,7 +64,7 @@ func TestDeliveryLatency(t *testing.T) {
 
 func TestLocalDelivery(t *testing.T) {
 	m, _, delivered := newTestMesh(2)
-	m.Send(0, Message{Src: 7, Dst: 7, Flits: 1, Payload: "local"})
+	m.Send(0, Message{Src: 7, Dst: 7, Flits: 1, Payload: Payload{Txn: 1}})
 	m.Tick(2)
 	if len(*delivered) != 1 {
 		t.Fatal("local message not delivered after router traversal")
@@ -75,8 +75,8 @@ func TestLinkContention(t *testing.T) {
 	m, _, delivered := newTestMesh(1)
 	// Two 5-flit messages over the same single link (0 -> 1): the second
 	// serializes behind the first.
-	m.Send(0, Message{Src: 0, Dst: 1, Flits: 5, Payload: 1})
-	m.Send(0, Message{Src: 0, Dst: 1, Flits: 5, Payload: 2})
+	m.Send(0, Message{Src: 0, Dst: 1, Flits: 5, Payload: Payload{Txn: 1}})
+	m.Send(0, Message{Src: 0, Dst: 1, Flits: 5, Payload: Payload{Txn: 2}})
 	m.Tick(1)
 	if len(*delivered) != 1 {
 		t.Fatalf("first message should arrive at hop latency; got %d", len(*delivered))
@@ -93,7 +93,7 @@ func TestLinkContention(t *testing.T) {
 
 func TestFlitHopAccounting(t *testing.T) {
 	m, st, _ := newTestMesh(2)
-	m.Send(0, Message{Src: 0, Dst: 3, Flits: 5, Payload: "d"})
+	m.Send(0, Message{Src: 0, Dst: 3, Flits: 5, Payload: Payload{Txn: 1}})
 	if st.NoCFlitHops != 15 { // 3 hops x 5 flits
 		t.Errorf("flit-hops = %d, want 15", st.NoCFlitHops)
 	}
@@ -105,13 +105,13 @@ func TestFlitHopAccounting(t *testing.T) {
 func TestFIFOPerArrivalCycle(t *testing.T) {
 	m, _, delivered := newTestMesh(1)
 	// Same-cycle arrivals must deliver in send order (deterministic).
-	m.Send(0, Message{Src: 4, Dst: 5, Flits: 1, Payload: 1})
-	m.Send(0, Message{Src: 6, Dst: 5, Flits: 1, Payload: 2})
+	m.Send(0, Message{Src: 4, Dst: 5, Flits: 1, Payload: Payload{Txn: 1}})
+	m.Send(0, Message{Src: 6, Dst: 5, Flits: 1, Payload: Payload{Txn: 2}})
 	m.Tick(10)
 	if len(*delivered) != 2 {
 		t.Fatal("both should arrive")
 	}
-	if (*delivered)[0].Payload.(int) != 1 || (*delivered)[1].Payload.(int) != 2 {
+	if (*delivered)[0].Payload.Txn != 1 || (*delivered)[1].Payload.Txn != 2 {
 		t.Error("delivery order not FIFO by send sequence")
 	}
 }
@@ -147,7 +147,7 @@ func TestDeliveryIsComplete(t *testing.T) {
 		for n := 0; n < m.Nodes(); n++ {
 			m.SetReceiver(n, func(msg Message) {
 				count++
-				i := msg.Payload.(int)
+				i := int(msg.Payload.Txn)
 				recs[i].arrived = 1
 			})
 		}
@@ -164,7 +164,7 @@ func TestDeliveryIsComplete(t *testing.T) {
 		for i := 0; i < N; i++ {
 			src, dst := next(16), next(16)
 			recs = append(recs, rec{src: src, dst: dst})
-			m.Send(int64(i), Message{Src: src, Dst: dst, Flits: 1 + next(5), Payload: i})
+			m.Send(int64(i), Message{Src: src, Dst: dst, Flits: 1 + next(5), Payload: Payload{Txn: int64(i)}})
 		}
 		for c := int64(0); c <= 100000 && m.Pending(); c++ {
 			m.Tick(c)

@@ -1,0 +1,83 @@
+package system
+
+import (
+	"runtime"
+	"testing"
+
+	"rats/internal/core"
+	"rats/internal/sim/memsys"
+	"rats/internal/trace"
+	"rats/internal/workloads"
+)
+
+// idleHeavyTrace builds the fast-forward showcase: warps chasing
+// dependent DRAM misses, so the machine spends the vast majority of
+// cycles waiting on one in-flight load. Event-driven skipping should
+// collapse those waits; the cycles/sec metric is the headline number.
+func idleHeavyTrace() *trace.Trace {
+	tr := &trace.Trace{Name: "idle-heavy"}
+	for c := 0; c < 4; c++ {
+		w := &trace.Warp{CU: c}
+		base := uint64(0x40_0000 * (c + 1))
+		for i := 0; i < 64; i++ {
+			// Distinct lines: every load misses to DRAM. The Join makes the
+			// next load depend on it, serialising the misses.
+			w.Load(core.Data, base+uint64(i)*0x1000)
+			w.Join()
+		}
+		tr.Warps = append(tr.Warps, w)
+	}
+	return tr
+}
+
+// benchRun drives complete simulations, reporting cycles/sec (the
+// simulator's throughput over simulated time) and steady-state
+// allocs/cycle (measured across Run only, excluding machine
+// construction and trace building).
+func benchRun(b *testing.B, cfg memsys.Config, tr *trace.Trace, skip bool) {
+	b.Helper()
+	b.ReportAllocs()
+	var (
+		cycles     int64
+		runMallocs uint64
+		m0, m1     runtime.MemStats
+	)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s := New(cfg)
+		s.SetCycleSkipping(skip)
+		if err := s.Load(tr); err != nil {
+			b.Fatal(err)
+		}
+		runtime.ReadMemStats(&m0)
+		b.StartTimer()
+		res, err := s.Run()
+		b.StopTimer()
+		runtime.ReadMemStats(&m1)
+		runMallocs += m1.Mallocs - m0.Mallocs
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = res.Stats.Cycles
+		b.StartTimer()
+	}
+	b.StopTimer()
+	totalCycles := float64(cycles) * float64(b.N)
+	b.ReportMetric(totalCycles/b.Elapsed().Seconds(), "cycles/sec")
+	b.ReportMetric(float64(runMallocs)/totalCycles, "allocs/cycle")
+}
+
+// BenchmarkSystemRun measures full-machine simulation throughput.
+// idle-heavy is the event-driven skipping showcase (compare skip vs
+// noskip for the speedup); H is a busy microbenchmark where most cycles
+// have real work, bounding the overhead of computing wake hints.
+func BenchmarkSystemRun(b *testing.B) {
+	idle := idleHeavyTrace()
+	busy := workloads.ByName("H").Build(workloads.Test)
+	cfg := memsys.Default(memsys.ProtoGPU, core.DRF0)
+	b.Run("idle-heavy/skip", func(b *testing.B) { benchRun(b, cfg, idle, true) })
+	b.Run("idle-heavy/noskip", func(b *testing.B) { benchRun(b, cfg, idle, false) })
+	b.Run("H/skip", func(b *testing.B) { benchRun(b, cfg, busy, true) })
+	b.Run("H/noskip", func(b *testing.B) { benchRun(b, cfg, busy, false) })
+}

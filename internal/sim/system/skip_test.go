@@ -1,0 +1,131 @@
+package system
+
+import (
+	"errors"
+	"testing"
+
+	"rats/internal/core"
+	"rats/internal/sim/memsys"
+	"rats/internal/trace"
+	"rats/internal/workloads"
+)
+
+// runSkip builds a machine, toggles cycle skipping, and runs the trace.
+func runSkip(t *testing.T, cfg memsys.Config, tr *trace.Trace, skip bool) *Result {
+	t.Helper()
+	s := New(cfg)
+	s.SetCycleSkipping(skip)
+	if err := s.Load(tr); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestSkipEquivalence pins the wake-hint contract: for every workload ×
+// config in the tier-1 suite, a run with event-driven fast-forwarding
+// produces bit-identical Stats (including the final cycle count) to a
+// cycle-by-cycle run. The skip-off reference processes every cycle in
+// full — any wake hint that wrongly skips a productive cycle diverges
+// an architectural counter here.
+func TestSkipEquivalence(t *testing.T) {
+	for _, e := range workloads.All() {
+		for cfgName, cfg := range allConfigs() {
+			on := runSkip(t, cfg, e.Build(workloads.Test), true)
+			off := runSkip(t, cfg, e.Build(workloads.Test), false)
+			if on.Stats != off.Stats {
+				t.Errorf("%s/%s: stats diverge with cycle skipping\non:  %+v\noff: %+v",
+					e.Name, cfgName, on.Stats, off.Stats)
+			}
+			if on.Stats.Cycles != off.Stats.Cycles {
+				t.Errorf("%s/%s: final cycle %d (skip) vs %d (reference)",
+					e.Name, cfgName, on.Stats.Cycles, off.Stats.Cycles)
+			}
+		}
+	}
+}
+
+// TestSkipEquivalenceUnderFaults repeats the equivalence check with the
+// full metamorphic fault spec active: same seed must mean the same
+// perturbations, timings, and tallies whether or not idle cycles are
+// fast-forwarded (the injector's PRNG is consumed only at processed
+// cycles, and its pressure windows are pure functions of the cycle).
+func TestSkipEquivalenceUnderFaults(t *testing.T) {
+	configs := map[string]memsys.Config{
+		"GPU/DRF0":    memsys.Default(memsys.ProtoGPU, core.DRF0),
+		"DeNovo/DRF1": memsys.Default(memsys.ProtoDeNovo, core.DRF1),
+	}
+	for _, e := range workloads.Micro() {
+		for cfgName, base := range configs {
+			for seed := int64(1); seed <= 2; seed++ {
+				cfg := base
+				cfg.Faults = mustSpec(t, metamorphicSpec)
+				cfg.FaultSeed = seed
+
+				onSys := New(cfg)
+				if err := onSys.Load(e.Build(workloads.Test)); err != nil {
+					t.Fatal(err)
+				}
+				on, err := onSys.Run()
+				if err != nil {
+					t.Fatalf("%s/%s seed %d on: %v", e.Name, cfgName, seed, err)
+				}
+
+				offSys := New(cfg)
+				offSys.SetCycleSkipping(false)
+				if err := offSys.Load(e.Build(workloads.Test)); err != nil {
+					t.Fatal(err)
+				}
+				off, err := offSys.Run()
+				if err != nil {
+					t.Fatalf("%s/%s seed %d off: %v", e.Name, cfgName, seed, err)
+				}
+
+				if on.Stats != off.Stats {
+					t.Errorf("%s/%s seed %d: faulted stats diverge with cycle skipping\non:  %+v\noff: %+v",
+						e.Name, cfgName, seed, on.Stats, off.Stats)
+				}
+				onCounts, _ := onSys.FaultCounts()
+				offCounts, _ := offSys.FaultCounts()
+				if onCounts != offCounts {
+					t.Errorf("%s/%s seed %d: fault tallies diverge\non:  %+v\noff: %+v",
+						e.Name, cfgName, seed, onCounts, offCounts)
+				}
+			}
+		}
+	}
+}
+
+// TestSkipEquivalenceWedgedWatchdog asserts failure timelines match too:
+// a wedged run trips the liveness watchdog at the identical cycle in
+// both modes (wedged warps keep their CU's wake hint hot, so the
+// watchdog window is walked cycle-exactly even when skipping).
+func TestSkipEquivalenceWedgedWatchdog(t *testing.T) {
+	run := func(skip bool) *DiagnosticError {
+		cfg := memsys.Default(memsys.ProtoGPU, core.DRF0)
+		cfg.Faults = mustSpec(t, "wedge:warp=1,from=0")
+		cfg.FaultSeed = 1
+		cfg.WatchdogWindow = 5000
+		s := New(cfg)
+		s.SetCycleSkipping(skip)
+		if err := s.Load(barrierTrace()); err != nil {
+			t.Fatal(err)
+		}
+		_, err := s.Run()
+		var diag *DiagnosticError
+		if !errors.As(err, &diag) {
+			t.Fatalf("wedged run (skip=%v): expected *DiagnosticError, got %v", skip, err)
+		}
+		return diag
+	}
+	on, off := run(true), run(false)
+	if on.Cycle != off.Cycle {
+		t.Errorf("watchdog fired at cycle %d (skip) vs %d (reference)", on.Cycle, off.Cycle)
+	}
+	if on.RetiredOps != off.RetiredOps {
+		t.Errorf("retired ops at failure: %d (skip) vs %d (reference)", on.RetiredOps, off.RetiredOps)
+	}
+}

@@ -5,7 +5,6 @@
 package system
 
 import (
-	"container/heap"
 	"fmt"
 	"strings"
 	"sync/atomic"
@@ -20,30 +19,64 @@ import (
 	"rats/internal/trace"
 )
 
-// event is a scheduled callback.
+// event is a scheduled continuation, ordered by (cycle, seq) so
+// same-cycle events fire in scheduling order (the FIFO contract of
+// Env.At).
 type event struct {
 	cycle int64
 	seq   int64
-	fn    func(int64)
+	d     memsys.Deferred
 }
 
+// eventQueue is a hand-rolled binary min-heap of events. container/heap
+// funnels elements through `any`, boxing every push and pop; the typed
+// heap keeps the scheduler allocation-free in steady state.
 type eventQueue []event
 
 func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
+func (q eventQueue) less(i, j int) bool {
 	if q[i].cycle != q[j].cycle {
 		return q[i].cycle < q[j].cycle
 	}
 	return q[i].seq < q[j].seq
 }
-func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x any)   { *q = append(*q, x.(event)) }
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	v := old[n-1]
-	*q = old[:n-1]
-	return v
+
+func (q *eventQueue) push(e event) {
+	h := append(*q, e)
+	*q = h
+	for i := len(h) - 1; i > 0; {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (q *eventQueue) pop() event {
+	h := *q
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = event{}
+	h = h[:n]
+	*q = h
+	for i := 0; ; {
+		s := i
+		if l := 2*i + 1; l < n && h.less(l, s) {
+			s = l
+		}
+		if r := 2*i + 2; r < n && h.less(r, s) {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		h[i], h[s] = h[s], h[i]
+		i = s
+	}
+	return top
 }
 
 // System is one assembled machine instance.
@@ -63,11 +96,21 @@ type System struct {
 	tr     *trace.Trace
 	probe  *probe.Hub
 	inj    *fault.Injector
+	// skipOff disables fast-forwarding so every cycle is processed — the
+	// reference mode cycle skipping is validated against. quietUntil marks
+	// cycles the skip oracle proved idle: in skip-off mode they are still
+	// processed, but with stall accounting suppressed, so both modes
+	// attribute stalls over the identical set of scheduler-active cycles.
+	skipOff    bool
+	quietUntil int64
 
 	// abortMsg, when set (from any goroutine), makes Run stop at the next
 	// check and return a diagnostic error — the harness's wall-clock
 	// timeout mechanism.
 	abortMsg atomic.Pointer[string]
+
+	// debugHook, when set, runs after every processed cycle (tests only).
+	debugHook func(cycle int64)
 }
 
 // Result is the outcome of a simulation run.
@@ -100,6 +143,7 @@ func New(cfg memsys.Config) *System {
 		node := n
 		s.mesh.SetReceiver(n, func(m noc.Message) { s.deliver(node, m) })
 	}
+	s.mesh.SetPayloadNamer(memsys.PayloadName)
 	if cfg.Faults != nil {
 		s.inj = fault.NewInjector(cfg.Faults, cfg.FaultSeed)
 		s.env.Fault = s.inj
@@ -121,10 +165,17 @@ func (s *System) FaultCounts() (fault.Counts, bool) {
 // Safe to call from another goroutine (wall-clock timeouts).
 func (s *System) Abort(reason string) { s.abortMsg.Store(&reason) }
 
+// SetCycleSkipping toggles the event-driven fast-forward (on by default).
+// With skipping off every cycle is processed individually; results must
+// be identical either way — the equivalence tests pin this.
+func (s *System) SetCycleSkipping(on bool) { s.skipOff = !on }
+
 // AttachProbe enables the observability layer: every component's
-// emission points route to the hub. Call before Run; with no hub
-// attached the simulator takes the nil-check fast path everywhere.
+// emission points route to the hub. Call before Run, after attaching the
+// hub's sinks; with no hub attached — or a hub with no sinks and no
+// sampling — the simulator takes the nil-check fast path everywhere.
 func (s *System) AttachProbe(h *probe.Hub) {
+	h = h.ActiveOrNil()
 	s.probe = h
 	s.env.Probe = h
 	s.mesh.AttachProbe(h)
@@ -133,14 +184,14 @@ func (s *System) AttachProbe(h *probe.Hub) {
 	}
 }
 
-// at schedules fn at the given cycle (clamped to the future so handlers
-// never re-enter the current cycle's processing).
-func (s *System) at(cycle int64, fn func(int64)) {
+// at schedules a deferred continuation at the given cycle (clamped to
+// the future so handlers never re-enter the current cycle's processing).
+func (s *System) at(cycle int64, d memsys.Deferred) {
 	if cycle <= s.cycle {
 		cycle = s.cycle + 1
 	}
 	s.evSeq++
-	heap.Push(&s.events, event{cycle: cycle, seq: s.evSeq, fn: fn})
+	s.events.push(event{cycle: cycle, seq: s.evSeq, d: d})
 }
 
 // deliver routes a network message to the right component: L2 requests go
@@ -199,8 +250,8 @@ func (s *System) Run() (*Result, error) {
 		}
 		// 1. Run scheduled events.
 		for s.events.Len() > 0 && s.events[0].cycle <= s.cycle {
-			e := heap.Pop(&s.events).(event)
-			e.fn(s.cycle)
+			e := s.events.pop()
+			e.d.Fire(s.cycle)
 		}
 		// 2. Deliver network messages.
 		s.mesh.Tick(s.cycle)
@@ -210,9 +261,17 @@ func (s *System) Run() (*Result, error) {
 		}
 		// 4. Device-wide barrier resolution.
 		s.resolveBarrier()
-		// 5. CUs issue.
+		// 5. CUs issue. A cycle is "quiet" when fast-forwarding is disabled
+		// but the wake hints proved it idle: it still runs in full (so an
+		// inexact hint diverges the architectural counters and fails the
+		// equivalence tests) with only stall accounting suppressed, since a
+		// skipped cycle would not have been attributed either.
+		quiet := s.skipOff && s.cycle <= s.quietUntil
 		for _, c := range s.cus {
-			c.Tick(s.cycle)
+			c.Tick(s.cycle, quiet)
+		}
+		if s.debugHook != nil {
+			s.debugHook(s.cycle)
 		}
 		// Always-on invariants: catch corruption as a diagnosed error.
 		if s.stats.CoreOps < prevCoreOps {
@@ -247,8 +306,20 @@ func (s *System) Run() (*Result, error) {
 				return nil, s.diagnose("aborted: " + *msg)
 			}
 		}
-		// 6. Fast-forward over provably idle cycles.
-		s.fastForward()
+		// 6. Fast-forward over provably idle cycles (or, in the skip-off
+		// validation mode, just mark them quiet and walk through them).
+		// Never jump once the machine is done: a hint can outlive the last
+		// retirement (the fault injector reports pressure-window boundaries
+		// unconditionally), and jumping first would inflate the final cycle
+		// count past where the reference mode stops.
+		if s.skipOff {
+			s.quietUntil = s.cycle
+			if next := s.nextWorkCycle(); next > s.cycle+1 {
+				s.quietUntil = next - 1
+			}
+		} else if next := s.nextWorkCycle(); next > s.cycle+1 && !s.done() {
+			s.cycle = next - 1
+		}
 	}
 	// End-of-run invariant: nothing outlives the run.
 	if s.mesh.Pending() {
@@ -453,17 +524,19 @@ func (s *System) done() bool {
 	return true
 }
 
-// resolveBarrier implements the device-wide barrier: when every live warp
-// has arrived and every store buffer has drained, all L1s self-invalidate
-// (barriers carry paired acquire+release semantics under every model) and
-// the warps resume.
-func (s *System) resolveBarrier() {
-	waiting := 0
+// barrierReady reports whether the device-wide barrier can release:
+// every live warp has arrived, every store buffer has drained, and no
+// traffic (write-through acks, atomics) is still settling. Shared by
+// resolveBarrier and the system's own wake hint — the barrier is the one
+// piece of clocked behavior the driver itself owns, so the driver must
+// report it as next-cycle work or fast-forwarding would jump over the
+// release.
+func (s *System) barrierReady() (waiting int, ok bool) {
 	for _, c := range s.cus {
 		waiting += c.BarrierWaiters()
 	}
 	if waiting == 0 {
-		return
+		return 0, false
 	}
 	live := 0
 	for _, c := range s.cus {
@@ -475,15 +548,23 @@ func (s *System) resolveBarrier() {
 		retired += c.RetiredWarps()
 	}
 	if waiting < live-retired {
-		return
+		return waiting, false
 	}
 	for _, l1 := range s.l1s {
 		if !l1.SBDrained() {
-			return
+			return waiting, false
 		}
 	}
-	if s.mesh.Pending() {
-		// Let in-flight traffic (write-through acks, atomics) settle.
+	return waiting, !s.mesh.Pending()
+}
+
+// resolveBarrier implements the device-wide barrier: when every live warp
+// has arrived and every store buffer has drained, all L1s self-invalidate
+// (barriers carry paired acquire+release semantics under every model) and
+// the warps resume.
+func (s *System) resolveBarrier() {
+	waiting, ok := s.barrierReady()
+	if !ok {
 		return
 	}
 	for _, l1 := range s.l1s {
@@ -498,10 +579,15 @@ func (s *System) resolveBarrier() {
 	}
 }
 
-// fastForward advances the clock over cycles where nothing can happen:
-// no CU can issue, so the next interesting cycle is the earliest event,
-// message arrival, or compute completion.
-func (s *System) fastForward() {
+// nextWorkCycle polls every component's NextWork wake hint plus the
+// event queue and returns the earliest cycle anything can make progress
+// on its own, or -1 when the machine is entirely idle (then nothing
+// will ever happen again — the done check or the watchdog ends the
+// run). The driver skips the clock straight to this cycle, so hints
+// must be exact: every cycle a component would act on must be reported.
+// A component that only reacts to deliveries and scheduled events may
+// return -1 unconditionally, because those arrive at processed cycles.
+func (s *System) nextWorkCycle() int64 {
 	next := int64(-1)
 	min := func(t int64) {
 		if t >= 0 && (next < 0 || t < next) {
@@ -509,23 +595,27 @@ func (s *System) fastForward() {
 		}
 	}
 	for _, c := range s.cus {
-		w := c.NextWake(s.cycle)
-		if w >= 0 {
-			min(w)
-		}
+		min(c.NextWork(s.cycle))
 	}
 	for _, l1 := range s.l1s {
-		if !l1.SBDrained() {
-			min(s.cycle + 1)
-		}
+		min(l1.NextWork(s.cycle))
+	}
+	for _, l2 := range s.l2s {
+		min(l2.NextWork(s.cycle))
+	}
+	min(s.mesh.NextWork(s.cycle))
+	if s.inj != nil {
+		min(s.inj.NextWork(s.cycle))
 	}
 	if s.events.Len() > 0 {
 		min(s.events[0].cycle)
 	}
-	min(s.mesh.NextArrival())
-	if next > s.cycle+1 {
-		s.cycle = next - 1
+	// The driver's own clocked work: a resolvable barrier releases at the
+	// next processed cycle.
+	if _, ok := s.barrierReady(); ok {
+		min(s.cycle + 1)
 	}
+	return next
 }
 
 // RunTrace is the one-call convenience API: build, load, run.
@@ -536,3 +626,4 @@ func RunTrace(cfg memsys.Config, tr *trace.Trace) (*Result, error) {
 	}
 	return s.Run()
 }
+

@@ -1,0 +1,132 @@
+#!/usr/bin/env python3
+"""Parse `go test -bench` output into BENCH_*.json and gate regressions.
+
+Usage:
+  benchjson.py parse OUT.json FILE [FILE...]
+      Parse benchmark text output (as produced by `go test -bench ...
+      -benchmem | tee file`) into a JSON report: one entry per benchmark
+      with every reported metric (ns/op, B/op, allocs/op, and custom
+      metrics such as cycles/sec, allocs/cycle, execs).
+
+  benchjson.py check NEW.json BASELINE.json
+      Fail (exit 1) when NEW regresses against BASELINE:
+        * cycles/sec: each benchmark's throughput is normalized by the
+          run's own reference benchmark (BenchmarkSystemRun/H/noskip) to
+          factor out raw machine speed, then compared: a normalized drop
+          of more than 10% fails.
+        * idle-heavy skip/noskip speedup must stay >= 2x (the event-driven
+          skipping acceptance floor; machine-independent).
+        * allocs/cycle on the idle-heavy skip variant must stay <= 0.05
+          (the zero-allocation steady-state floor; machine-independent —
+          the busy H variant is excluded because its short runs are
+          dominated by one-time pool warm-up, not steady state).
+"""
+
+import json
+import re
+import sys
+
+REFERENCE = "BenchmarkSystemRun/H/noskip"
+SPEEDUP_NUM = "BenchmarkSystemRun/idle-heavy/skip"
+SPEEDUP_DEN = "BenchmarkSystemRun/idle-heavy/noskip"
+TOLERANCE = 0.10
+MIN_SPEEDUP = 2.0
+MAX_ALLOCS_PER_CYCLE = 0.05
+
+LINE = re.compile(r"^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$")
+METRIC = re.compile(r"([\d.e+]+)\s+(\S+)")
+
+
+def parse(paths):
+    out = []
+    for path in paths:
+        for line in open(path):
+            m = LINE.match(line.strip())
+            if not m:
+                continue
+            name, iters, rest = m.group(1), int(m.group(2)), m.group(3)
+            metrics = {}
+            for val, unit in METRIC.findall(rest):
+                try:
+                    metrics[unit] = float(val)
+                except ValueError:
+                    continue
+            if metrics:
+                out.append({"name": name, "iterations": iters, "metrics": metrics})
+    return out
+
+
+def by_name(report):
+    return {b["name"]: b["metrics"] for b in report}
+
+
+def check(new, base):
+    newm, basem = by_name(new), by_name(base)
+    failures = []
+
+    def cps(table, name):
+        return table.get(name, {}).get("cycles/sec")
+
+    ref_new, ref_base = cps(newm, REFERENCE), cps(basem, REFERENCE)
+    for name, metrics in basem.items():
+        if "cycles/sec" not in metrics or name not in newm:
+            continue
+        if not ref_new or not ref_base:
+            break
+        base_norm = metrics["cycles/sec"] / ref_base
+        got = cps(newm, name)
+        if got is None:
+            failures.append(f"{name}: cycles/sec metric missing from new run")
+            continue
+        new_norm = got / ref_new
+        if new_norm < (1 - TOLERANCE) * base_norm:
+            failures.append(
+                f"{name}: normalized cycles/sec regressed "
+                f"{base_norm:.3f} -> {new_norm:.3f} (>{TOLERANCE:.0%} drop)"
+            )
+
+    num, den = cps(newm, SPEEDUP_NUM), cps(newm, SPEEDUP_DEN)
+    if num and den:
+        speedup = num / den
+        if speedup < MIN_SPEEDUP:
+            failures.append(
+                f"idle-heavy skip speedup {speedup:.2f}x < {MIN_SPEEDUP}x floor"
+            )
+        print(f"idle-heavy skip speedup: {speedup:.2f}x")
+
+    apc = newm.get(SPEEDUP_NUM, {}).get("allocs/cycle")
+    if apc is not None:
+        print(f"idle-heavy skip allocs/cycle: {apc:.4f}")
+        if apc > MAX_ALLOCS_PER_CYCLE:
+            failures.append(
+                f"{SPEEDUP_NUM}: {apc:.4f} allocs/cycle > {MAX_ALLOCS_PER_CYCLE} floor"
+            )
+
+    for f in failures:
+        print(f"REGRESSION: {f}", file=sys.stderr)
+    return not failures
+
+
+def main():
+    if len(sys.argv) < 4 or sys.argv[1] not in ("parse", "check"):
+        print(__doc__, file=sys.stderr)
+        return 2
+    if sys.argv[1] == "parse":
+        report = parse(sys.argv[3:])
+        if not report:
+            print("no benchmark results parsed", file=sys.stderr)
+            return 1
+        with open(sys.argv[2], "w") as f:
+            json.dump(report, f, indent=2)
+            f.write("\n")
+        print(f"{len(report)} benchmarks -> {sys.argv[2]}")
+        return 0
+    new = json.load(open(sys.argv[2]))
+    base = json.load(open(sys.argv[3]))
+    ok = check(new, base)
+    print("benchmark gate:", "OK" if ok else "FAILED")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())
