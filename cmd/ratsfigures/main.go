@@ -9,6 +9,7 @@
 //	ratsfigures -scale paper    # paper-scale inputs (slower)
 //	ratsfigures -only fig3      # one artifact: fig1|fig3|fig4|table1..table4|summary
 //	ratsfigures -stalls PR-3    # per-config stall attribution for one workload
+//	ratsfigures -litmus         # litmus-suite verdict table via the streaming checker
 //	ratsfigures -latency        # per-config transaction-latency percentiles (microbenchmarks)
 //	ratsfigures -only fig3 -http :6060            # live /progress + /metrics while sweeping
 //	ratsfigures -only fig3 -journal sweep.jsonl   # checkpointed (resumable) sweep
@@ -36,6 +37,7 @@ func main() {
 		scaleName  = flag.String("scale", "test", "workload scale: test or paper")
 		only       = flag.String("only", "", "render a single artifact")
 		stalls     = flag.String("stalls", "", "render the stall-attribution sweep for one workload and exit")
+		litmusTab  = flag.Bool("litmus", false, "render the litmus-suite verdict table (streaming checker) and exit")
 		latency    = flag.Bool("latency", false, "render the per-config transaction-latency sweep over the microbenchmarks and exit")
 		httpAddr   = flag.String("http", "", "serve live /progress, /metrics, and pprof on this address while sweeping")
 		journal    = flag.String("journal", "", "JSONL checkpoint file: completed runs are recorded and restored on rerun")
@@ -111,6 +113,25 @@ func main() {
 			runtime.GC()
 			die(pprof.WriteHeapProfile(f))
 		}()
+	}
+
+	if *litmusTab {
+		fmt.Println("Litmus suite verdicts (streaming race classification)")
+		fmt.Printf("  %-26s %-8s %-8s %-8s\n", "test", "DRF0", "DRF1", "DRFrlx")
+		for _, tc := range litmus.Suite() {
+			fmt.Printf("  %-26s", tc.Prog.Name)
+			for _, m := range core.Models() {
+				v, err := memmodel.CheckProgram(tc.Prog, m)
+				die(err)
+				cell := "illegal"
+				if v.Legal {
+					cell = "legal"
+				}
+				fmt.Printf(" %-8s", cell)
+			}
+			fmt.Println()
+		}
+		return
 	}
 
 	if *stalls != "" {

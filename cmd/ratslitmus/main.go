@@ -6,6 +6,8 @@
 // Usage:
 //
 //	ratslitmus                   # full suite
+//	ratslitmus -j 8              # suite with 8 parallel checkers
+//	ratslitmus -mode materialize # two-phase reference pipeline
 //	ratslitmus -table1           # Table 1 (use cases and applications)
 //	ratslitmus -theorem          # Theorem 3.1 validation only
 //	ratslitmus -file t.litmus    # check a litmus file (with -witness for
@@ -16,6 +18,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strings"
+	"sync"
 
 	"rats/internal/core"
 	"rats/internal/litmus"
@@ -29,11 +34,19 @@ func main() {
 		file    = flag.String("file", "", "check a single litmus file instead of the suite")
 		witness = flag.Bool("witness", false, "with -file: print a witness execution for the first illegal race")
 		infer   = flag.Bool("infer", false, "with -file: infer the cheapest legal atomic labelling")
+		jobs    = flag.Int("j", runtime.GOMAXPROCS(0), "suite-level parallelism (test cases checked concurrently)")
+		mode    = flag.String("mode", "streaming", "analysis pipeline: streaming|materialize")
 	)
 	flag.Parse()
 
+	opts, err := pipelineOptions(*mode)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ratslitmus:", err)
+		os.Exit(2)
+	}
+
 	if *file != "" {
-		checkFile(*file, *witness, *infer)
+		checkFile(*file, *witness, *infer, opts)
 		return
 	}
 
@@ -49,43 +62,101 @@ func main() {
 		return
 	}
 
-	fail := 0
-	for _, tc := range suite {
-		if !*theorem {
-			fmt.Printf("%-26s %s\n", tc.Prog.Name, tc.Notes)
-			for i, m := range core.Models() {
-				v, err := memmodel.CheckProgram(tc.Prog, m)
-				if err != nil {
-					fmt.Fprintln(os.Stderr, "ratslitmus:", err)
-					os.Exit(1)
-				}
-				status := "ok"
-				if v.Legal != tc.Legal[i] {
-					status = "MISMATCH"
-					fail++
-				}
-				fmt.Printf("  %-8s legal=%-5v expected=%-5v %-9s %s\n",
-					m, v.Legal, tc.Legal[i], status, raceSummary(v))
+	// Check test cases on a worker pool. Each case renders its report into
+	// a private buffer, and buffers are printed in suite order, so the
+	// output is deterministic and identical to a serial run regardless of
+	// -j.
+	workers := *jobs
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(suite) {
+		workers = len(suite)
+	}
+	type result struct {
+		out  string
+		fail int
+		err  error
+	}
+	results := make([]result, len(suite))
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out, nfail, err := runCase(suite[i], *theorem, opts)
+				results[i] = result{out: out, fail: nfail, err: err}
 			}
-		}
-		rep, err := memmodel.ValidateTheorem(tc.Prog)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "ratslitmus:", err)
+		}()
+	}
+	for i := range suite {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	fail := 0
+	for _, r := range results {
+		if r.err != nil {
+			fmt.Fprintln(os.Stderr, "ratslitmus:", r.err)
 			os.Exit(1)
 		}
-		ok := !rep.Legal || rep.SystemSC
-		status := "theorem holds"
-		if !ok {
-			status = "THEOREM VIOLATED"
-			fail++
-		}
-		fmt.Printf("  %-8s system results=%d SC results=%d: %s\n", "sys", rep.SystemCount, rep.SCCount, status)
+		fmt.Print(r.out)
+		fail += r.fail
 	}
 	if fail > 0 {
 		fmt.Printf("\n%d mismatches\n", fail)
 		os.Exit(1)
 	}
 	fmt.Println("\nall litmus verdicts match and Theorem 3.1 holds on every legal test")
+}
+
+// pipelineOptions maps the -mode flag onto CheckOptions.
+func pipelineOptions(mode string) (memmodel.CheckOptions, error) {
+	switch mode {
+	case "streaming":
+		return memmodel.CheckOptions{}, nil
+	case "materialize":
+		return memmodel.CheckOptions{Materialize: true}, nil
+	}
+	return memmodel.CheckOptions{}, fmt.Errorf("unknown -mode %q (want streaming or materialize)", mode)
+}
+
+// runCase checks one suite case under every model plus the theorem
+// validation, returning its rendered report and mismatch count.
+func runCase(tc litmus.Case, theoremOnly bool, opts memmodel.CheckOptions) (string, int, error) {
+	var b strings.Builder
+	fail := 0
+	if !theoremOnly {
+		fmt.Fprintf(&b, "%-26s %s\n", tc.Prog.Name, tc.Notes)
+		for i, m := range core.Models() {
+			v, err := memmodel.CheckProgramWith(tc.Prog, m, opts)
+			if err != nil {
+				return "", 0, err
+			}
+			status := "ok"
+			if v.Legal != tc.Legal[i] {
+				status = "MISMATCH"
+				fail++
+			}
+			fmt.Fprintf(&b, "  %-8s legal=%-5v expected=%-5v %-9s %s\n",
+				m, v.Legal, tc.Legal[i], status, raceSummary(v))
+		}
+	}
+	rep, err := memmodel.ValidateTheorem(tc.Prog)
+	if err != nil {
+		return "", 0, err
+	}
+	ok := !rep.Legal || rep.SystemSC
+	status := "theorem holds"
+	if !ok {
+		status = "THEOREM VIOLATED"
+		fail++
+	}
+	fmt.Fprintf(&b, "  %-8s system results=%d SC results=%d: %s\n", "sys", rep.SystemCount, rep.SCCount, status)
+	return b.String(), fail, nil
 }
 
 func raceSummary(v *memmodel.Verdict) string {
@@ -105,7 +176,7 @@ func raceSummary(v *memmodel.Verdict) string {
 }
 
 // checkFile parses and checks one litmus file under all three models.
-func checkFile(path string, witness, infer bool) {
+func checkFile(path string, witness, infer bool, opts memmodel.CheckOptions) {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ratslitmus:", err)
@@ -117,7 +188,7 @@ func checkFile(path string, witness, infer bool) {
 		os.Exit(1)
 	}
 	for _, m := range core.Models() {
-		v, err := memmodel.CheckProgram(p, m)
+		v, err := memmodel.CheckProgramWith(p, m, opts)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ratslitmus:", err)
 			os.Exit(1)

@@ -246,20 +246,27 @@ func (p *Program) SetInit(loc Loc, v int64) { p.Init[loc] = v }
 
 // Locs returns every location touched by the program, sorted.
 func (p *Program) Locs() []Loc {
-	seen := map[Loc]bool{}
-	for l := range p.Init {
-		seen[l] = true
-	}
-	for _, t := range p.Threads {
-		for _, o := range t.Ops {
-			if !o.IsBranch {
-				seen[o.Loc] = true
+	// Programs touch a handful of locations: a linear-scan dedup into one
+	// small slice beats a map and avoids copying each Op to inspect it.
+	out := make([]Loc, 0, len(p.Init))
+	add := func(l Loc) {
+		for _, x := range out {
+			if x == l {
+				return
 			}
 		}
-	}
-	out := make([]Loc, 0, len(seen))
-	for l := range seen {
 		out = append(out, l)
+	}
+	for l := range p.Init {
+		add(l)
+	}
+	for t := range p.Threads {
+		ops := p.Threads[t].Ops
+		for i := range ops {
+			if !ops[i].IsBranch {
+				add(ops[i].Loc)
+			}
+		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out

@@ -533,3 +533,14 @@ func Suite() []Case {
 			Notes: "same-location reads: same-address ordering paths are valid (condition 2), so relaxed coRR is race-free"},
 	}
 }
+
+// ByName returns the suite case with the given program name, or nil.
+func ByName(name string) *Case {
+	for _, tc := range Suite() {
+		if tc.Prog.Name == name {
+			c := tc
+			return &c
+		}
+	}
+	return nil
+}

@@ -11,13 +11,11 @@ import (
 // (quantum-equivalent under DRFrlx — what CheckProgram enumerates).
 func benchProgram(b *testing.B, name string) *litmus.Program {
 	b.Helper()
-	for _, tc := range litmus.Suite() {
-		if tc.Prog.Name == name {
-			return tc.Prog.Under(core.DRFrlx)
-		}
+	tc := litmus.ByName(name)
+	if tc == nil {
+		b.Fatalf("no suite program named %q", name)
 	}
-	b.Fatalf("no suite program named %q", name)
-	return nil
+	return tc.Prog.Under(core.DRFrlx)
 }
 
 func benchEnumerate(b *testing.B, p *litmus.Program, opts EnumOptions) {
@@ -50,6 +48,59 @@ func BenchmarkEnumerate(b *testing.B) {
 		b.Run(name+"/por", func(b *testing.B) {
 			benchEnumerate(b, p, EnumOptions{Quantum: true})
 		})
+	}
+}
+
+// BenchmarkAnalyze measures per-execution race classification on catalog
+// programs: "arena" reuses one Analyzer across executions (the streaming
+// pipeline's steady state — the allocs/op floor the CI gate enforces),
+// "fresh" allocates a new arena per execution (the old behaviour of the
+// package-level Analyze).
+func BenchmarkAnalyze(b *testing.B) {
+	for _, name := range []string{"WorkQueue", "Seqlocks", "Flags_2"} {
+		p := benchProgram(b, name)
+		execs, err := Enumerate(p, EnumOptions{Quantum: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(name+"/arena", func(b *testing.B) {
+			b.ReportAllocs()
+			an := NewAnalyzer()
+			for i := 0; i < b.N; i++ {
+				an.Analyze(execs[i%len(execs)])
+			}
+		})
+		b.Run(name+"/fresh", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				Analyze(execs[i%len(execs)])
+			}
+		})
+	}
+}
+
+// BenchmarkCheckProgram measures whole-program verdicts: "streaming" is
+// the default pipeline (POR enumeration feeding parallel Analyze
+// workers), "materialize" collects every execution first and analyzes
+// serially. Both already use the bitset kernels; EXPERIMENTS.md records
+// the pre-bitset serial baseline these are gated against.
+func BenchmarkCheckProgram(b *testing.B) {
+	for _, name := range []string{"WorkQueue", "Seqlocks", "Flags_2", "IRIW"} {
+		tc := litmus.ByName(name)
+		if tc == nil {
+			b.Fatalf("no suite program named %q", name)
+		}
+		for _, mode := range []string{"streaming", "materialize"} {
+			b.Run(name+"/"+mode, func(b *testing.B) {
+				b.ReportAllocs()
+				opts := CheckOptions{Materialize: mode == "materialize"}
+				for i := 0; i < b.N; i++ {
+					if _, err := CheckProgramWith(tc.Prog, core.DRFrlx, opts); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }
 

@@ -9,10 +9,11 @@
 package memmodel
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
-	"strings"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -63,11 +64,18 @@ type Execution struct {
 	Final map[litmus.Loc]int64
 	// Regs holds each thread's final register file.
 	Regs [][]int64
+
+	// key caches ResultKey; the enumerator fills it at record time from
+	// the layout's presorted location order.
+	key string
 }
 
 // ResultKey serializes the final memory state into a comparable string.
 func (e *Execution) ResultKey() string {
-	return resultKey(e.Final)
+	if e.key == "" {
+		e.key = resultKey(e.Final)
+	}
+	return e.key
 }
 
 func resultKey(final map[litmus.Loc]int64) string {
@@ -76,11 +84,14 @@ func resultKey(final map[litmus.Loc]int64) string {
 		locs = append(locs, string(l))
 	}
 	sort.Strings(locs)
-	var b strings.Builder
+	b := make([]byte, 0, 16*len(locs))
 	for _, l := range locs {
-		fmt.Fprintf(&b, "%s=%d;", l, final[litmus.Loc(l)])
+		b = append(b, l...)
+		b = append(b, '=')
+		b = strconv.AppendInt(b, final[litmus.Loc(l)], 10)
+		b = append(b, ';')
 	}
-	return b.String()
+	return string(b)
 }
 
 // EnumOptions configures execution enumeration.
@@ -97,6 +108,27 @@ type EnumOptions struct {
 	// analyses only need one representative per Mazurkiewicz trace, which
 	// the default mode guarantees.
 	Naive bool
+	// Visit, when non-nil, streams each execution to the callback instead
+	// of accumulating a slice: Enumerate returns (nil, err) and holds no
+	// reference to delivered executions, so memory stays bounded by the
+	// consumer. The callback owns its *Execution. Unless Sequential (or
+	// Naive) is set, Visit is called concurrently from the first-step
+	// worker pool in an unspecified order. Returning ErrStop stops
+	// enumeration cleanly (Enumerate returns nil error); any other error
+	// aborts enumeration and is returned.
+	Visit func(*Execution) error
+	// Sequential disables the parallel first-step fan-out while keeping
+	// partial-order reduction, so Visit callbacks arrive from one
+	// goroutine in the deterministic sequential branch order.
+	Sequential bool
+	// Recycle, when non-nil, supplies previously released executions for
+	// the enumerator to refill instead of allocating fresh ones — the
+	// other half of the Visit streaming contract: once a consumer is done
+	// with a delivered *Execution it may hand it back (e.g. via a
+	// sync.Pool drained by this hook), making the steady-state pipeline
+	// allocation-free. Returning nil falls back to allocation; recycled
+	// executions must originate from the same Enumerate call.
+	Recycle func() *Execution
 }
 
 // DefaultLimit bounds enumeration to keep litmus tests tractable.
@@ -105,25 +137,55 @@ const DefaultLimit = 500_000
 // ErrLimit is returned when enumeration exceeds its execution budget.
 var ErrLimit = fmt.Errorf("memmodel: execution limit exceeded")
 
+// ErrStop, returned by an EnumOptions.Visit callback, stops enumeration
+// early without error: workers drain and Enumerate returns (nil, nil).
+var ErrStop = errors.New("memmodel: stop enumeration")
+
 // eventLayout precomputes the static event numbering of a program.
 type eventLayout struct {
 	// id[t][i] is the event ID of thread t's op i, or -1 for branches.
 	id [][]int
+	// locID[t][i] is the location index of thread t's op i, or -1 for
+	// branches. Indexes locs; the enumerator's memory and last-writer
+	// state are slices over it instead of maps keyed by location name.
+	locID [][]int
+	// locs maps location indices back to names, in Locs() order.
+	locs []litmus.Loc
+	// sortedLoc lists location indices in ascending name order — the
+	// order ResultKey serializes, so record can build keys without
+	// sorting per execution.
+	sortedLoc []int
 	// n is the total number of events.
 	n int
 }
 
 func layout(p *litmus.Program) eventLayout {
 	var l eventLayout
+	l.locs = p.Locs()
+	idx := make(map[litmus.Loc]int, len(l.locs))
+	for i, loc := range l.locs {
+		idx[loc] = i
+	}
+	l.sortedLoc = make([]int, len(l.locs))
+	for i := range l.sortedLoc {
+		l.sortedLoc[i] = i
+	}
+	sort.Slice(l.sortedLoc, func(a, b int) bool {
+		return l.locs[l.sortedLoc[a]] < l.locs[l.sortedLoc[b]]
+	})
 	l.id = make([][]int, len(p.Threads))
+	l.locID = make([][]int, len(p.Threads))
 	for t, th := range p.Threads {
 		l.id[t] = make([]int, len(th.Ops))
+		l.locID[t] = make([]int, len(th.Ops))
 		for i, op := range th.Ops {
 			if op.IsBranch {
 				l.id[t][i] = -1
+				l.locID[t][i] = -1
 				continue
 			}
 			l.id[t][i] = l.n
+			l.locID[t][i] = idx[op.Loc]
 			l.n++
 		}
 	}
@@ -141,13 +203,14 @@ func QuantumDomain(p *litmus.Program) []int64 {
 	for _, v := range p.Init {
 		set[v] = true
 	}
-	for _, t := range p.Threads {
-		for _, o := range t.Ops {
-			if o.IsBranch {
+	for t := range p.Threads {
+		ops := p.Threads[t].Ops
+		for i := range ops {
+			if ops[i].IsBranch {
 				continue
 			}
-			set[o.Operand.Const] = true
-			set[o.Expected.Const] = true
+			set[ops[i].Operand.Const] = true
+			set[ops[i].Expected.Const] = true
 		}
 	}
 	out := make([]int64, 0, len(set))
@@ -156,6 +219,20 @@ func QuantumDomain(p *litmus.Program) []int64 {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
+}
+
+// opInfo is one op's static summary for the enumerator's hot loops.
+type opInfo struct {
+	isBranch  bool
+	hasGuards bool
+	writes    bool
+	reads     bool
+	// quantum folds opts.Quantum into the op's class: the op takes
+	// quantum value choices.
+	quantum bool
+	dst     litmus.Reg
+	loc     int // location index, -1 for branches
+	id      int // event ID, -1 for branches
 }
 
 type enumerator struct {
@@ -170,11 +247,23 @@ type enumerator struct {
 	// it enforces Limit globally so the reduced enumerator errors exactly
 	// when the sequential one would (total recorded executions > Limit).
 	count *atomic.Int64
+	// stop is the shared early-abort flag: set on Visit-requested stop,
+	// Visit error, or limit overrun, it makes every worker unwind its
+	// search promptly instead of exploring to exhaustion.
+	stop *atomic.Bool
+
+	// proto holds the static Event fields (ID, thread, op, TPos=-1);
+	// record copies it wholesale and fills in per-execution values.
+	proto []Event
+	// info caches the static per-op facts the DFS consults at every node
+	// ([t][opIndex], shared read-only by clones), so the hot loops avoid
+	// copying the full Op struct for each method call.
+	info [][]opInfo
 
 	// mutable search state
 	pc      []int
-	mem     map[litmus.Loc]int64
-	lastW   map[litmus.Loc]int // event ID of last writer, -1 init
+	mem     []int64 // current value per location index
+	lastW   []int   // event ID of last writer per location index, -1 init
 	regs    [][]int64
 	order   []int
 	loaded  []int64
@@ -186,6 +275,13 @@ type enumerator struct {
 	// threads whose next transition was already fully explored from an
 	// equivalent sibling branch and is therefore redundant here.
 	sleep uint64
+
+	// keyBuf is the reusable scratch for building result keys in record;
+	// keyIntern dedups the key strings (distinct final states are few, so
+	// interning makes key construction allocation-free in steady state).
+	// Both are per-worker: clone leaves them nil.
+	keyBuf    []byte
+	keyIntern map[string]string
 
 	execs []*Execution
 	err   error
@@ -199,14 +295,15 @@ func newEnumerator(p *litmus.Program, opts EnumOptions) *enumerator {
 		domain: QuantumDomain(p),
 		por:    !opts.Naive && len(p.Threads) <= 64,
 		count:  new(atomic.Int64),
+		stop:   new(atomic.Bool),
 		pc:     make([]int, len(p.Threads)),
-		mem:    map[litmus.Loc]int64{},
-		lastW:  map[litmus.Loc]int{},
 		order:  make([]int, 0, 16),
 	}
-	for _, l := range p.Locs() {
-		e.mem[l] = p.Init[l]
-		e.lastW[l] = -1
+	e.mem = make([]int64, len(e.lay.locs))
+	e.lastW = make([]int, len(e.lay.locs))
+	for i, l := range e.lay.locs {
+		e.mem[i] = p.Init[l]
+		e.lastW[i] = -1
 	}
 	e.regs = make([][]int64, len(p.Threads))
 	for t, th := range p.Threads {
@@ -218,6 +315,27 @@ func newEnumerator(p *litmus.Program, opts EnumOptions) *enumerator {
 	e.rf = make([]int, n)
 	e.random = make([]bool, n)
 	e.present = make([]bool, n)
+	e.proto = make([]Event, n)
+	e.info = make([][]opInfo, len(p.Threads))
+	for t, th := range p.Threads {
+		e.info[t] = make([]opInfo, len(th.Ops))
+		for i := range th.Ops {
+			op := &th.Ops[i]
+			e.info[t][i] = opInfo{
+				isBranch:  op.IsBranch,
+				hasGuards: len(op.Guards) > 0,
+				writes:    op.Writes(),
+				reads:     op.Reads(),
+				quantum:   opts.Quantum && op.Class == core.Quantum,
+				dst:       op.Dst,
+				loc:       e.lay.locID[t][i],
+				id:        e.lay.id[t][i],
+			}
+			if id := e.lay.id[t][i]; id >= 0 {
+				e.proto[id] = Event{ID: id, Thread: t, OpIndex: i, Op: *op, TPos: -1}
+			}
+		}
+	}
 	return e
 }
 
@@ -227,10 +345,12 @@ func newEnumerator(p *litmus.Program, opts EnumOptions) *enumerator {
 func (e *enumerator) clone() *enumerator {
 	c := &enumerator{
 		prog: e.prog, lay: e.lay, opts: e.opts, domain: e.domain,
-		por: e.por, count: e.count,
+		por: e.por, count: e.count, stop: e.stop,
+		proto:   e.proto,
+		info:    e.info,
 		pc:      append([]int(nil), e.pc...),
-		mem:     make(map[litmus.Loc]int64, len(e.mem)),
-		lastW:   make(map[litmus.Loc]int, len(e.lastW)),
+		mem:     append([]int64(nil), e.mem...),
+		lastW:   append([]int(nil), e.lastW...),
 		order:   append(make([]int, 0, 16), e.order...),
 		loaded:  append([]int64(nil), e.loaded...),
 		stored:  append([]int64(nil), e.stored...),
@@ -238,12 +358,6 @@ func (e *enumerator) clone() *enumerator {
 		random:  append([]bool(nil), e.random...),
 		present: append([]bool(nil), e.present...),
 		sleep:   e.sleep,
-	}
-	for l, v := range e.mem {
-		c.mem[l] = v
-	}
-	for l, v := range e.lastW {
-		c.lastW[l] = v
 	}
 	c.regs = make([][]int64, len(e.regs))
 	for t := range e.regs {
@@ -272,7 +386,7 @@ func Enumerate(p *litmus.Program, opts EnumOptions) ([]*Execution, error) {
 		opts.Limit = DefaultLimit
 	}
 	e := newEnumerator(p, opts)
-	if opts.Naive || len(p.Threads) < 2 {
+	if opts.Naive || opts.Sequential || len(p.Threads) < 2 {
 		e.step()
 		if e.err != nil {
 			return nil, e.err
@@ -293,8 +407,8 @@ func (e *enumerator) runParallel() ([]*Execution, error) {
 	// no-ops, so draining them per thread reaches the same state.
 	for t, th := range e.prog.Threads {
 		for e.pc[t] < len(th.Ops) {
-			op := th.Ops[e.pc[t]]
-			if op.IsBranch || (len(op.Guards) > 0 && !op.GuardsHold(e.regs[t])) {
+			inf := &e.info[t][e.pc[t]]
+			if inf.isBranch || (inf.hasGuards && !th.Ops[e.pc[t]].GuardsHold(e.regs[t])) {
 				e.pc[t]++
 				continue
 			}
@@ -316,11 +430,10 @@ func (e *enumerator) runParallel() ([]*Execution, error) {
 	}
 
 	type task struct {
-		t, id   int
-		op      litmus.Op
-		quantum bool
-		lv, sv  int64
-		sleep   uint64
+		t      int
+		inf    *opInfo
+		lv, sv int64
+		sleep  uint64
 	}
 	var tasks []task
 	var sleepAcc uint64
@@ -328,17 +441,15 @@ func (e *enumerator) runParallel() ([]*Execution, error) {
 		if e.pc[t] >= len(th.Ops) {
 			continue
 		}
-		op := th.Ops[e.pc[t]]
-		id := e.lay.id[t][e.pc[t]]
+		inf := &e.info[t][e.pc[t]]
 		var child uint64
 		if e.por {
-			child = e.filterSleep(sleepAcc, op)
+			child = e.filterSleep(sleepAcc, inf)
 		}
-		quantum := e.opts.Quantum && op.Class == core.Quantum
-		loads, stores := e.choices(op, quantum)
+		loads, stores := e.choices(inf)
 		for _, lv := range loads {
 			for _, sv := range stores {
-				tasks = append(tasks, task{t: t, id: id, op: op, quantum: quantum, lv: lv, sv: sv, sleep: child})
+				tasks = append(tasks, task{t: t, inf: inf, lv: lv, sv: sv, sleep: child})
 			}
 		}
 		if e.por {
@@ -361,7 +472,7 @@ func (e *enumerator) runParallel() ([]*Execution, error) {
 				tk := tasks[i]
 				c := e.clone()
 				c.sleep = tk.sleep
-				c.execOne(tk.t, tk.op, tk.id, tk.quantum, tk.lv, tk.sv)
+				c.execOne(tk.t, tk.inf, tk.lv, tk.sv)
 				workers[i] = c
 			}
 		}()
@@ -390,18 +501,17 @@ func (e *enumerator) runParallel() ([]*Execution, error) {
 // files are disjoint, a thread's next visible op and its guard outcomes
 // depend only on its own registers, and quantum value choices are
 // order-independent.
-func (e *enumerator) filterSleep(sleep uint64, op litmus.Op) uint64 {
+func (e *enumerator) filterSleep(sleep uint64, inf *opInfo) uint64 {
 	var out uint64
 	for u := 0; sleep>>uint(u) != 0; u++ {
 		if sleep&(1<<uint(u)) == 0 {
 			continue
 		}
-		th := e.prog.Threads[u]
-		if e.pc[u] >= len(th.Ops) {
+		if e.pc[u] >= len(e.info[u]) {
 			continue
 		}
-		uop := th.Ops[e.pc[u]]
-		if uop.Loc != op.Loc || (!uop.Writes() && !op.Writes()) {
+		uinf := &e.info[u][e.pc[u]]
+		if uinf.loc != inf.loc || (!uinf.writes && !inf.writes) {
 			out |= 1 << uint(u)
 		}
 	}
@@ -410,19 +520,19 @@ func (e *enumerator) filterSleep(sleep uint64, op litmus.Op) uint64 {
 
 // step is the DFS over interleavings (and quantum value choices).
 func (e *enumerator) step() {
-	if e.err != nil {
+	if e.err != nil || e.stop.Load() {
 		return
 	}
 	done := true
 	for t := range e.prog.Threads {
-		if e.pc[t] < len(e.prog.Threads[t].Ops) {
+		if e.pc[t] < len(e.info[t]) {
 			done = false
-			op := e.prog.Threads[t].Ops[e.pc[t]]
+			inf := &e.info[t][e.pc[t]]
 			// Consume branch markers and disabled guarded ops eagerly:
 			// they are thread-local no-ops (guard values are fixed once
 			// the thread reaches them) and must not multiply
 			// interleavings.
-			if op.IsBranch || (len(op.Guards) > 0 && !op.GuardsHold(e.regs[t])) {
+			if inf.isBranch || (inf.hasGuards && !e.prog.Threads[t].Ops[e.pc[t]].GuardsHold(e.regs[t])) {
 				e.pc[t]++
 				e.step()
 				e.pc[t]--
@@ -446,20 +556,20 @@ func (e *enumerator) step() {
 	entry := e.sleep
 	sleep := e.sleep
 	for t := range e.prog.Threads {
-		if e.pc[t] >= len(e.prog.Threads[t].Ops) {
+		if e.pc[t] >= len(e.info[t]) {
 			continue
 		}
-		op := e.prog.Threads[t].Ops[e.pc[t]]
-		if op.IsBranch {
+		inf := &e.info[t][e.pc[t]]
+		if inf.isBranch {
 			continue // handled above; only one branch head processed per level
 		}
 		if e.por {
 			if sleep&(1<<uint(t)) != 0 {
 				continue
 			}
-			e.sleep = e.filterSleep(sleep, op)
+			e.sleep = e.filterSleep(sleep, inf)
 		}
-		e.exec(t, op)
+		e.exec(t, inf)
 		if e.err != nil {
 			return
 		}
@@ -472,13 +582,11 @@ func (e *enumerator) step() {
 
 // exec runs thread t's current op with all applicable value choices,
 // recursing after each.
-func (e *enumerator) exec(t int, op litmus.Op) {
-	id := e.lay.id[t][e.pc[t]]
-	quantum := e.opts.Quantum && op.Class == core.Quantum
-	loadChoices, storeChoices := e.choices(op, quantum)
+func (e *enumerator) exec(t int, inf *opInfo) {
+	loadChoices, storeChoices := e.choices(inf)
 	for _, lv := range loadChoices {
 		for _, sv := range storeChoices {
-			e.execOne(t, op, id, quantum, lv, sv)
+			e.execOne(t, inf, lv, sv)
 			if e.err != nil {
 				return
 			}
@@ -491,45 +599,46 @@ func (e *enumerator) exec(t int, op litmus.Op) {
 var oneChoice = []int64{0}
 
 // choices returns the quantum load/store value-choice lists for op.
-func (e *enumerator) choices(op litmus.Op, quantum bool) (loads, stores []int64) {
+func (e *enumerator) choices(inf *opInfo) (loads, stores []int64) {
 	loads, stores = oneChoice, oneChoice
-	if quantum {
-		if op.Reads() {
+	if inf.quantum {
+		if inf.reads {
 			loads = e.domain
 		}
-		if op.Writes() {
+		if inf.writes {
 			stores = e.domain
 		}
 	}
 	return loads, stores
 }
 
-func (e *enumerator) execOne(t int, op litmus.Op, id int, quantum bool, qload, qstore int64) {
-	loc := op.Loc
+func (e *enumerator) execOne(t int, inf *opInfo, qload, qstore int64) {
+	id, loc := inf.id, inf.loc
 	oldMem := e.mem[loc]
 	oldLast := e.lastW[loc]
 	var oldReg int64
-	if op.Dst != litmus.NoReg {
-		oldReg = e.regs[t][op.Dst]
+	if inf.dst != litmus.NoReg {
+		oldReg = e.regs[t][inf.dst]
 	}
 
 	// Perform the access.
 	loaded := oldMem
 	e.rf[id] = oldLast
-	if quantum && op.Reads() {
+	if inf.quantum && inf.reads {
 		loaded = qload
 		e.rf[id] = -1
 	}
 	e.loaded[id] = loaded
-	e.random[id] = quantum
-	if op.Dst != litmus.NoReg {
-		e.regs[t][op.Dst] = loaded
+	e.random[id] = inf.quantum
+	if inf.dst != litmus.NoReg {
+		e.regs[t][inf.dst] = loaded
 	}
-	if op.Writes() {
+	if inf.writes {
 		var newVal int64
-		if quantum {
+		if inf.quantum {
 			newVal = qstore
 		} else {
+			op := &e.prog.Threads[t].Ops[e.pc[t]]
 			operand := op.Operand.Eval(e.regs[t])
 			expected := op.Expected.Eval(e.regs[t])
 			newVal = op.AOp.Apply(oldMem, operand, expected)
@@ -548,57 +657,98 @@ func (e *enumerator) execOne(t int, op litmus.Op, id int, quantum bool, qload, q
 	e.pc[t]--
 	e.present[id] = false
 	e.order = e.order[:len(e.order)-1]
-	if op.Writes() {
+	if inf.writes {
 		e.mem[loc] = oldMem
 		e.lastW[loc] = oldLast
 	}
-	if op.Dst != litmus.NoReg {
-		e.regs[t][op.Dst] = oldReg
+	if inf.dst != litmus.NoReg {
+		e.regs[t][inf.dst] = oldReg
 	}
 }
 
-// record snapshots the completed execution. The counter is shared across
-// the parallel workers, so Limit bounds the total across all branches.
+// record snapshots the completed execution and either streams it to the
+// Visit callback or appends it to the materialized list. The counter is
+// shared across the parallel workers, so Limit bounds the total across
+// all branches.
 func (e *enumerator) record() {
-	if n := e.count.Add(1); n > int64(e.opts.Limit) {
-		e.err = fmt.Errorf("%w (limit %d, program %s)", ErrLimit, e.opts.Limit, e.prog.Name)
+	if e.stop.Load() {
 		return
 	}
-	ex := &Execution{
-		Prog:    e.prog,
-		Events:  make([]Event, e.lay.n),
-		Order:   append([]int(nil), e.order...),
-		RF:      append([]int(nil), e.rf...),
-		Present: append([]bool(nil), e.present...),
-		Final:   make(map[litmus.Loc]int64, len(e.mem)),
+	if n := e.count.Add(1); n > int64(e.opts.Limit) {
+		e.err = fmt.Errorf("%w (limit %d, program %s)", ErrLimit, e.opts.Limit, e.prog.Name)
+		e.stop.Store(true)
+		return
 	}
-	for l, v := range e.mem {
-		ex.Final[l] = v
+	var ex *Execution
+	if e.opts.Recycle != nil {
+		ex = e.opts.Recycle()
 	}
-	for t, th := range e.prog.Threads {
-		for i, op := range th.Ops {
-			id := e.lay.id[t][i]
-			if id < 0 {
-				continue
-			}
-			ex.Events[id] = Event{
-				ID: id, Thread: t, OpIndex: i, Op: op, TPos: -1,
-				Loaded: e.loaded[id], Stored: e.stored[id], Randomized: e.random[id],
-			}
-			if !e.present[id] {
-				ex.Events[id].Loaded = 0
-				ex.Events[id].Stored = 0
-				ex.Events[id].Randomized = false
-				ex.RF[id] = -1
-			}
+	if ex == nil {
+		ex = &Execution{
+			Events:  make([]Event, e.lay.n),
+			Order:   make([]int, 0, len(e.order)),
+			RF:      make([]int, e.lay.n),
+			Present: make([]bool, e.lay.n),
+			Final:   make(map[litmus.Loc]int64, len(e.lay.locs)),
+			Regs:    make([][]int64, len(e.regs)),
+		}
+		for t := range e.regs {
+			ex.Regs[t] = make([]int64, len(e.regs[t]))
+		}
+	}
+	ex.Prog = e.prog
+	ex.Order = append(ex.Order[:0], e.order...)
+	copy(ex.RF, e.rf)
+	copy(ex.Present, e.present)
+	for i, l := range e.lay.locs {
+		ex.Final[l] = e.mem[i]
+	}
+	// Serialize the result key directly from the presorted location order
+	// (identical to resultKey(ex.Final), minus its per-call sort).
+	e.keyBuf = e.keyBuf[:0]
+	for _, li := range e.lay.sortedLoc {
+		e.keyBuf = append(e.keyBuf, e.lay.locs[li]...)
+		e.keyBuf = append(e.keyBuf, '=')
+		e.keyBuf = strconv.AppendInt(e.keyBuf, e.mem[li], 10)
+		e.keyBuf = append(e.keyBuf, ';')
+	}
+	if e.keyIntern == nil {
+		e.keyIntern = make(map[string]string, 8)
+	}
+	key, ok := e.keyIntern[string(e.keyBuf)]
+	if !ok {
+		key = string(e.keyBuf)
+		e.keyIntern[key] = key
+	}
+	ex.key = key
+	// The static Event fields come from the prototype; only values and
+	// the total-order position vary per execution. Absent events keep the
+	// prototype's zero values and TPos -1.
+	copy(ex.Events, e.proto)
+	for id := 0; id < e.lay.n; id++ {
+		if e.present[id] {
+			ev := &ex.Events[id]
+			ev.Loaded = e.loaded[id]
+			ev.Stored = e.stored[id]
+			ev.Randomized = e.random[id]
+		} else {
+			ex.RF[id] = -1
 		}
 	}
 	for pos, id := range ex.Order {
 		ex.Events[id].TPos = pos
 	}
-	ex.Regs = make([][]int64, len(e.regs))
 	for t := range e.regs {
-		ex.Regs[t] = append([]int64(nil), e.regs[t]...)
+		copy(ex.Regs[t], e.regs[t])
+	}
+	if e.opts.Visit != nil {
+		if err := e.opts.Visit(ex); err != nil {
+			if !errors.Is(err, ErrStop) {
+				e.err = err
+			}
+			e.stop.Store(true)
+		}
+		return
 	}
 	e.execs = append(e.execs, ex)
 }

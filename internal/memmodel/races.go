@@ -2,8 +2,10 @@ package memmodel
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 
 	"rats/internal/core"
 	"rats/internal/litmus"
@@ -19,6 +21,9 @@ const (
 	NonOrderingRace
 	QuantumRace
 	SpeculativeRace
+
+	// NumRaceKinds bounds the RaceKind enum for array indexing.
+	NumRaceKinds = 5
 )
 
 func (k RaceKind) String() string {
@@ -43,11 +48,12 @@ func RaceKinds() []RaceKind {
 }
 
 // Analysis holds the per-execution race analysis: for each kind, the
-// unordered event pairs (i < j) that form such a race.
+// unordered event pairs (i < j) that form such a race, sorted
+// lexicographically.
 type Analysis struct {
 	Exec  *Execution
 	Rel   *Relations
-	Races map[RaceKind][][2]int
+	Races [NumRaceKinds][][2]int
 }
 
 // Illegal reports whether the execution contains any illegal race under
@@ -67,139 +73,147 @@ func (a *Analysis) Illegal(m core.Model) bool {
 	return false
 }
 
-// canonical folds a symmetric relation to unordered (i<j) pairs.
-func canonical(r rel.Rel) [][2]int {
-	seen := map[[2]int]bool{}
-	for _, p := range r.Pairs() {
+// canonicalInto folds a symmetric relation to unordered (i<j) pairs,
+// appending into buf (a reused arena buffer sliced to [:0]). Race
+// relations are sparse, so it extracts the set pairs with the word-
+// skipping AppendPairs kernel and sorted-insertes the normalized pairs
+// (deduplicating the two orientations of a symmetric pair) rather than
+// probing all n² cells.
+func (a *Analyzer) canonicalInto(buf [][2]int, r rel.Rel) [][2]int {
+	a.pairBuf = r.AppendPairs(a.pairBuf[:0])
+	for _, p := range a.pairBuf {
 		i, j := p[0], p[1]
 		if i > j {
 			i, j = j, i
 		}
-		seen[[2]int{i, j}] = true
-	}
-	out := make([][2]int, 0, len(seen))
-	for p := range seen {
-		out = append(out, p)
-	}
-	sort.Slice(out, func(a, b int) bool {
-		if out[a][0] != out[b][0] {
-			return out[a][0] < out[b][0]
+		k := len(buf)
+		for k > 0 && (buf[k-1][0] > i || (buf[k-1][0] == i && buf[k-1][1] > j)) {
+			k--
 		}
-		return out[a][1] < out[b][1]
-	})
-	return out
+		if (k > 0 && buf[k-1] == [2]int{i, j}) || (k < len(buf) && buf[k] == [2]int{i, j}) {
+			continue
+		}
+		buf = append(buf, [2]int{})
+		copy(buf[k+1:], buf[k:])
+		buf[k] = [2]int{i, j}
+	}
+	return buf
+}
+
+// Analyze runs the programmer-centric model of Listing 7 on one SC
+// execution in a fresh arena. Callers analyzing many executions should
+// allocate one Analyzer and use its Analyze method instead.
+func Analyze(ex *Execution) *Analysis {
+	return NewAnalyzer().Analyze(ex)
 }
 
 // Analyze runs the programmer-centric model of Listing 7 on one SC
 // execution: it computes data, commutative, non-ordering, quantum, and
-// speculative races.
-func Analyze(ex *Execution) *Analysis {
-	r := BuildRelations(ex)
-	n := r.N
-	races := map[RaceKind][][2]int{}
+// speculative races. The returned *Analysis borrows the arena and is
+// valid until the next BuildRelations/Analyze call on this Analyzer.
+func (a *Analyzer) Analyze(ex *Execution) *Analysis {
+	r := a.BuildRelations(ex)
 
-	classSet := func(c core.Class) []bool {
-		out := make([]bool, n)
-		for i := range out {
-			out[i] = r.Class[i] == c
-		}
-		return out
-	}
-	alo := func(c core.Class) rel.Rel {
-		s := classSet(c)
-		any := make([]bool, n)
-		for i := range any {
-			any[i] = true
-		}
-		return rel.Cross(s, any).Union(rel.Cross(any, s))
-	}
+	// classBits are static per program (ensure filled them); only the
+	// atomic mask depends on which events executed.
+	a.atomicBits.CopyFrom(a.atomicStatic)
+	a.atomicBits.AndIn(a.present)
 
 	// data-race = race & (at-least-one Data)
-	dataRace := r.Race.Inter(alo(core.Data))
-	races[DataRace] = canonical(dataRace)
+	a.dRel.InterAloInto(r.Race, a.classBits[core.Data])
 
 	// Commutative race (Section 3.2.3): race with at least one commutative
 	// access where (a) the accesses are not pairwise commutative, or
 	// (b) either access's loaded value is observed.
-	commRace := rel.New(n)
-	for _, p := range r.Race.Inter(alo(core.Commutative)).Pairs() {
-		i, j := p[0], p[1]
-		ei, ej := ex.Events[i], ex.Events[j]
+	a.cRel.ClearAll()
+	a.tmp1.InterAloInto(r.Race, a.classBits[core.Commutative])
+	a.tmp1.ForEach(func(i, j int) {
+		ei, ej := &ex.Events[i], &ex.Events[j]
 		pairwise := core.Commutes(ei.Op.AOp, ei.Op.Operand.Const, ej.Op.AOp, ej.Op.Operand.Const)
 		observed := (r.IsR[i] && r.Observed[i]) || (r.IsR[j] && r.Observed[j])
 		if !pairwise || observed {
-			commRace.Set(i, j)
+			a.cRel.Set(i, j)
 		}
-	}
-	races[CommutativeRace] = canonical(commRace)
+	})
 
 	// Non-ordering race (Section 3.3.3): a racing atomic pair (X, Y) with
 	// at least one non-ordering access, whose conflict-order edge lies on
 	// an ordering path from some conflicting (A, B) that has no valid
 	// ordering path. Per Listing 7, pairs already flagged as data or
 	// commutative races are excluded.
-	noRace := rel.New(n)
-	bothAtomic := rel.Cross(r.IsAtomic, r.IsAtomic)
-	candidates := r.Race.Inter(alo(core.NonOrdering)).Inter(bothAtomic).
-		Diff(dataRace).Diff(commRace)
-	for _, p := range candidates.Pairs() {
-		x, y := p[0], p[1]
-		if !r.CO.Has(x, y) {
-			continue // consider the T-ordered direction only
-		}
-		if noPathIsUnique(r, x, y) {
-			noRace.Set(x, y)
-		}
+	a.nRel.ClearAll()
+	a.tmp1.InterAloInto(r.Race, a.classBits[core.NonOrdering])
+	a.tmp1.RestrictToIn(a.atomicBits)
+	a.tmp1.DiffIn(a.dRel)
+	a.tmp1.DiffIn(a.cRel)
+	if !a.tmp1.Empty() {
+		a.invReach.InverseInto(r.Reach)
+		a.tmp1.ForEach(func(x, y int) {
+			// Consider the T-ordered direction only.
+			if r.CO.Has(x, y) && a.noPathIsUnique(r, x, y) {
+				a.nRel.Set(x, y)
+			}
+		})
 	}
-	races[NonOrderingRace] = canonical(noRace)
 
 	// Quantum race (Section 3.4.3): race between a quantum access and a
 	// non-quantum access.
-	quantumSet := classSet(core.Quantum)
-	qRace := r.Race.Inter(alo(core.Quantum)).Diff(rel.Cross(quantumSet, quantumSet))
-	races[QuantumRace] = canonical(qRace)
+	a.qRel.InterAloInto(r.Race, a.classBits[core.Quantum])
+	a.tmp1.CrossIn(a.classBits[core.Quantum], a.classBits[core.Quantum])
+	a.qRel.DiffIn(a.tmp1)
 
 	// Speculative race (Section 3.5.3): race with at least one speculative
 	// access where both are writes, or the racy load's value is observed.
-	specRace := rel.New(n)
-	for _, p := range r.Race.Inter(alo(core.Speculative)).Pairs() {
-		i, j := p[0], p[1]
+	a.sRel.ClearAll()
+	a.tmp1.InterAloInto(r.Race, a.classBits[core.Speculative])
+	a.tmp1.ForEach(func(i, j int) {
 		bothWrites := r.IsW[i] && r.IsW[j]
 		observed := (r.IsR[i] && r.Observed[i]) || (r.IsR[j] && r.Observed[j])
 		if bothWrites || observed {
-			specRace.Set(i, j)
+			a.sRel.Set(i, j)
 		}
-	}
-	races[SpeculativeRace] = canonical(specRace)
+	})
 
-	return &Analysis{Exec: ex, Rel: r, Races: races}
+	an := &a.analysis
+	an.Exec = ex
+	an.Rel = r
+	an.Races[DataRace] = a.canonicalInto(an.Races[DataRace][:0], a.dRel)
+	an.Races[CommutativeRace] = a.canonicalInto(an.Races[CommutativeRace][:0], a.cRel)
+	an.Races[NonOrderingRace] = a.canonicalInto(an.Races[NonOrderingRace][:0], a.nRel)
+	an.Races[QuantumRace] = a.canonicalInto(an.Races[QuantumRace][:0], a.qRel)
+	an.Races[SpeculativeRace] = a.canonicalInto(an.Races[SpeculativeRace][:0], a.sRel)
+	return an
 }
 
 // noPathIsUnique reports whether the conflict-order edge (x → y) lies on
 // an ordering path from some conflicting pair (A, B) that has no valid
 // ordering path — i.e. the non-ordering edge carries ordering
 // responsibility it is not allowed to carry.
-func noPathIsUnique(r *Relations, x, y int) bool {
-	for a := 0; a < r.N; a++ {
-		for b := 0; b < r.N; b++ {
-			if a == b || !r.CO.Has(a, b) {
-				continue
-			}
-			// A path A →* x → y →* B containing at least one po edge.
-			// Reach is reflexive, so A==x / y==B degenerate into the
-			// shorter path; the po edge must still exist on one side
-			// (the bare conflict edge x → y is never an ordering path).
-			reachable := r.Reach.Has(a, x) && r.Reach.Has(y, b)
-			hasPO := r.POPath.Has(a, x) || r.POPath.Has(y, b)
-			if !reachable || !hasPO {
-				continue
-			}
-			if !r.ValidPath.Has(a, b) {
-				return true
-			}
+//
+// Bitset form of the quantified original: for each A with Reach(A, x),
+// candidate B's are CO.Row(A) \ ValidPath.Row(A) ∩ Reach.Row(y), further
+// intersected with POPath.Row(y) when the A-side lacks a po edge
+// (POPath(A, x) fails); any surviving bit witnesses the race. CO is
+// irreflexive, so A ≠ B needs no explicit mask. Requires a.invReach to
+// hold the inverse of r.Reach.
+func (a *Analyzer) noPathIsUnique(r *Relations, x, y int) bool {
+	found := false
+	a.invReach.Row(x).ForEach(func(src int) {
+		if found {
+			return
 		}
-	}
-	return false
+		s := a.scr
+		s.CopyFrom(r.CO.Row(src))
+		s.AndNotIn(r.ValidPath.Row(src))
+		s.AndIn(r.Reach.Row(y))
+		if !r.POPath.Has(src, x) {
+			s.AndIn(r.POPath.Row(y))
+		}
+		if s.Any() {
+			found = true
+		}
+	})
+	return found
 }
 
 // Verdict is the program-level outcome of checking every SC execution of
@@ -222,48 +236,219 @@ type Verdict struct {
 	SCResults map[string]bool
 }
 
+// CheckOptions configures CheckProgram's analysis pipeline.
+type CheckOptions struct {
+	// Materialize switches from the default streaming pipeline (POR
+	// enumeration feeding a pool of Analyze workers through a bounded
+	// channel) to the two-phase mode that first collects every execution
+	// into a slice and then analyzes serially. The verdict is identical
+	// either way; materializing costs O(#executions) memory and exists
+	// for tests and debugging.
+	Materialize bool
+	// Workers caps the analysis worker pool (streaming mode only);
+	// <= 0 means GOMAXPROCS. Workers spawn lazily as the enumerator
+	// outpaces analysis, so small programs stay on one goroutine.
+	Workers int
+	// Limit overrides the enumerator's execution limit; 0 means the
+	// enumerator default.
+	Limit int
+}
+
 // CheckProgram enumerates the SC executions of the program's
 // quantum-equivalent form (as model m distinguishes its accesses) and
 // classifies every race. DRF0 and DRF1 forbid data races only; DRFrlx
 // forbids all five categories. The returned verdict aggregates races
-// across executions.
+// across executions. Executions stream from the enumerator straight into
+// a pool of analysis workers, so memory stays bounded regardless of how
+// many executions the program has.
 func CheckProgram(p0 *litmus.Program, m core.Model) (*Verdict, error) {
+	return CheckProgramWith(p0, m, CheckOptions{})
+}
+
+// CheckProgramWith is CheckProgram with an explicit pipeline
+// configuration. The verdict is deterministic — byte-identical between
+// streaming and materializing modes and across worker counts — because
+// every aggregated field is an order-independent set union finished by a
+// sort.
+func CheckProgramWith(p0 *litmus.Program, m core.Model, opts CheckOptions) (*Verdict, error) {
 	p := p0.Under(m)
-	execs, err := Enumerate(p, EnumOptions{Quantum: true})
-	if err != nil {
-		return nil, err
-	}
-	v := &Verdict{
-		Prog: p0.Name, Model: m, Legal: true,
-		Races: map[RaceKind][]string{}, Execs: len(execs),
-		SCResults: map[string]bool{},
-	}
 	kinds := []RaceKind{DataRace}
 	if m == core.DRFrlx {
 		kinds = RaceKinds()
 	}
-	seen := map[string]bool{}
-	for _, ex := range execs {
-		v.SCResults[ex.ResultKey()] = true
-		a := Analyze(ex)
-		for _, k := range kinds {
-			for _, pr := range a.Races[k] {
-				v.Legal = false
-				ei, ej := ex.Events[pr[0]], ex.Events[pr[1]]
-				desc := fmt.Sprintf("T%d.%d(%s)~T%d.%d(%s)",
+	eo := EnumOptions{Quantum: true, Limit: opts.Limit}
+
+	if opts.Materialize {
+		execs, err := Enumerate(p, eo)
+		if err != nil {
+			return nil, err
+		}
+		pv := newPartialVerdict()
+		an := NewAnalyzer()
+		for _, ex := range execs {
+			pv.add(an.Analyze(ex), kinds)
+		}
+		return finishVerdict(p0.Name, m, []*partialVerdict{pv}), nil
+	}
+
+	maxWorkers := opts.Workers
+	if maxWorkers <= 0 {
+		maxWorkers = runtime.GOMAXPROCS(0)
+	}
+	eo.Sequential = true
+	if maxWorkers == 1 {
+		// Single-worker streaming runs the analysis inline in the Visit
+		// callback: no channel, no goroutine hand-off, and one Execution
+		// recycled for every delivery, so memory is O(1) in the number of
+		// executions.
+		pv := newPartialVerdict()
+		an := NewAnalyzer()
+		var spare *Execution
+		eo.Recycle = func() *Execution {
+			ex := spare
+			spare = nil
+			return ex
+		}
+		eo.Visit = func(ex *Execution) error {
+			pv.add(an.Analyze(ex), kinds)
+			spare = ex
+			return nil
+		}
+		if _, err := Enumerate(p, eo); err != nil {
+			return nil, err
+		}
+		return finishVerdict(p0.Name, m, []*partialVerdict{pv}), nil
+	}
+	ch := make(chan *Execution, 4*maxWorkers)
+	var (
+		wg     sync.WaitGroup
+		parts  []*partialVerdict
+		exPool sync.Pool
+	)
+	// spawn adds one analysis worker with its own arena and verdict
+	// shard. Only the producer goroutine (the Visit callback below)
+	// spawns, so parts needs no lock until wg.Wait returns. Analyzed
+	// executions go back to the pool for the enumerator to refill, so the
+	// steady-state pipeline recycles a bounded working set (channel
+	// capacity + in-flight) instead of allocating per execution.
+	spawn := func() {
+		pv := newPartialVerdict()
+		parts = append(parts, pv)
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			an := NewAnalyzer()
+			for ex := range ch {
+				pv.add(an.Analyze(ex), kinds)
+				exPool.Put(ex)
+			}
+		}()
+	}
+	spawn()
+	// Enumeration runs sequentially as the pipeline's producer: per
+	// execution it is several times cheaper than analysis, so the
+	// parallelism that matters is on the analysis side, and a single
+	// deterministic producer avoids the first-step fan-out's goroutine
+	// and state-cloning overhead. Additional workers spawn only on
+	// backlog — a channel filling up means analysis is falling behind —
+	// so programs with few executions stay on one goroutine.
+	eo.Recycle = func() *Execution {
+		ex, _ := exPool.Get().(*Execution)
+		return ex
+	}
+	eo.Visit = func(ex *Execution) error {
+		if len(ch) > len(parts) && len(parts) < maxWorkers {
+			spawn()
+		}
+		ch <- ex
+		return nil
+	}
+	_, err := Enumerate(p, eo)
+	close(ch)
+	wg.Wait()
+	if err != nil {
+		return nil, err
+	}
+	return finishVerdict(p0.Name, m, parts), nil
+}
+
+// partialVerdict is one analysis worker's shard of the verdict. All
+// fields are sets (or counts), so merging shards is order-independent.
+type partialVerdict struct {
+	execs     int
+	scResults map[string]bool
+	races     [NumRaceKinds]map[string]bool
+	// descCache memoizes pair descriptions: the same racy pair recurs in
+	// many executions, and its description depends only on static event
+	// identity.
+	descCache map[[2]int]string
+}
+
+func newPartialVerdict() *partialVerdict {
+	return &partialVerdict{scResults: map[string]bool{}}
+}
+
+func (pv *partialVerdict) add(a *Analysis, kinds []RaceKind) {
+	pv.execs++
+	ex := a.Exec
+	pv.scResults[ex.ResultKey()] = true
+	for _, k := range kinds {
+		for _, pr := range a.Races[k] {
+			desc, ok := pv.descCache[pr]
+			if !ok {
+				ei, ej := &ex.Events[pr[0]], &ex.Events[pr[1]]
+				desc = fmt.Sprintf("T%d.%d(%s)~T%d.%d(%s)",
 					ei.Thread, ei.OpIndex, ei.Op.Class, ej.Thread, ej.OpIndex, ej.Op.Class)
-				key := k.String() + ":" + desc
-				if !seen[key] {
-					seen[key] = true
-					v.Races[k] = append(v.Races[k], desc)
+				if pv.descCache == nil {
+					pv.descCache = map[[2]int]string{}
 				}
+				pv.descCache[pr] = desc
+			}
+			if pv.races[k] == nil {
+				pv.races[k] = map[string]bool{}
+			}
+			pv.races[k][desc] = true
+		}
+	}
+}
+
+// finishVerdict merges worker shards into the final verdict. Set union
+// followed by a sort makes the result independent of how executions were
+// partitioned across workers and of delivery order.
+func finishVerdict(name string, m core.Model, parts []*partialVerdict) *Verdict {
+	v := &Verdict{
+		Prog: name, Model: m, Legal: true,
+		Races:     map[RaceKind][]string{},
+		SCResults: map[string]bool{},
+	}
+	var merged [NumRaceKinds]map[string]bool
+	for _, pv := range parts {
+		v.Execs += pv.execs
+		for k := range pv.scResults {
+			v.SCResults[k] = true
+		}
+		for ki, set := range pv.races {
+			for d := range set {
+				if merged[ki] == nil {
+					merged[ki] = map[string]bool{}
+				}
+				merged[ki][d] = true
 			}
 		}
 	}
-	for k := range v.Races {
-		sort.Strings(v.Races[k])
+	for ki, set := range merged {
+		if len(set) == 0 {
+			continue
+		}
+		v.Legal = false
+		descs := make([]string, 0, len(set))
+		for d := range set {
+			descs = append(descs, d)
+		}
+		sort.Strings(descs)
+		v.Races[RaceKind(ki)] = descs
 	}
-	return v, nil
+	return v
 }
 
 // Summary renders the verdict as a one-line description for reports.

@@ -1,0 +1,98 @@
+package rel
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The kernel benchmarks compare the bitset implementation against the
+// retained []bool reference at litmus-typical (n=24) and one-word-limit
+// (n=64) sizes. The CI bench gate enforces a speedup floor on the
+// closure and composition kernels (see scripts/benchjson.py).
+
+func benchRels(n int) (Rel, Rel, boolRel, boolRel) {
+	rng := rand.New(rand.NewSource(9))
+	a, b := New(n), New(n)
+	ra, rb := newBoolRel(n), newBoolRel(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if rng.Float64() < 0.15 {
+				a.Set(i, j)
+				ra.Set(i, j)
+			}
+			if rng.Float64() < 0.15 {
+				b.Set(i, j)
+				rb.Set(i, j)
+			}
+		}
+	}
+	return a, b, ra, rb
+}
+
+func BenchmarkTransClosure(b *testing.B) {
+	for _, n := range []int{24, 64} {
+		a, _, ra, _ := benchRels(n)
+		b.Run(sizeName(n)+"/bitset", func(b *testing.B) {
+			b.ReportAllocs()
+			scratch := New(n)
+			for i := 0; i < b.N; i++ {
+				scratch.CopyFrom(a)
+				scratch.TransCloseIn()
+			}
+		})
+		b.Run(sizeName(n)+"/ref", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ra.TransClosure()
+			}
+		})
+	}
+}
+
+func BenchmarkCompose(b *testing.B) {
+	for _, n := range []int{24, 64} {
+		a, o, ra, ro := benchRels(n)
+		b.Run(sizeName(n)+"/bitset", func(b *testing.B) {
+			b.ReportAllocs()
+			scratch := New(n)
+			for i := 0; i < b.N; i++ {
+				scratch.ComposeInto(a, o)
+			}
+		})
+		b.Run(sizeName(n)+"/ref", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ra.Compose(ro)
+			}
+		})
+	}
+}
+
+func BenchmarkSetOps(b *testing.B) {
+	for _, n := range []int{24, 64} {
+		a, o, ra, ro := benchRels(n)
+		b.Run(sizeName(n)+"/bitset", func(b *testing.B) {
+			b.ReportAllocs()
+			scratch := New(n)
+			for i := 0; i < b.N; i++ {
+				scratch.CopyFrom(a)
+				scratch.UnionIn(o)
+				scratch.InterIn(a)
+				scratch.DiffIn(o)
+			}
+		})
+		b.Run(sizeName(n)+"/ref", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				ra.Union(ro).Inter(ra).Diff(ro)
+			}
+		})
+	}
+}
+
+func sizeName(n int) string {
+	if n == 24 {
+		return "n24"
+	}
+	return "n64"
+}

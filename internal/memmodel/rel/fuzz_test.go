@@ -1,0 +1,142 @@
+package rel
+
+import "testing"
+
+// relFromBytes decodes a relation from fuzz input: the first byte picks
+// the size (1..66, crossing the word boundary), the rest seed pairs.
+func relFromBytes(data []byte, skip int) (Rel, boolRel, int) {
+	if len(data) <= skip {
+		return New(1), newBoolRel(1), skip
+	}
+	n := 1 + int(data[skip])%66
+	r, ref := New(n), newBoolRel(n)
+	used := skip + 1
+	for ; used+1 < len(data) && used < skip+1+2*n; used += 2 {
+		i, j := int(data[used])%n, int(data[used+1])%n
+		r.Set(i, j)
+		ref.Set(i, j)
+	}
+	return r, ref, used
+}
+
+func sameRel(a, b Rel) bool {
+	return a.Diff(b).Empty() && b.Diff(a).Empty()
+}
+
+// FuzzAlgebraicIdentities fuzzes the algebraic laws of the bitset
+// kernels and their agreement with the []bool reference:
+//
+//	(r⁺)⁺ = r⁺          closure is idempotent
+//	(r;s);t = r;(s;t)   composition associates
+//	¬(a ∪ b) = ¬a ∩ ¬b  De Morgan over a fixed universe (via Diff)
+//	(a;b)⁻¹ = b⁻¹;a⁻¹   inverse anti-distributes over composition
+func FuzzAlgebraicIdentities(f *testing.F) {
+	f.Add([]byte{4, 0, 1, 1, 2, 2, 3})
+	f.Add([]byte{65, 0, 64, 64, 1, 1, 0})
+	f.Add([]byte{1, 0, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, refA, used := relFromBytes(data, 0)
+		if a.Size() > 66 {
+			t.Skip()
+		}
+		n := a.Size()
+		b, refB, used := relFromBytes(append([]byte{byte(n - 1)}, data[used:]...), 0)
+		c, _, _ := relFromBytes(append([]byte{byte(n - 1)}, data[used:]...), 0)
+
+		// Differential: every operator agrees with the reference.
+		if err := equalRef(a.Union(b), refA.Union(refB)); err != nil {
+			t.Fatalf("Union: %v", err)
+		}
+		if err := equalRef(a.Compose(b), refA.Compose(refB)); err != nil {
+			t.Fatalf("Compose: %v", err)
+		}
+		if err := equalRef(a.TransClosure(), refA.TransClosure()); err != nil {
+			t.Fatalf("TransClosure: %v", err)
+		}
+
+		// (r⁺)⁺ = r⁺.
+		tc := a.TransClosure()
+		if !sameRel(tc.TransClosure(), tc) {
+			t.Fatal("closure not idempotent")
+		}
+		// r ⊆ r⁺ and r⁺;r⁺ ⊆ r⁺.
+		if !a.Diff(tc).Empty() {
+			t.Fatal("closure lost pairs")
+		}
+		if !tc.Compose(tc).Diff(tc).Empty() {
+			t.Fatal("closure not transitive")
+		}
+		// (a;b);c = a;(b;c).
+		if !sameRel(a.Compose(b).Compose(c), a.Compose(b.Compose(c))) {
+			t.Fatal("composition not associative")
+		}
+		// De Morgan over the full universe U: U\(a ∪ b) = (U\a) ∩ (U\b)
+		// and U\(a ∩ b) = (U\a) ∪ (U\b).
+		u := New(n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				u.Set(i, j)
+			}
+		}
+		if !sameRel(u.Diff(a.Union(b)), u.Diff(a).Inter(u.Diff(b))) {
+			t.Fatal("De Morgan (union) fails")
+		}
+		if !sameRel(u.Diff(a.Inter(b)), u.Diff(a).Union(u.Diff(b))) {
+			t.Fatal("De Morgan (intersection) fails")
+		}
+		// (a;b)⁻¹ = b⁻¹;a⁻¹.
+		if !sameRel(a.Compose(b).Inverse(), b.Inverse().Compose(a.Inverse())) {
+			t.Fatal("inverse does not anti-distribute over composition")
+		}
+		// Sym is symmetric and contains r.
+		sym := a.Sym()
+		if !sameRel(sym, sym.Inverse()) || !a.Diff(sym).Empty() {
+			t.Fatal("Sym broken")
+		}
+	})
+}
+
+// FuzzInPlaceMatchesAllocating fuzzes that every -In/-Into kernel
+// produces exactly what its allocating counterpart does.
+func FuzzInPlaceMatchesAllocating(f *testing.F) {
+	f.Add([]byte{8, 1, 2, 3, 4, 5, 6, 7, 0})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, _, used := relFromBytes(data, 0)
+		n := a.Size()
+		b, _, _ := relFromBytes(append([]byte{byte(n - 1)}, data[used:]...), 0)
+
+		in := a.Clone()
+		in.UnionIn(b)
+		if !sameRel(in, a.Union(b)) {
+			t.Fatal("UnionIn")
+		}
+		in.CopyFrom(a)
+		in.InterIn(b)
+		if !sameRel(in, a.Inter(b)) {
+			t.Fatal("InterIn")
+		}
+		in.CopyFrom(a)
+		in.DiffIn(b)
+		if !sameRel(in, a.Diff(b)) {
+			t.Fatal("DiffIn")
+		}
+		in.CopyFrom(a)
+		in.TransCloseIn()
+		if !sameRel(in, a.TransClosure()) {
+			t.Fatal("TransCloseIn")
+		}
+		in.CopyFrom(a)
+		in.ReflTransCloseIn()
+		if !sameRel(in, a.ReflTransClosure()) {
+			t.Fatal("ReflTransCloseIn")
+		}
+		in.ComposeInto(a, b)
+		if !sameRel(in, a.Compose(b)) {
+			t.Fatal("ComposeInto")
+		}
+		in.InverseInto(a)
+		if !sameRel(in, a.Inverse()) {
+			t.Fatal("InverseInto")
+		}
+	})
+}

@@ -1,0 +1,180 @@
+package rel
+
+// This file retains the original []bool dense-matrix implementation of
+// the relational algebra, verbatim in behaviour, as an internal
+// reference: the differential property tests and the fuzz targets check
+// every bitset kernel against it, and the benchmark suite measures the
+// word-parallel speedup over it. It is not used by any analysis path.
+
+// boolRel is the reference relation: a dense boolean matrix.
+type boolRel struct {
+	n int
+	m []bool
+}
+
+func newBoolRel(n int) boolRel { return boolRel{n: n, m: make([]bool, n*n)} }
+
+func boolIdentity(n int) boolRel {
+	r := newBoolRel(n)
+	for i := 0; i < n; i++ {
+		r.Set(i, i)
+	}
+	return r
+}
+
+func boolFromPairs(n int, pairs [][2]int) boolRel {
+	r := newBoolRel(n)
+	for _, p := range pairs {
+		r.Set(p[0], p[1])
+	}
+	return r
+}
+
+func boolCross(a, b []bool) boolRel {
+	if len(a) != len(b) {
+		panic("rel: Cross on sets of different sizes")
+	}
+	r := newBoolRel(len(a))
+	for i, ai := range a {
+		if !ai {
+			continue
+		}
+		for j, bj := range b {
+			if bj {
+				r.Set(i, j)
+			}
+		}
+	}
+	return r
+}
+
+func (r boolRel) Size() int        { return r.n }
+func (r boolRel) Set(i, j int)     { r.m[i*r.n+j] = true }
+func (r boolRel) Clear(i, j int)   { r.m[i*r.n+j] = false }
+func (r boolRel) Has(i, j int) bool { return r.m[i*r.n+j] }
+
+func (r boolRel) Clone() boolRel {
+	c := newBoolRel(r.n)
+	copy(c.m, r.m)
+	return c
+}
+
+func (r boolRel) Union(o boolRel) boolRel {
+	c := r.Clone()
+	for i, v := range o.m {
+		if v {
+			c.m[i] = true
+		}
+	}
+	return c
+}
+
+func (r boolRel) Inter(o boolRel) boolRel {
+	c := newBoolRel(r.n)
+	for i := range c.m {
+		c.m[i] = r.m[i] && o.m[i]
+	}
+	return c
+}
+
+func (r boolRel) Diff(o boolRel) boolRel {
+	c := newBoolRel(r.n)
+	for i := range c.m {
+		c.m[i] = r.m[i] && !o.m[i]
+	}
+	return c
+}
+
+func (r boolRel) Compose(o boolRel) boolRel {
+	c := newBoolRel(r.n)
+	for i := 0; i < r.n; i++ {
+		for j := 0; j < r.n; j++ {
+			if !r.m[i*r.n+j] {
+				continue
+			}
+			for k := 0; k < r.n; k++ {
+				if o.m[j*r.n+k] {
+					c.m[i*r.n+k] = true
+				}
+			}
+		}
+	}
+	return c
+}
+
+func (r boolRel) Inverse() boolRel {
+	c := newBoolRel(r.n)
+	for i := 0; i < r.n; i++ {
+		for j := 0; j < r.n; j++ {
+			if r.Has(i, j) {
+				c.Set(j, i)
+			}
+		}
+	}
+	return c
+}
+
+func (r boolRel) TransClosure() boolRel {
+	c := r.Clone()
+	n := c.n
+	for k := 0; k < n; k++ {
+		for i := 0; i < n; i++ {
+			if !c.m[i*n+k] {
+				continue
+			}
+			for j := 0; j < n; j++ {
+				if c.m[k*n+j] {
+					c.m[i*n+j] = true
+				}
+			}
+		}
+	}
+	return c
+}
+
+func (r boolRel) ReflTransClosure() boolRel {
+	return r.TransClosure().Union(boolIdentity(r.n))
+}
+
+func (r boolRel) Sym() boolRel { return r.Union(r.Inverse()) }
+
+func (r boolRel) Empty() bool {
+	for _, v := range r.m {
+		if v {
+			return false
+		}
+	}
+	return true
+}
+
+func (r boolRel) Acyclic() bool {
+	c := r.TransClosure()
+	for i := 0; i < c.n; i++ {
+		if c.Has(i, i) {
+			return false
+		}
+	}
+	return true
+}
+
+func (r boolRel) Pairs() [][2]int {
+	var out [][2]int
+	for i := 0; i < r.n; i++ {
+		for j := 0; j < r.n; j++ {
+			if r.Has(i, j) {
+				out = append(out, [2]int{i, j})
+			}
+		}
+	}
+	return out
+}
+
+func (r boolRel) Count() int {
+	n := 0
+	for _, v := range r.m {
+		if v {
+			n++
+		}
+	}
+	return n
+}

@@ -20,25 +20,32 @@ type Witness struct {
 
 // FindWitness searches the SC executions of the (quantum-equivalent)
 // program for the first illegal race under the model and returns a
-// witness, or nil if the program is legal.
+// witness, or nil if the program is legal. Executions stream through a
+// sequential enumeration with an early stop, so the search uses bounded
+// memory, ends at the first racy execution, and deterministically
+// returns the same witness every run (the first in the reduced
+// enumerator's branch order).
 func FindWitness(p *litmus.Program, m core.Model) (*Witness, error) {
-	execs, err := Enumerate(p.Under(m), EnumOptions{Quantum: true})
-	if err != nil {
-		return nil, err
-	}
 	kinds := []RaceKind{DataRace}
 	if m == core.DRFrlx {
 		kinds = RaceKinds()
 	}
-	for _, ex := range execs {
-		a := Analyze(ex)
+	var w *Witness
+	an := NewAnalyzer()
+	_, err := Enumerate(p.Under(m), EnumOptions{Quantum: true, Sequential: true, Visit: func(ex *Execution) error {
+		a := an.Analyze(ex)
 		for _, k := range kinds {
 			if prs := a.Races[k]; len(prs) > 0 {
-				return &Witness{Exec: ex, Kind: k, Pair: prs[0]}, nil
+				w = &Witness{Exec: ex, Kind: k, Pair: prs[0]}
+				return ErrStop
 			}
 		}
+		return nil
+	}})
+	if err != nil {
+		return nil, err
 	}
-	return nil, nil
+	return w, nil
 }
 
 // describeEvent renders one event with thread, op, and values.

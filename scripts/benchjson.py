@@ -20,6 +20,14 @@ Usage:
           (the zero-allocation steady-state floor; machine-independent —
           the busy H variant is excluded because its short runs are
           dominated by one-time pool warm-up, not steady state).
+      Race-classification gates (applied when the relation/analysis
+      benchmarks are present in NEW; all machine-independent ratios):
+        * BenchmarkAnalyze/<prog>/arena must stay at <= 2 allocs/op and
+          the fresh/arena allocs ratio must stay >= 10x (the arena floor).
+        * BenchmarkTransClosure and BenchmarkCompose bitset kernels must
+          stay >= 4x faster than the []bool reference at every size.
+        * BenchmarkCheckProgram/<prog>/streaming must not be slower than
+          the materializing two-phase pipeline (5% tolerance).
 """
 
 import json
@@ -32,6 +40,12 @@ SPEEDUP_DEN = "BenchmarkSystemRun/idle-heavy/noskip"
 TOLERANCE = 0.10
 MIN_SPEEDUP = 2.0
 MAX_ALLOCS_PER_CYCLE = 0.05
+
+# Race-classification (bitset kernel / streaming pipeline) floors.
+MAX_ARENA_ALLOCS = 2.0
+MIN_ARENA_ALLOC_RATIO = 10.0
+MIN_KERNEL_SPEEDUP = 4.0
+STREAMING_TOLERANCE = 0.05
 
 LINE = re.compile(r"^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$")
 METRIC = re.compile(r"([\d.e+]+)\s+(\S+)")
@@ -102,9 +116,73 @@ def check(new, base):
                 f"{SPEEDUP_NUM}: {apc:.4f} allocs/cycle > {MAX_ALLOCS_PER_CYCLE} floor"
             )
 
+    failures += check_raceclass(newm)
+
     for f in failures:
         print(f"REGRESSION: {f}", file=sys.stderr)
     return not failures
+
+
+def check_raceclass(newm):
+    """Machine-independent floors for the bitset relation kernels and the
+    streaming race-classification pipeline. Each gate only fires when its
+    benchmarks are present, so older baselines pass unchanged."""
+    failures = []
+
+    # Arena analysis: absolute allocs/op ceiling plus fresh/arena ratio.
+    for name, metrics in sorted(newm.items()):
+        if not (name.startswith("BenchmarkAnalyze/") and name.endswith("/arena")):
+            continue
+        allocs = metrics.get("allocs/op")
+        if allocs is None:
+            continue
+        prog = name[len("BenchmarkAnalyze/"):-len("/arena")]
+        print(f"analyze arena allocs/op [{prog}]: {allocs:.0f}")
+        if allocs > MAX_ARENA_ALLOCS:
+            failures.append(
+                f"{name}: {allocs:.0f} allocs/op > {MAX_ARENA_ALLOCS:.0f} ceiling"
+            )
+        fresh = newm.get(f"BenchmarkAnalyze/{prog}/fresh", {}).get("allocs/op")
+        if fresh is not None:
+            ratio = fresh / max(allocs, 1.0)
+            if ratio < MIN_ARENA_ALLOC_RATIO:
+                failures.append(
+                    f"{name}: fresh/arena allocs ratio {ratio:.1f}x "
+                    f"< {MIN_ARENA_ALLOC_RATIO:.0f}x floor"
+                )
+
+    # Bitset kernels vs the retained []bool reference implementation.
+    for name, metrics in sorted(newm.items()):
+        if not name.endswith("/bitset"):
+            continue
+        ref = newm.get(name[: -len("/bitset")] + "/ref", {}).get("ns/op")
+        got = metrics.get("ns/op")
+        if not ref or not got:
+            continue
+        speedup = ref / got
+        print(f"kernel speedup [{name[len('Benchmark'):-len('/bitset')]}]: {speedup:.1f}x")
+        if speedup < MIN_KERNEL_SPEEDUP:
+            failures.append(
+                f"{name}: {speedup:.2f}x vs reference < {MIN_KERNEL_SPEEDUP}x floor"
+            )
+
+    # Streaming must dominate the two-phase materializing pipeline.
+    for name, metrics in sorted(newm.items()):
+        if not (name.startswith("BenchmarkCheckProgram/") and name.endswith("/streaming")):
+            continue
+        mat = newm.get(name[: -len("/streaming")] + "/materialize", {}).get("ns/op")
+        got = metrics.get("ns/op")
+        if not mat or not got:
+            continue
+        prog = name[len("BenchmarkCheckProgram/"):-len("/streaming")]
+        print(f"streaming vs materialize [{prog}]: {mat / got:.2f}x")
+        if got > (1 + STREAMING_TOLERANCE) * mat:
+            failures.append(
+                f"{name}: streaming {got:.0f} ns/op slower than "
+                f"materialize {mat:.0f} ns/op (>{STREAMING_TOLERANCE:.0%})"
+            )
+
+    return failures
 
 
 def main():
