@@ -28,6 +28,7 @@ import (
 	"rats/internal/harness"
 	"rats/internal/litmus"
 	"rats/internal/memmodel"
+	"rats/internal/memmodel/telemetry"
 	"rats/internal/obs"
 	"rats/internal/workloads"
 )
@@ -72,16 +73,17 @@ func main() {
 	}
 
 	opts := &harness.RunOptions{Timeout: *timeout, FaultSeed: *faultSeed, WatchdogWindow: *watchdog}
+	var server *obs.Server
 	if *httpAddr != "" {
 		opts.Progress = obs.NewProgress()
-		server := obs.NewServer()
+		server = obs.NewServer()
 		server.SetRunInfo("command", "ratsfigures")
 		server.SetRunInfo("scale", *scaleName)
 		server.SetProgress(opts.Progress)
 		addr, err := server.Start(*httpAddr)
 		die(err)
 		defer server.Close()
-		fmt.Printf("observability server on http://%s (/progress /metrics /debug/pprof)\n", addr)
+		fmt.Printf("observability server on http://%s (/progress /metrics /checks /debug/pprof)\n", addr)
 	}
 	if *faultSpec != "" {
 		spec, err := fault.Parse(*faultSpec)
@@ -116,20 +118,38 @@ func main() {
 	}
 
 	if *litmusTab {
+		// The verdict table doubles as a checker-telemetry summary: per
+		// test, total executions explored across the three model checks,
+		// the DRFrlx sleep-set pruning ratio, and total checker wall time.
+		reg := telemetry.NewRegistry()
+		opts.Checks = reg
+		if server != nil {
+			server.SetChecks(reg)
+		}
+		results, err := harness.LitmusSweep(litmus.Suite(), harness.LitmusSweepOptions{Run: opts})
+		die(err)
 		fmt.Println("Litmus suite verdicts (streaming race classification)")
-		fmt.Printf("  %-26s %-8s %-8s %-8s\n", "test", "DRF0", "DRF1", "DRFrlx")
-		for _, tc := range litmus.Suite() {
-			fmt.Printf("  %-26s", tc.Prog.Name)
-			for _, m := range core.Models() {
-				v, err := memmodel.CheckProgram(tc.Prog, m)
-				die(err)
+		fmt.Printf("  %-26s %-8s %-8s %-8s %8s %8s %9s\n", "test", "DRF0", "DRF1", "DRFrlx", "execs", "pruned", "ms")
+		for _, r := range results {
+			fmt.Printf("  %-26s", r.Case.Prog.Name)
+			for i := range core.Models() {
 				cell := "illegal"
-				if v.Legal {
+				if r.Verdicts[i].Legal {
 					cell = "legal"
 				}
 				fmt.Printf(" %-8s", cell)
 			}
-			fmt.Println()
+			var execs int64
+			var pruned, ms float64
+			for _, c := range r.Checks {
+				s := c.Snapshot()
+				execs += s.Executions
+				ms += s.ElapsedMs
+				if c.Model() == core.DRFrlx.String() {
+					pruned = s.PrunedPct
+				}
+			}
+			fmt.Printf(" %8d %7.1f%% %9.2f\n", execs, pruned, ms)
 		}
 		return
 	}

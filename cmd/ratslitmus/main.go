@@ -8,6 +8,9 @@
 //	ratslitmus                   # full suite
 //	ratslitmus -j 8              # suite with 8 parallel checkers
 //	ratslitmus -mode materialize # two-phase reference pipeline
+//	ratslitmus -http :6060       # serve live /checks + /metrics during
+//	                             # the suite run
+//	ratslitmus -telemetry-out f  # write deterministic per-check JSONL
 //	ratslitmus -table1           # Table 1 (use cases and applications)
 //	ratslitmus -theorem          # Theorem 3.1 validation only
 //	ratslitmus -file t.litmus    # check a litmus file (with -witness for
@@ -20,22 +23,28 @@ import (
 	"os"
 	"runtime"
 	"strings"
-	"sync"
+	"time"
 
 	"rats/internal/core"
+	"rats/internal/harness"
 	"rats/internal/litmus"
 	"rats/internal/memmodel"
+	"rats/internal/memmodel/telemetry"
+	"rats/internal/obs"
 )
 
 func main() {
 	var (
-		table1  = flag.Bool("table1", false, "print Table 1 and exit")
-		theorem = flag.Bool("theorem", false, "run only the Theorem 3.1 validation")
-		file    = flag.String("file", "", "check a single litmus file instead of the suite")
-		witness = flag.Bool("witness", false, "with -file: print a witness execution for the first illegal race")
-		infer   = flag.Bool("infer", false, "with -file: infer the cheapest legal atomic labelling")
-		jobs    = flag.Int("j", runtime.GOMAXPROCS(0), "suite-level parallelism (test cases checked concurrently)")
-		mode    = flag.String("mode", "streaming", "analysis pipeline: streaming|materialize")
+		table1   = flag.Bool("table1", false, "print Table 1 and exit")
+		theorem  = flag.Bool("theorem", false, "run only the Theorem 3.1 validation")
+		file     = flag.String("file", "", "check a single litmus file instead of the suite")
+		witness  = flag.Bool("witness", false, "with -file: print a witness execution for the first illegal race")
+		infer    = flag.Bool("infer", false, "with -file: infer the cheapest legal atomic labelling")
+		jobs     = flag.Int("j", runtime.GOMAXPROCS(0), "suite-level parallelism (test cases checked concurrently)")
+		mode     = flag.String("mode", "streaming", "analysis pipeline: streaming|materialize")
+		httpAddr = flag.String("http", "", "serve live observability (/checks, /metrics, /progress, /buildinfo) on this address during the suite run")
+		linger   = flag.Duration("http-linger", 0, "with -http: keep serving this long after the suite finishes")
+		telOut   = flag.String("telemetry-out", "", "write deterministic per-check telemetry JSONL to this file")
 	)
 	flag.Parse()
 
@@ -62,49 +71,68 @@ func main() {
 		return
 	}
 
-	// Check test cases on a worker pool. Each case renders its report into
-	// a private buffer, and buffers are printed in suite order, so the
-	// output is deterministic and identical to a serial run regardless of
-	// -j.
-	workers := *jobs
-	if workers < 1 {
-		workers = 1
+	// Sweep-level integration: the obs server and the JSONL artifact both
+	// hang off a telemetry registry; either flag turns instrumentation on.
+	runOpts := &harness.RunOptions{}
+	var srv *obs.Server
+	if *httpAddr != "" || *telOut != "" {
+		runOpts.Checks = telemetry.NewRegistry()
 	}
-	if workers > len(suite) {
-		workers = len(suite)
+	if *httpAddr != "" {
+		runOpts.Progress = obs.NewProgress()
+		srv = obs.NewServer()
+		srv.SetRunInfo("suite", "litmus")
+		srv.SetRunInfo("mode", *mode)
+		srv.SetChecks(runOpts.Checks)
+		srv.SetProgress(runOpts.Progress)
+		addr, err := srv.Start(*httpAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ratslitmus:", err)
+			os.Exit(1)
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "ratslitmus: serving /checks /metrics /progress /buildinfo on http://%s\n", addr)
 	}
-	type result struct {
-		out  string
-		fail int
-		err  error
+	var telFile *os.File
+	if *telOut != "" {
+		f, err := os.Create(*telOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ratslitmus:", err)
+			os.Exit(1)
+		}
+		telFile = f
+		runOpts.TelemetryOut = f
 	}
-	results := make([]result, len(suite))
-	idx := make(chan int)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				out, nfail, err := runCase(suite[i], *theorem, opts)
-				results[i] = result{out: out, fail: nfail, err: err}
-			}
-		}()
+
+	// Cases are checked on the sweep's worker pool and reported in suite
+	// order, so the output is deterministic and identical to a serial run
+	// regardless of -j.
+	results, err := harness.LitmusSweep(suite, harness.LitmusSweepOptions{
+		Workers:     *jobs,
+		TheoremOnly: *theorem,
+		Check:       opts,
+		Run:         runOpts,
+	})
+	if telFile != nil {
+		if cerr := telFile.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "ratslitmus:", cerr)
+			os.Exit(1)
+		}
 	}
-	for i := range suite {
-		idx <- i
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ratslitmus:", err)
+		os.Exit(1)
 	}
-	close(idx)
-	wg.Wait()
 
 	fail := 0
 	for _, r := range results {
-		if r.err != nil {
-			fmt.Fprintln(os.Stderr, "ratslitmus:", r.err)
-			os.Exit(1)
-		}
-		fmt.Print(r.out)
-		fail += r.fail
+		out, nfail := renderCase(r, *theorem)
+		fmt.Print(out)
+		fail += nfail
+	}
+	if srv != nil && *linger > 0 {
+		fmt.Fprintf(os.Stderr, "ratslitmus: suite finished; serving for another %s\n", *linger)
+		time.Sleep(*linger)
 	}
 	if fail > 0 {
 		fmt.Printf("\n%d mismatches\n", fail)
@@ -124,18 +152,16 @@ func pipelineOptions(mode string) (memmodel.CheckOptions, error) {
 	return memmodel.CheckOptions{}, fmt.Errorf("unknown -mode %q (want streaming or materialize)", mode)
 }
 
-// runCase checks one suite case under every model plus the theorem
-// validation, returning its rendered report and mismatch count.
-func runCase(tc litmus.Case, theoremOnly bool, opts memmodel.CheckOptions) (string, int, error) {
+// renderCase formats one sweep result as the per-case report, returning
+// it with the mismatch count.
+func renderCase(r harness.LitmusCaseResult, theoremOnly bool) (string, int) {
 	var b strings.Builder
 	fail := 0
+	tc := r.Case
 	if !theoremOnly {
 		fmt.Fprintf(&b, "%-26s %s\n", tc.Prog.Name, tc.Notes)
 		for i, m := range core.Models() {
-			v, err := memmodel.CheckProgramWith(tc.Prog, m, opts)
-			if err != nil {
-				return "", 0, err
-			}
+			v := r.Verdicts[i]
 			status := "ok"
 			if v.Legal != tc.Legal[i] {
 				status = "MISMATCH"
@@ -145,10 +171,7 @@ func runCase(tc litmus.Case, theoremOnly bool, opts memmodel.CheckOptions) (stri
 				m, v.Legal, tc.Legal[i], status, raceSummary(v))
 		}
 	}
-	rep, err := memmodel.ValidateTheorem(tc.Prog)
-	if err != nil {
-		return "", 0, err
-	}
+	rep := r.Theorem
 	ok := !rep.Legal || rep.SystemSC
 	status := "theorem holds"
 	if !ok {
@@ -156,7 +179,7 @@ func runCase(tc litmus.Case, theoremOnly bool, opts memmodel.CheckOptions) (stri
 		fail++
 	}
 	fmt.Fprintf(&b, "  %-8s system results=%d SC results=%d: %s\n", "sys", rep.SystemCount, rep.SCCount, status)
-	return b.String(), fail, nil
+	return b.String(), fail
 }
 
 func raceSummary(v *memmodel.Verdict) string {

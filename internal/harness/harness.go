@@ -7,6 +7,7 @@ package harness
 import (
 	"errors"
 	"fmt"
+	"io"
 	"runtime"
 	"runtime/debug"
 	"strings"
@@ -16,6 +17,7 @@ import (
 	"rats/internal/core"
 	"rats/internal/energy"
 	"rats/internal/fault"
+	"rats/internal/memmodel/telemetry"
 	"rats/internal/obs"
 	"rats/internal/report"
 	"rats/internal/sim/memsys"
@@ -85,6 +87,15 @@ type RunOptions struct {
 	// Progress, when non-nil, receives per-run lifecycle updates
 	// (running/done/failed/restored) for the live /progress endpoint.
 	Progress *obs.Progress
+	// Checks, when non-nil, registers one telemetry check per semantics
+	// check a litmus sweep (LitmusSweep) runs, feeding the obs server's
+	// /checks endpoint and rats_check_* metrics. Simulation sweeps ignore
+	// it.
+	Checks *telemetry.Registry
+	// TelemetryOut, when non-nil, receives the deterministic per-check
+	// JSONL records when a litmus sweep completes — one JSON object per
+	// check, in suite order, byte-identical across runs and worker counts.
+	TelemetryOut io.Writer
 }
 
 // apply folds the options into a run configuration.

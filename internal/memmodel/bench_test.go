@@ -5,6 +5,7 @@ import (
 
 	"rats/internal/core"
 	"rats/internal/litmus"
+	"rats/internal/memmodel/telemetry"
 )
 
 // benchProgram pulls a named program from the suite in its analysis form
@@ -47,6 +48,12 @@ func BenchmarkEnumerate(b *testing.B) {
 		})
 		b.Run(name+"/por", func(b *testing.B) {
 			benchEnumerate(b, p, EnumOptions{Quantum: true})
+		})
+		// The enabled-telemetry variant prices the atomic counters; the
+		// plain por variant above is the disabled (nil-fold) path the CI
+		// overhead gate pins against the pre-telemetry baseline.
+		b.Run(name+"/por+tel", func(b *testing.B) {
+			benchEnumerate(b, p, EnumOptions{Quantum: true, Telemetry: telemetry.NewCheck(name, "bench")})
 		})
 	}
 }
@@ -101,6 +108,17 @@ func BenchmarkCheckProgram(b *testing.B) {
 				}
 			})
 		}
+		// Enabled-telemetry streaming variant: one fresh check per
+		// iteration, matching how a sweep instruments each verdict.
+		b.Run(name+"/streaming+tel", func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				opts := CheckOptions{Telemetry: telemetry.NewCheck(name, "bench")}
+				if _, err := CheckProgramWith(tc.Prog, core.DRFrlx, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -16,9 +16,11 @@ import (
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"rats/internal/core"
 	"rats/internal/litmus"
+	"rats/internal/memmodel/telemetry"
 )
 
 // Event is one dynamic memory operation of an execution. Branch markers
@@ -129,13 +131,63 @@ type EnumOptions struct {
 	// allocation-free. Returning nil falls back to allocation; recycled
 	// executions must originate from the same Enumerate call.
 	Recycle func() *Execution
+	// Telemetry, when non-nil, receives live engine counters: executions
+	// recorded, DFS transitions taken, sleep-set skips, and recycle/
+	// allocation events. A nil Check is the zero-overhead disabled mode
+	// (every counter folds into one nil-check branch).
+	Telemetry *telemetry.Check
 }
 
 // DefaultLimit bounds enumeration to keep litmus tests tractable.
 const DefaultLimit = 500_000
 
 // ErrLimit is returned when enumeration exceeds its execution budget.
+// Returned errors wrap it in a *LimitError carrying the trip diagnostics;
+// match with errors.Is(err, ErrLimit) / errors.As(err, *LimitError).
 var ErrLimit = fmt.Errorf("memmodel: execution limit exceeded")
+
+// LimitError is the structured form of ErrLimit: it names the program,
+// the budget, how far the search got before tripping, and — when the
+// run was instrumented — the telemetry record at trip time, so an
+// over-budget check is a diagnosis instead of a bare sentinel (the same
+// pattern as the simulator's *DiagnosticError).
+type LimitError struct {
+	// Prog is the program whose enumeration tripped the budget.
+	Prog string
+	// Phase is the search that tripped: "enumeration" (SC executions of
+	// the quantum-equivalent program) or "system model".
+	Phase string
+	// Limit is the execution budget that was exceeded.
+	Limit int
+	// Executions is the number of executions recorded before the trip.
+	Executions int64
+	// Elapsed is the wall-clock time spent searching before the trip.
+	Elapsed time.Duration
+	// Telemetry is the instrumentation record at trip time (nil when the
+	// run was not instrumented).
+	Telemetry *telemetry.Record
+}
+
+func (e *LimitError) Error() string {
+	return fmt.Sprintf("memmodel: execution limit exceeded (%s, limit %d, program %s: %d executions in %s)",
+		e.Phase, e.Limit, e.Prog, e.Executions, e.Elapsed.Round(time.Millisecond))
+}
+
+// Unwrap keeps errors.Is(err, ErrLimit) working.
+func (e *LimitError) Unwrap() error { return ErrLimit }
+
+// newLimitError builds the structured budget error for one search.
+func newLimitError(prog, phase string, limit int, execs int64, start time.Time, tel *telemetry.Check) *LimitError {
+	le := &LimitError{
+		Prog: prog, Phase: phase, Limit: limit,
+		Executions: execs, Elapsed: time.Since(start),
+	}
+	if tel != nil {
+		rec := tel.Record()
+		le.Telemetry = &rec
+	}
+	return le
+}
 
 // ErrStop, returned by an EnumOptions.Visit callback, stops enumeration
 // early without error: workers drain and Enumerate returns (nil, nil).
@@ -285,6 +337,20 @@ type enumerator struct {
 
 	execs []*Execution
 	err   error
+
+	// tel is the optional instrumentation block, shared by all clones
+	// (nil when disabled); start is the enumeration's wall-clock start,
+	// stamped once by Enumerate for LimitError diagnostics. Both live at
+	// the end of the struct so the disabled mode keeps the hot search
+	// state at the same offsets as the uninstrumented layout.
+	tel   *telemetry.Check
+	start time.Time
+	// transitions and sleepSkips are clone-local shards of the hot-loop
+	// counters, always incremented (a register add costs less than a
+	// nil check per transition) and flushed into tel by flushTel once
+	// per branch. clone starts fresh shards per worker.
+	transitions int64
+	sleepSkips  int64
 }
 
 func newEnumerator(p *litmus.Program, opts EnumOptions) *enumerator {
@@ -296,6 +362,7 @@ func newEnumerator(p *litmus.Program, opts EnumOptions) *enumerator {
 		por:    !opts.Naive && len(p.Threads) <= 64,
 		count:  new(atomic.Int64),
 		stop:   new(atomic.Bool),
+		tel:    opts.Telemetry,
 		pc:     make([]int, len(p.Threads)),
 		order:  make([]int, 0, 16),
 	}
@@ -346,6 +413,7 @@ func (e *enumerator) clone() *enumerator {
 	c := &enumerator{
 		prog: e.prog, lay: e.lay, opts: e.opts, domain: e.domain,
 		por: e.por, count: e.count, stop: e.stop,
+		tel: e.tel, start: e.start,
 		proto:   e.proto,
 		info:    e.info,
 		pc:      append([]int(nil), e.pc...),
@@ -386,14 +454,24 @@ func Enumerate(p *litmus.Program, opts EnumOptions) ([]*Execution, error) {
 		opts.Limit = DefaultLimit
 	}
 	e := newEnumerator(p, opts)
+	e.start = time.Now()
 	if opts.Naive || opts.Sequential || len(p.Threads) < 2 {
 		e.step()
+		e.flushTel()
 		if e.err != nil {
 			return nil, e.err
 		}
 		return e.execs, nil
 	}
 	return e.runParallel()
+}
+
+// flushTel folds the clone-local hot-loop counter shards into the shared
+// telemetry block (no-op when disabled).
+func (e *enumerator) flushTel() {
+	e.tel.AddTransitions(e.transitions)
+	e.tel.AddSleepSkips(e.sleepSkips)
+	e.transitions, e.sleepSkips = 0, 0
 }
 
 // runParallel explores the first-step branches on a worker pool: each
@@ -473,6 +551,7 @@ func (e *enumerator) runParallel() ([]*Execution, error) {
 				c := e.clone()
 				c.sleep = tk.sleep
 				c.execOne(tk.t, tk.inf, tk.lv, tk.sv)
+				c.flushTel()
 				workers[i] = c
 			}
 		}()
@@ -565,6 +644,7 @@ func (e *enumerator) step() {
 		}
 		if e.por {
 			if sleep&(1<<uint(t)) != 0 {
+				e.sleepSkips++
 				continue
 			}
 			e.sleep = e.filterSleep(sleep, inf)
@@ -613,6 +693,7 @@ func (e *enumerator) choices(inf *opInfo) (loads, stores []int64) {
 }
 
 func (e *enumerator) execOne(t int, inf *opInfo, qload, qstore int64) {
+	e.transitions++
 	id, loc := inf.id, inf.loc
 	oldMem := e.mem[loc]
 	oldLast := e.lastW[loc]
@@ -675,15 +756,20 @@ func (e *enumerator) record() {
 		return
 	}
 	if n := e.count.Add(1); n > int64(e.opts.Limit) {
-		e.err = fmt.Errorf("%w (limit %d, program %s)", ErrLimit, e.opts.Limit, e.prog.Name)
+		e.flushTel() // fold this worker's shard into the trip-time snapshot
+		e.err = newLimitError(e.prog.Name, "enumeration", e.opts.Limit, n-1, e.start, e.tel)
 		e.stop.Store(true)
 		return
 	}
+	e.tel.IncEnumerated()
 	var ex *Execution
 	if e.opts.Recycle != nil {
 		ex = e.opts.Recycle()
 	}
-	if ex == nil {
+	if ex != nil {
+		e.tel.IncRecycled()
+	} else {
+		e.tel.IncAllocated()
 		ex = &Execution{
 			Events:  make([]Event, e.lay.n),
 			Order:   make([]int, 0, len(e.order)),

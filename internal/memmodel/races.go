@@ -1,6 +1,7 @@
 package memmodel
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sort"
@@ -10,6 +11,7 @@ import (
 	"rats/internal/core"
 	"rats/internal/litmus"
 	"rats/internal/memmodel/rel"
+	"rats/internal/memmodel/telemetry"
 )
 
 // RaceKind is one of the paper's illegal race categories.
@@ -252,6 +254,10 @@ type CheckOptions struct {
 	// Limit overrides the enumerator's execution limit; 0 means the
 	// enumerator default.
 	Limit int
+	// Telemetry, when non-nil, receives the check's live engine counters
+	// (enumeration, pruning, analysis workers, verdict merge) and its
+	// lifecycle transitions. nil disables instrumentation at zero cost.
+	Telemetry *telemetry.Check
 }
 
 // CheckProgram enumerates the SC executions of the program's
@@ -276,19 +282,30 @@ func CheckProgramWith(p0 *litmus.Program, m core.Model, opts CheckOptions) (*Ver
 	if m == core.DRFrlx {
 		kinds = RaceKinds()
 	}
-	eo := EnumOptions{Quantum: true, Limit: opts.Limit}
+	tel := opts.Telemetry
+	effLimit := opts.Limit
+	if effLimit == 0 {
+		effLimit = DefaultLimit
+	}
+	tel.Begin(int64(effLimit))
+	eo := EnumOptions{Quantum: true, Limit: opts.Limit, Telemetry: tel}
 
 	if opts.Materialize {
 		execs, err := Enumerate(p, eo)
 		if err != nil {
+			tel.Finish(stateForErr(err))
 			return nil, err
 		}
 		pv := newPartialVerdict()
 		an := NewAnalyzer()
+		w := tel.Worker()
 		for _, ex := range execs {
 			pv.add(an.Analyze(ex), kinds)
+			w.IncAnalyzed()
 		}
-		return finishVerdict(p0.Name, m, []*partialVerdict{pv}), nil
+		v := finishVerdict(p0.Name, m, []*partialVerdict{pv}, tel)
+		tel.Finish(telemetry.StateDone)
+		return v, nil
 	}
 
 	maxWorkers := opts.Workers
@@ -303,6 +320,7 @@ func CheckProgramWith(p0 *litmus.Program, m core.Model, opts CheckOptions) (*Ver
 		// executions.
 		pv := newPartialVerdict()
 		an := NewAnalyzer()
+		w := tel.Worker()
 		var spare *Execution
 		eo.Recycle = func() *Execution {
 			ex := spare
@@ -311,13 +329,17 @@ func CheckProgramWith(p0 *litmus.Program, m core.Model, opts CheckOptions) (*Ver
 		}
 		eo.Visit = func(ex *Execution) error {
 			pv.add(an.Analyze(ex), kinds)
+			w.IncAnalyzed()
 			spare = ex
 			return nil
 		}
 		if _, err := Enumerate(p, eo); err != nil {
+			tel.Finish(stateForErr(err))
 			return nil, err
 		}
-		return finishVerdict(p0.Name, m, []*partialVerdict{pv}), nil
+		v := finishVerdict(p0.Name, m, []*partialVerdict{pv}, tel)
+		tel.Finish(telemetry.StateDone)
+		return v, nil
 	}
 	ch := make(chan *Execution, 4*maxWorkers)
 	var (
@@ -334,12 +356,35 @@ func CheckProgramWith(p0 *litmus.Program, m core.Model, opts CheckOptions) (*Ver
 	spawn := func() {
 		pv := newPartialVerdict()
 		parts = append(parts, pv)
+		w := tel.Worker()
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			an := NewAnalyzer()
-			for ex := range ch {
+			if w == nil {
+				for ex := range ch {
+					pv.add(an.Analyze(ex), kinds)
+					exPool.Put(ex)
+				}
+				return
+			}
+			// Instrumented loop: a blocking receive on an empty channel
+			// means this worker outpaced the enumerator — count it as an
+			// idle wait before parking.
+			for {
+				var ex *Execution
+				var ok bool
+				select {
+				case ex, ok = <-ch:
+				default:
+					w.IncIdle()
+					ex, ok = <-ch
+				}
+				if !ok {
+					return
+				}
 				pv.add(an.Analyze(ex), kinds)
+				w.IncAnalyzed()
 				exPool.Put(ex)
 			}
 		}()
@@ -367,9 +412,23 @@ func CheckProgramWith(p0 *litmus.Program, m core.Model, opts CheckOptions) (*Ver
 	close(ch)
 	wg.Wait()
 	if err != nil {
+		tel.Finish(stateForErr(err))
 		return nil, err
 	}
-	return finishVerdict(p0.Name, m, parts), nil
+	v := finishVerdict(p0.Name, m, parts, tel)
+	tel.Finish(telemetry.StateDone)
+	return v, nil
+}
+
+// stateForErr maps a check error onto its terminal telemetry state.
+func stateForErr(err error) telemetry.CheckState {
+	switch {
+	case errors.Is(err, ErrLimit):
+		return telemetry.StateLimit
+	case errors.Is(err, ErrStop):
+		return telemetry.StateStopped
+	}
+	return telemetry.StateFailed
 }
 
 // partialVerdict is one analysis worker's shard of the verdict. All
@@ -414,20 +473,26 @@ func (pv *partialVerdict) add(a *Analysis, kinds []RaceKind) {
 
 // finishVerdict merges worker shards into the final verdict. Set union
 // followed by a sort makes the result independent of how executions were
-// partitioned across workers and of delivery order.
-func finishVerdict(name string, m core.Model, parts []*partialVerdict) *Verdict {
+// partitioned across workers and of delivery order. The telemetry check
+// (when instrumented) records the merge shape: distinct racy pairs and
+// SC results (deterministic), plus the shard-set entries fed into the
+// union (scheduling-dependent — how executions landed on workers).
+func finishVerdict(name string, m core.Model, parts []*partialVerdict, tel *telemetry.Check) *Verdict {
 	v := &Verdict{
 		Prog: name, Model: m, Legal: true,
 		Races:     map[RaceKind][]string{},
 		SCResults: map[string]bool{},
 	}
 	var merged [NumRaceKinds]map[string]bool
+	var mergeInputs int64
 	for _, pv := range parts {
 		v.Execs += pv.execs
 		for k := range pv.scResults {
 			v.SCResults[k] = true
 		}
+		mergeInputs += int64(len(pv.scResults))
 		for ki, set := range pv.races {
+			mergeInputs += int64(len(set))
 			for d := range set {
 				if merged[ki] == nil {
 					merged[ki] = map[string]bool{}
@@ -436,10 +501,12 @@ func finishVerdict(name string, m core.Model, parts []*partialVerdict) *Verdict 
 			}
 		}
 	}
+	var distinct int64
 	for ki, set := range merged {
 		if len(set) == 0 {
 			continue
 		}
+		distinct += int64(len(set))
 		v.Legal = false
 		descs := make([]string, 0, len(set))
 		for d := range set {
@@ -448,6 +515,7 @@ func finishVerdict(name string, m core.Model, parts []*partialVerdict) *Verdict 
 		sort.Strings(descs)
 		v.Races[RaceKind(ki)] = descs
 	}
+	tel.SetUnion(distinct, mergeInputs, int64(len(v.SCResults)))
 	return v
 }
 

@@ -1,12 +1,13 @@
 package memmodel
 
 import (
-	"fmt"
 	"strconv"
+	"time"
 
 	"rats/internal/core"
 	"rats/internal/litmus"
 	"rats/internal/memmodel/rel"
+	"rats/internal/memmodel/telemetry"
 )
 
 // The system-centric model (Section 3.8): it enumerates every execution a
@@ -112,12 +113,24 @@ func isOrderedAtomic(c core.Class) bool {
 // quantum-equivalent program). limit bounds the number of explored
 // executions (0 = DefaultLimit).
 func SystemResults(p *litmus.Program, limit int) (map[string]bool, error) {
+	return SystemResultsWith(p, limit, nil)
+}
+
+// SystemResultsWith is SystemResults with instrumentation: the telemetry
+// check (nil = disabled) counts completed system executions, DFS
+// transitions, and seen-state memo hits, and is marked Begin/Finish
+// around the search.
+func SystemResultsWith(p *litmus.Program, limit int, tel *telemetry.Check) (map[string]bool, error) {
 	if err := p.Validate(); err != nil {
+		tel.Begin(int64(limit))
+		tel.Finish(telemetry.StateFailed)
 		return nil, err
 	}
 	if limit == 0 {
 		limit = DefaultLimit
 	}
+	tel.Begin(int64(limit))
+	start := time.Now()
 	lay := layout(p)
 	ppo := PreservedPO(p)
 
@@ -198,16 +211,19 @@ func SystemResults(p *litmus.Program, limit int) (map[string]bool, error) {
 		if nDone == lay.n {
 			count++
 			if count > limit {
-				return fmt.Errorf("%w (system model, limit %d, program %s)", ErrLimit, limit, p.Name)
+				return newLimitError(p.Name, "system model", limit, int64(count-1), start, tel)
 			}
+			tel.IncEnumerated()
 			results[resultKey(mem)] = true
 			return nil
 		}
 		k := stateKey()
 		if seen[k] {
+			tel.AddMemoHits(1)
 			return nil
 		}
 		seen[k] = true
+		tel.IncTransition()
 	next:
 		for i := 0; i < lay.n; i++ {
 			if done[i] {
@@ -257,8 +273,10 @@ func SystemResults(p *litmus.Program, limit int) (map[string]bool, error) {
 		return nil
 	}
 	if err := step(); err != nil {
+		tel.Finish(telemetry.StateLimit)
 		return nil, err
 	}
+	tel.Finish(telemetry.StateDone)
 	return results, nil
 }
 
@@ -281,11 +299,18 @@ type TheoremReport struct {
 // ValidateTheorem runs both models on a program under DRFrlx and compares
 // result sets. Theorem 3.1 requires SystemSC whenever Legal.
 func ValidateTheorem(p *litmus.Program) (*TheoremReport, error) {
-	verdict, err := CheckProgram(p, core.DRFrlx)
+	return ValidateTheoremWith(p, CheckOptions{}, nil)
+}
+
+// ValidateTheoremWith is ValidateTheorem with instrumentation: opts
+// configures (and may instrument) the programmer-centric check, while
+// sysTel instruments the system-model search as its own telemetry check.
+func ValidateTheoremWith(p *litmus.Program, opts CheckOptions, sysTel *telemetry.Check) (*TheoremReport, error) {
+	verdict, err := CheckProgramWith(p, core.DRFrlx, opts)
 	if err != nil {
 		return nil, err
 	}
-	sys, err := SystemResults(p.Under(core.DRFrlx), 0)
+	sys, err := SystemResultsWith(p.Under(core.DRFrlx), opts.Limit, sysTel)
 	if err != nil {
 		return nil, err
 	}

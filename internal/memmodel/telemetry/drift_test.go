@@ -1,0 +1,30 @@
+package telemetry_test
+
+import (
+	"testing"
+
+	"rats/internal/memmodel/telemetry"
+)
+
+// TestCheckStateStringExhaustive mirrors the probe/stats drift tests:
+// every state below NumCheckStates must have a real, unique name, and
+// the first out-of-range value must render "?". Adding a state without
+// updating String fails here instead of silently rendering "?" in
+// /checks payloads and JSONL records.
+func TestCheckStateStringExhaustive(t *testing.T) {
+	seen := map[string]int{}
+	for i := 0; i < telemetry.NumCheckStates; i++ {
+		s := telemetry.CheckState(i).String()
+		if s == "?" || s == "" {
+			t.Errorf("CheckState %d has no name (String says %q); update String alongside the constant", i, s)
+			continue
+		}
+		if prev, dup := seen[s]; dup {
+			t.Errorf("CheckState %d and %d share the name %q", prev, i, s)
+		}
+		seen[s] = i
+	}
+	if s := telemetry.CheckState(telemetry.NumCheckStates).String(); s != "?" {
+		t.Errorf("CheckState %d (out of range) renders %q, want \"?\"", telemetry.NumCheckStates, s)
+	}
+}

@@ -1,0 +1,207 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"rats/internal/hist"
+)
+
+// Registry tracks every check of a suite run for the live /checks
+// endpoint and the rats_check_* metrics aggregates. A nil *Registry is
+// the disabled mode: NewCheck returns a nil *Check and the whole
+// instrumentation layer folds away.
+type Registry struct {
+	mu      sync.Mutex
+	checks  []*Check
+	latency hist.Histogram // per-check wall time, microseconds
+	clock   func() time.Time
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry { return &Registry{} }
+
+// SetClock overrides the wall clock for every subsequently created
+// check (deterministic tests and goldens).
+func (r *Registry) SetClock(fn func() time.Time) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.clock = fn
+	r.mu.Unlock()
+}
+
+// NewCheck registers and returns a new check (nil on a nil registry).
+// The registry observes the check's wall time into its latency
+// histogram when the check finishes.
+func (r *Registry) NewCheck(program, model string) *Check {
+	if r == nil {
+		return nil
+	}
+	c := NewCheck(program, model)
+	r.mu.Lock()
+	c.clock = r.clock
+	c.onFinish = r.observe
+	r.checks = append(r.checks, c)
+	r.mu.Unlock()
+	return c
+}
+
+func (r *Registry) observe(c *Check) {
+	us := c.elapsedNS.Load() / 1e3
+	r.mu.Lock()
+	r.latency.Record(us)
+	r.mu.Unlock()
+}
+
+// Totals aggregates the deterministic counters across every registered
+// check — the rats_check_* exposition source. Summing Records keeps the
+// aggregates order-independent, so the final metrics equal the sums over
+// the per-check JSONL records exactly.
+type Totals struct {
+	States      [NumCheckStates]int64
+	Executions  int64
+	Transitions int64
+	SleepSkips  int64
+	MemoHits    int64
+	Analyzed    int64
+	Recycled    int64
+	Allocated   int64
+	RacePairs   int64
+	SCResults   int64
+}
+
+// RegistrySnapshot is the /checks JSON payload.
+type RegistrySnapshot struct {
+	Total      int           `json:"total"`
+	Running    int           `json:"running"`
+	Done       int           `json:"done"`
+	Limit      int           `json:"limit"`
+	Stopped    int           `json:"stopped"`
+	Failed     int           `json:"failed"`
+	Executions int64         `json:"executions"`
+	Latency    *hist.Summary `json:"latency_ms,omitempty"`
+	Checks     []Snapshot    `json:"checks"`
+}
+
+// sortedChecks returns the registered checks ordered by (program,
+// model): registration order is scheduling-dependent under a parallel
+// suite runner, so every reader sorts for a stable view.
+func (r *Registry) sortedChecks() []*Check {
+	r.mu.Lock()
+	out := append([]*Check(nil), r.checks...)
+	r.mu.Unlock()
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].program != out[j].program {
+			return out[i].program < out[j].program
+		}
+		return out[i].model < out[j].model
+	})
+	return out
+}
+
+// Snapshot returns the live /checks view, checks sorted by (program,
+// model).
+func (r *Registry) Snapshot() RegistrySnapshot {
+	var snap RegistrySnapshot
+	if r == nil {
+		return snap
+	}
+	for _, c := range r.sortedChecks() {
+		s := c.Snapshot()
+		snap.Total++
+		switch c.State() {
+		case StateRunning:
+			snap.Running++
+		case StateDone:
+			snap.Done++
+		case StateLimit:
+			snap.Limit++
+		case StateStopped:
+			snap.Stopped++
+		case StateFailed:
+			snap.Failed++
+		}
+		snap.Executions += s.Executions
+		snap.Checks = append(snap.Checks, s)
+	}
+	r.mu.Lock()
+	if r.latency.Count() > 0 {
+		// The histogram records microseconds; surface milliseconds.
+		us := r.latency.Summarize()
+		ms := hist.Summary{
+			Count: us.Count,
+			P50:   us.P50 / 1000, P90: us.P90 / 1000, P99: us.P99 / 1000,
+			Max:  us.Max / 1000,
+			Mean: us.Mean / 1000,
+		}
+		snap.Latency = &ms
+	}
+	r.mu.Unlock()
+	return snap
+}
+
+// Totals returns the metrics aggregates (zero value on nil).
+func (r *Registry) Totals() Totals {
+	var t Totals
+	if r == nil {
+		return t
+	}
+	r.mu.Lock()
+	checks := append([]*Check(nil), r.checks...)
+	r.mu.Unlock()
+	for _, c := range checks {
+		t.States[c.State()]++
+		t.Executions += c.enumerated.Load()
+		t.Transitions += c.transitions.Load()
+		t.SleepSkips += c.sleepSkips.Load()
+		t.MemoHits += c.memoHits.Load()
+		t.Analyzed += c.analyzed.Load()
+		t.Recycled += c.recycled.Load()
+		t.Allocated += c.allocated.Load()
+		t.RacePairs += c.racePairs.Load()
+		t.SCResults += c.scResults.Load()
+	}
+	return t
+}
+
+// Latency returns the per-check wall-time histogram in microseconds
+// (copy; zero value on nil).
+func (r *Registry) Latency() hist.Histogram {
+	if r == nil {
+		return hist.Histogram{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.latency
+}
+
+// Records returns every check's deterministic record, sorted by
+// (program, model).
+func (r *Registry) Records() []Record {
+	if r == nil {
+		return nil
+	}
+	var out []Record
+	for _, c := range r.sortedChecks() {
+		out = append(out, c.Record())
+	}
+	return out
+}
+
+// WriteRecords writes records as JSONL (one JSON object per line). With
+// records in a deterministic order the output is byte-identical across
+// runs and worker counts.
+func WriteRecords(w io.Writer, recs []Record) error {
+	enc := json.NewEncoder(w)
+	for i := range recs {
+		if err := enc.Encode(&recs[i]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

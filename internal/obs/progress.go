@@ -35,6 +35,15 @@ type RunStatus struct {
 	Cycles int64 `json:"cycles,omitempty"`
 	// Err carries the failure message for failed runs.
 	Err string `json:"err,omitempty"`
+	// StartedAt is the run's start time (RFC 3339, UTC). Empty for
+	// statuses recorded before the run started (restored runs keep it).
+	StartedAt string `json:"started_at,omitempty"`
+	// ElapsedMs is the run's wall time so far (running) or total
+	// (finished), in milliseconds.
+	ElapsedMs float64 `json:"elapsed_ms,omitempty"`
+
+	started  time.Time
+	finished time.Time
 }
 
 // Progress tracks a sweep's per-run status for the /progress endpoint.
@@ -45,21 +54,39 @@ type Progress struct {
 	order []string // key order of first appearance (stable reporting)
 	runs  map[string]*RunStatus
 	start time.Time
+	clock func() time.Time
 }
 
 // NewProgress builds an empty tracker.
 func NewProgress() *Progress {
-	return &Progress{runs: map[string]*RunStatus{}, start: time.Now()}
+	p := &Progress{runs: map[string]*RunStatus{}, clock: time.Now}
+	p.start = p.clock()
+	return p
+}
+
+// SetClock overrides the wall clock (deterministic tests).
+func (p *Progress) SetClock(fn func() time.Time) {
+	p.mu.Lock()
+	p.clock = fn
+	p.mu.Unlock()
 }
 
 func (p *Progress) upsert(workload, cfg string, state RunState, cycles int64, errMsg string) {
 	key := workload + "/" + cfg
 	p.mu.Lock()
+	now := p.clock()
 	r := p.runs[key]
 	if r == nil {
 		r = &RunStatus{Workload: workload, Config: cfg}
 		p.runs[key] = r
 		p.order = append(p.order, key)
+	}
+	if state == RunRunning && r.started.IsZero() {
+		r.started = now
+		r.StartedAt = now.UTC().Format(time.RFC3339)
+	}
+	if state != RunRunning {
+		r.finished = now
 	}
 	r.State = state
 	r.Cycles = cycles
@@ -104,9 +131,17 @@ type Report struct {
 func (p *Progress) Snapshot() Report {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	rep := Report{ElapsedSeconds: time.Since(p.start).Seconds()}
+	now := p.clock()
+	rep := Report{ElapsedSeconds: now.Sub(p.start).Seconds()}
 	for _, key := range p.order {
 		r := *p.runs[key]
+		if !r.started.IsZero() {
+			end := r.finished
+			if end.IsZero() {
+				end = now
+			}
+			r.ElapsedMs = float64(end.Sub(r.started)) / float64(time.Millisecond)
+		}
 		rep.Total++
 		switch r.State {
 		case RunRunning:

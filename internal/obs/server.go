@@ -7,9 +7,12 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
 
+	"rats/internal/memmodel/telemetry"
 	"rats/internal/probe"
 	"rats/internal/stats"
 )
@@ -49,10 +52,14 @@ func (g *StatsGauge) Snapshot() (int64, stats.Stats) {
 // Server is the live observability HTTP endpoint. It serves:
 //
 //	/metrics  — Prometheus text exposition: run-info labels, the
-//	            aggregate simulation counters (rats_* gauges), and the
+//	            aggregate simulation counters (rats_* gauges), the
 //	            per-transaction latency histogram split by op class and
-//	            hit level
+//	            hit level, and the rats_check_* semantics-checker
+//	            aggregates when a telemetry registry is attached
 //	/progress — sweep status JSON (per-run state, counts, elapsed time)
+//	/checks   — semantics-check telemetry JSON (per-check live counters,
+//	            sorted by program then model)
+//	/buildinfo — binary identity JSON (Go version, VCS revision, run info)
 //	/debug/pprof/ — the standard Go profiling handlers
 //
 // All data sources are optional; absent ones are simply omitted from the
@@ -64,6 +71,7 @@ type Server struct {
 	gauge    *StatsGauge
 	latency  *probe.LatencySink
 	progress *Progress
+	checks   *telemetry.Registry
 
 	ln  net.Listener
 	srv *http.Server
@@ -101,14 +109,23 @@ func (s *Server) SetProgress(p *Progress) {
 	s.mu.Unlock()
 }
 
-func (s *Server) sources() (map[string]string, *StatsGauge, *probe.LatencySink, *Progress) {
+// SetChecks attaches the semantics-check telemetry registry: its
+// aggregates appear as rats_check_* metrics on /metrics and its per-check
+// state as the /checks JSON payload.
+func (s *Server) SetChecks(r *telemetry.Registry) {
+	s.mu.Lock()
+	s.checks = r
+	s.mu.Unlock()
+}
+
+func (s *Server) sources() (map[string]string, *StatsGauge, *probe.LatencySink, *Progress, *telemetry.Registry) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	info := make(map[string]string, len(s.info))
 	for k, v := range s.info {
 		info[k] = v
 	}
-	return info, s.gauge, s.latency, s.progress
+	return info, s.gauge, s.latency, s.progress, s.checks
 }
 
 // WriteMetrics renders the Prometheus text exposition. The output is
@@ -116,7 +133,7 @@ func (s *Server) sources() (map[string]string, *StatsGauge, *probe.LatencySink, 
 // sorted, counters follow stats.Rows order, and histogram buckets are
 // emitted in increasing bound order (non-empty buckets plus +Inf).
 func (s *Server) WriteMetrics(w io.Writer) {
-	info, gauge, latency, _ := s.sources()
+	info, gauge, latency, _, checks := s.sources()
 
 	if len(info) > 0 {
 		keys := make([]string, 0, len(info))
@@ -160,6 +177,80 @@ func (s *Server) WriteMetrics(w io.Writer) {
 			}
 		}
 	}
+
+	if checks != nil {
+		tot := checks.Totals()
+		fmt.Fprintf(w, "# HELP rats_check_total Semantics checks registered, by state.\n# TYPE rats_check_total gauge\n")
+		for st := 0; st < telemetry.NumCheckStates; st++ {
+			fmt.Fprintf(w, "rats_check_total{state=%q} %d\n", telemetry.CheckState(st).String(), tot.States[st])
+		}
+		counters := []struct {
+			name, help string
+			value      int64
+		}{
+			{"executions", "Executions enumerated across all checks.", tot.Executions},
+			{"transitions", "Search transitions taken across all checks.", tot.Transitions},
+			{"sleep_skips", "Transitions pruned by sleep sets.", tot.SleepSkips},
+			{"memo_hits", "Seen-state memoization hits (system-model searches).", tot.MemoHits},
+			{"analyzed", "Executions classified by analysis workers.", tot.Analyzed},
+			{"recycled", "Executions reused through the streaming recycle pool.", tot.Recycled},
+			{"allocated", "Executions freshly allocated by the enumerator.", tot.Allocated},
+			{"race_pairs", "Distinct racy pairs across final verdicts.", tot.RacePairs},
+			{"sc_results", "Distinct SC results across final verdicts.", tot.SCResults},
+		}
+		for _, c := range counters {
+			fmt.Fprintf(w, "# HELP rats_check_%s_total %s\n# TYPE rats_check_%s_total counter\nrats_check_%s_total %d\n",
+				c.name, c.help, c.name, c.name, c.value)
+		}
+		if lat := checks.Latency(); lat.Count() > 0 {
+			fmt.Fprintf(w, "# HELP rats_check_latency_us Per-check wall time in microseconds.\n# TYPE rats_check_latency_us histogram\n")
+			cum := int64(0)
+			lat.Each(func(upper, count int64) {
+				cum += count
+				fmt.Fprintf(w, "rats_check_latency_us_bucket{le=\"%d\"} %d\n", upper, cum)
+			})
+			fmt.Fprintf(w, "rats_check_latency_us_bucket{le=\"+Inf\"} %d\n", lat.Count())
+			fmt.Fprintf(w, "rats_check_latency_us_sum %d\n", lat.Sum())
+			fmt.Fprintf(w, "rats_check_latency_us_count %d\n", lat.Count())
+		}
+	}
+}
+
+// BuildInfo is the /buildinfo JSON payload: toolchain and VCS identity of
+// the serving binary plus the run-info labels, so a dashboard scraping a
+// long sweep can pin down exactly what produced the numbers.
+type BuildInfo struct {
+	GoVersion   string            `json:"go_version"`
+	Module      string            `json:"module,omitempty"`
+	Version     string            `json:"version,omitempty"`
+	VCSRevision string            `json:"vcs_revision,omitempty"`
+	VCSTime     string            `json:"vcs_time,omitempty"`
+	VCSModified bool              `json:"vcs_modified,omitempty"`
+	Run         map[string]string `json:"run,omitempty"`
+}
+
+// buildInfo collects the payload from the runtime's embedded build info.
+func (s *Server) buildInfo() BuildInfo {
+	info, _, _, _, _ := s.sources()
+	bi := BuildInfo{GoVersion: runtime.Version()}
+	if len(info) > 0 {
+		bi.Run = info
+	}
+	if rbi, ok := debug.ReadBuildInfo(); ok {
+		bi.Module = rbi.Main.Path
+		bi.Version = rbi.Main.Version
+		for _, st := range rbi.Settings {
+			switch st.Key {
+			case "vcs.revision":
+				bi.VCSRevision = st.Value
+			case "vcs.time":
+				bi.VCSTime = st.Value
+			case "vcs.modified":
+				bi.VCSModified = st.Value == "true"
+			}
+		}
+	}
+	return bi
 }
 
 // Handler returns the HTTP mux serving /metrics, /progress, and
@@ -172,7 +263,7 @@ func (s *Server) Handler() http.Handler {
 	})
 	mux.HandleFunc("/progress", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		_, _, _, progress := s.sources()
+		_, _, _, progress, _ := s.sources()
 		rep := Report{}
 		if progress != nil {
 			rep = progress.Snapshot()
@@ -180,6 +271,19 @@ func (s *Server) Handler() http.Handler {
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		enc.Encode(rep)
+	})
+	mux.HandleFunc("/checks", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_, _, _, _, checks := s.sources()
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(checks.Snapshot())
+	})
+	mux.HandleFunc("/buildinfo", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(s.buildInfo())
 	})
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

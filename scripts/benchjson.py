@@ -6,7 +6,26 @@ Usage:
       Parse benchmark text output (as produced by `go test -bench ...
       -benchmem | tee file`) into a JSON report: one entry per benchmark
       with every reported metric (ns/op, B/op, allocs/op, and custom
-      metrics such as cycles/sec, allocs/cycle, execs).
+      metrics such as cycles/sec, allocs/cycle, execs). Repeated samples
+      of the same benchmark (from `-count=N`) are aggregated per metric
+      by best case — min for /op costs, max for /sec rates, median
+      otherwise. Interference on a shared runner is one-sided (load only
+      ever slows a sample down), so the best case is the robust
+      estimator of the code's true speed; gates compare those, not
+      single noisy samples.
+
+  benchjson.py check-telemetry NEW.json BASELINE.json
+      Gate the disabled-telemetry overhead: for every BenchmarkEnumerate
+      .../por and BenchmarkCheckProgram/.../{streaming,materialize}
+      present in both files, compute the ns/op ratio — normalized by the
+      median drift of the reference benchmarks the instrumentation does
+      not touch, to factor out machine speed. The MEDIAN regression over
+      that gated set must stay within 2% (single-bench ns/op carries a
+      ~±5% alignment/neighbor-load noise floor that a median over eleven
+      hot-path benchmarks cancels), and no individual benchmark may
+      regress more than 10%. The "+tel" variants (instrumentation
+      enabled) are reported informationally against their plain
+      counterparts in NEW.
 
   benchjson.py check NEW.json BASELINE.json
       Fail (exit 1) when NEW regresses against BASELINE:
@@ -47,12 +66,53 @@ MIN_ARENA_ALLOC_RATIO = 10.0
 MIN_KERNEL_SPEEDUP = 4.0
 STREAMING_TOLERANCE = 0.05
 
+# Disabled-telemetry overhead ceiling on the semantics-engine hot paths.
+# The 2% ceiling applies to the MEDIAN normalized regression across the
+# gated set: per-bench ns/op on a shared runner has a ~±5% noise floor
+# even best-of-5 (code/alignment luck plus neighbor load), so individual
+# benchmarks cannot support a 2% comparison, but the median over eleven
+# independent hot-path benchmarks cancels that noise. A per-bench
+# backstop still catches any single benchmark blowing up outright.
+TELEMETRY_TOLERANCE = 0.02
+TELEMETRY_BENCH_CEILING = 0.10
+# Benchmarks gated by check-telemetry (matched by prefix + suffix).
+TELEMETRY_GATED = (
+    ("BenchmarkEnumerate/", "/por"),
+    ("BenchmarkCheckProgram/", "/streaming"),
+    ("BenchmarkCheckProgram/", "/materialize"),
+)
+# Normalization reference prefixes: benchmarks the checker
+# instrumentation does not touch, so their drift between two runs is
+# machine/toolchain speed, not telemetry cost. The scale is the median
+# ns/op ratio over every reference present in both runs.
+TELEMETRY_REFERENCES = (
+    "BenchmarkAnalyze/",
+    "BenchmarkTransClosure/",
+    "BenchmarkCompose/",
+    "BenchmarkSetOps/",
+    "BenchmarkSystemRun/",
+)
+
 LINE = re.compile(r"^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$")
 METRIC = re.compile(r"([\d.e+]+)\s+(\S+)")
 
 
+def aggregate(unit, vals):
+    """Collapse repeated samples of one metric: min for /op costs, max
+    for /sec rates (one-sided interference noise), median otherwise."""
+    if unit.endswith("/op"):
+        return min(vals)
+    if unit.endswith("/sec"):
+        return max(vals)
+    vals = sorted(vals)
+    mid = len(vals) // 2
+    if len(vals) % 2:
+        return vals[mid]
+    return (vals[mid - 1] + vals[mid]) / 2
+
+
 def parse(paths):
-    out = []
+    samples, order = {}, []
     for path in paths:
         for line in open(path):
             m = LINE.match(line.strip())
@@ -65,8 +125,20 @@ def parse(paths):
                     metrics[unit] = float(val)
                 except ValueError:
                     continue
-            if metrics:
-                out.append({"name": name, "iterations": iters, "metrics": metrics})
+            if not metrics:
+                continue
+            if name not in samples:
+                samples[name] = []
+                order.append((name, iters))
+            samples[name].append(metrics)
+    out = []
+    for name, iters in order:
+        units = {u for run in samples[name] for u in run}
+        merged = {
+            u: aggregate(u, [run[u] for run in samples[name] if u in run])
+            for u in sorted(units)
+        }
+        out.append({"name": name, "iterations": iters, "metrics": merged})
     return out
 
 
@@ -185,8 +257,69 @@ def check_raceclass(newm):
     return failures
 
 
+def check_telemetry(newm, basem):
+    """Gate the disabled-telemetry (nil-fold) overhead on the enumerator
+    and checker hot paths: median over the gated set <= TELEMETRY_TOLERANCE,
+    any single bench <= TELEMETRY_BENCH_CEILING, normalized by a shared
+    reference set to divide out machine speed."""
+    failures = []
+
+    ratios = []
+    for name, metrics in basem.items():
+        if not name.startswith(TELEMETRY_REFERENCES):
+            continue
+        base_ns, new_ns = metrics.get("ns/op"), newm.get(name, {}).get("ns/op")
+        if base_ns and new_ns:
+            ratios.append(new_ns / base_ns)
+    if not ratios:
+        print("telemetry gate: no shared reference benchmarks; skipping")
+        return failures
+    scale = aggregate("", ratios)  # median across the untouched references
+    print(f"telemetry gate: machine scale {scale:.3f}x (median over {len(ratios)} references)")
+
+    gated = []
+    for name, metrics in sorted(basem.items()):
+        if not any(name.startswith(p) and name.endswith(s) for p, s in TELEMETRY_GATED):
+            continue
+        base_ns = metrics.get("ns/op")
+        new_ns = newm.get(name, {}).get("ns/op")
+        if not base_ns or not new_ns:
+            continue
+        ratio = new_ns / (base_ns * scale)
+        gated.append(ratio)
+        print(f"disabled-telemetry overhead [{name[len('Benchmark'):]}]: {ratio - 1:+.1%}")
+        if ratio > 1 + TELEMETRY_BENCH_CEILING:
+            failures.append(
+                f"{name}: disabled-telemetry ns/op regressed {ratio - 1:+.1%} "
+                f"(> {TELEMETRY_BENCH_CEILING:.0%} per-bench backstop, normalized)"
+            )
+    if gated:
+        overall = aggregate("", gated)  # median regression over the gated set
+        print(
+            f"disabled-telemetry overhead [median of {len(gated)} hot-path "
+            f"benches]: {overall - 1:+.1%} (ceiling {TELEMETRY_TOLERANCE:.0%})"
+        )
+        if overall > 1 + TELEMETRY_TOLERANCE:
+            failures.append(
+                f"median hot-path ns/op regressed {overall - 1:+.1%} "
+                f"(> {TELEMETRY_TOLERANCE:.0%} ceiling, normalized, "
+                f"{len(gated)} benches)"
+            )
+
+    # Enabled-telemetry cost, informational: "+tel" vs plain in NEW.
+    for name, metrics in sorted(newm.items()):
+        if not name.endswith("+tel"):
+            continue
+        plain = newm.get(name[: -len("+tel")], {}).get("ns/op")
+        got = metrics.get("ns/op")
+        if plain and got:
+            print(f"enabled-telemetry overhead [{name[len('Benchmark'):]}]: {got / plain - 1:+.1%}")
+
+    return failures
+
+
 def main():
-    if len(sys.argv) < 4 or sys.argv[1] not in ("parse", "check"):
+    if len(sys.argv) < 4 or sys.argv[1] not in ("parse", "check", "check-telemetry"):
         print(__doc__, file=sys.stderr)
         return 2
     if sys.argv[1] == "parse":
@@ -201,6 +334,12 @@ def main():
         return 0
     new = json.load(open(sys.argv[2]))
     base = json.load(open(sys.argv[3]))
+    if sys.argv[1] == "check-telemetry":
+        failures = check_telemetry(by_name(new), by_name(base))
+        for f in failures:
+            print(f"REGRESSION: {f}", file=sys.stderr)
+        print("telemetry overhead gate:", "OK" if not failures else "FAILED")
+        return 0 if not failures else 1
     ok = check(new, base)
     print("benchmark gate:", "OK" if ok else "FAILED")
     return 0 if ok else 1
