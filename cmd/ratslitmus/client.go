@@ -1,0 +1,292 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"rats/internal/core"
+	"rats/internal/litmus"
+	"rats/internal/memmodel"
+	"rats/internal/serve"
+)
+
+// Exit codes, so scripts and CI can tell *why* a check run failed:
+// mismatches and checker errors are not the same failure as a program
+// that would not even parse, and a tripped budget is retryable where a
+// validation error is not.
+const (
+	exitOK       = 0 // all verdicts produced (and matched, where expected)
+	exitCheck    = 1 // verdict mismatch, checker failure, or I/O error
+	exitParse    = 2 // program text did not parse (or bad flags)
+	exitValidate = 3 // program parsed but is structurally invalid
+	exitLimit    = 4 // deadline or execution/transition budget exhausted
+)
+
+// classifyLocal maps a local parse/check error onto an exit code.
+func classifyLocal(err error, parsing bool) int {
+	var pe *litmus.ParseError
+	var ce *memmodel.CancelError
+	switch {
+	case errors.As(err, &pe):
+		return exitParse
+	case parsing:
+		// litmus.Parse failures that are not positional syntax errors are
+		// Validate rejections (duplicate threads, bad refs, empty program).
+		return exitValidate
+	case errors.As(err, &ce), errors.Is(err, memmodel.ErrLimit):
+		return exitLimit
+	}
+	return exitCheck
+}
+
+// classifyRemote maps a ratsserve error kind onto an exit code.
+func classifyRemote(kind string) int {
+	switch kind {
+	case "parse":
+		return exitParse
+	case "validate", "too_large", "bad_json":
+		return exitValidate
+	case "deadline", "limit", "canceled":
+		return exitLimit
+	}
+	return exitCheck
+}
+
+// serveClient checks programs against a running ratsserve.
+type serveClient struct {
+	url        string // base URL, e.g. http://127.0.0.1:8080
+	client     *http.Client
+	deadlineMs int64 // per-check deadline forwarded to the server; 0 = server default
+}
+
+func newServeClient(url string, deadline time.Duration) *serveClient {
+	return &serveClient{
+		url:        strings.TrimRight(url, "/"),
+		client:     &http.Client{Timeout: 2 * time.Minute},
+		deadlineMs: deadline.Milliseconds(),
+	}
+}
+
+// withDeadline binds a wall-time budget onto local check options.
+func withDeadline(opts memmodel.CheckOptions, d time.Duration) (memmodel.CheckOptions, context.CancelFunc) {
+	if d <= 0 {
+		return opts, func() {}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	opts.Ctx = ctx
+	return opts, cancel
+}
+
+// checkRetryFor bounds how long check keeps retrying shed (429/503)
+// responses before reporting the overload to the caller.
+const checkRetryFor = 90 * time.Second
+
+// check POSTs one program+model to the service. Shed responses (rate
+// limit, full queue, drain) are retried after the server's Retry-After
+// hint — load shedding is the service working as designed, and a client
+// that treats 429/503 as fatal defeats it. On any other non-200 it
+// returns the decoded ErrorResponse as the error and the matching exit
+// code.
+func (c *serveClient) check(src, model string, witness bool) (*serve.CheckResponse, int, error) {
+	body, err := json.Marshal(serve.CheckRequest{Program: src, Model: model, Witness: witness, DeadlineMs: c.deadlineMs})
+	if err != nil {
+		return nil, exitCheck, err
+	}
+	deadline := time.Now().Add(checkRetryFor)
+	for {
+		resp, retryMs, code, err := c.post(body)
+		if code != http.StatusTooManyRequests && code != http.StatusServiceUnavailable {
+			return resp, code, err
+		}
+		if time.Now().After(deadline) {
+			return nil, exitCheck, fmt.Errorf("still shed after %s: %w", checkRetryFor, err)
+		}
+		if retryMs <= 0 {
+			retryMs = 1000
+		}
+		time.Sleep(time.Duration(retryMs) * time.Millisecond)
+	}
+}
+
+// post performs one /check attempt. The int result is the exit code on
+// a terminal answer, or the HTTP status 429/503 on a retryable shed.
+func (c *serveClient) post(body []byte) (*serve.CheckResponse, int64, int, error) {
+	httpResp, err := c.client.Post(c.url+"/check", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, 0, exitCheck, err
+	}
+	defer httpResp.Body.Close()
+	raw, err := io.ReadAll(io.LimitReader(httpResp.Body, 1<<20))
+	if err != nil {
+		return nil, 0, exitCheck, err
+	}
+	if httpResp.StatusCode != http.StatusOK {
+		var er serve.ErrorResponse
+		decodeErr := json.Unmarshal(raw, &er)
+		if httpResp.StatusCode == http.StatusTooManyRequests || httpResp.StatusCode == http.StatusServiceUnavailable {
+			return nil, er.RetryAfterMs, httpResp.StatusCode, fmt.Errorf("%s: %s (%s)", c.url, er.Error, er.Kind)
+		}
+		if decodeErr == nil && er.Error != "" {
+			return nil, 0, classifyRemote(er.Kind), fmt.Errorf("%s: %s (%s)", c.url, er.Error, er.Kind)
+		}
+		return nil, 0, exitCheck, fmt.Errorf("%s: HTTP %d", c.url, httpResp.StatusCode)
+	}
+	var resp serve.CheckResponse
+	if err := json.Unmarshal(raw, &resp); err != nil {
+		return nil, 0, exitCheck, err
+	}
+	return &resp, 0, exitOK, nil
+}
+
+// diffText renders one verdict in the stable, machine-diffable form
+// shared by local and served checks: name, model, legality, races, and
+// SC-reachable results — and nothing execution-order-dependent (POR
+// execution counts differ across equivalent thread orders, so they are
+// deliberately excluded).
+func diffText(name, model string, legal bool, races map[string][]string, sc []string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "case %s model %s\nlegal %v\n", name, model, legal)
+	kinds := make([]string, 0, len(races))
+	for k := range races {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		descs := append([]string(nil), races[k]...)
+		sort.Strings(descs)
+		for _, d := range descs {
+			fmt.Fprintf(&b, "race %s: %s\n", k, d)
+		}
+	}
+	sc = append([]string(nil), sc...)
+	sort.Strings(sc)
+	for _, r := range sc {
+		fmt.Fprintf(&b, "sc %s\n", r)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// localDiffText checks prog locally under model m and renders diffText.
+func localDiffText(prog *litmus.Program, m core.Model, deadline time.Duration, opts memmodel.CheckOptions) (string, int, error) {
+	opts, cancel := withDeadline(opts, deadline)
+	defer cancel()
+	v, err := memmodel.CheckProgramWith(prog, m, opts)
+	if err != nil {
+		return "", classifyLocal(err, false), err
+	}
+	races := make(map[string][]string, len(v.Races))
+	for k, descs := range v.Races {
+		races[k.String()] = descs
+	}
+	sc := make([]string, 0, len(v.SCResults))
+	for r := range v.SCResults {
+		sc = append(sc, r)
+	}
+	return diffText(prog.Name, m.String(), v.Legal, races, sc), exitOK, nil
+}
+
+// caseResult is one catalog case's rendered output (all models).
+type caseResult struct {
+	out  string
+	code int
+	err  error
+}
+
+// runCatalog checks catalog cases — all of them, or just -case NAME —
+// either locally or through -serve-url, and prints one record per
+// case×model in deterministic suite order regardless of -j. The output
+// of a local and a served run over the same catalog is byte-identical,
+// which is exactly what the CI smoke job diffs.
+func runCatalog(caseName, serveURL string, jobs int, diffMode bool, deadline time.Duration, opts memmodel.CheckOptions) int {
+	suite := litmus.Suite()
+	cases := make([]litmus.Case, 0, len(suite))
+	if caseName != "" {
+		tc := litmus.ByName(caseName)
+		if tc == nil {
+			fmt.Fprintf(os.Stderr, "ratslitmus: unknown case %q (see -list)\n", caseName)
+			return exitParse
+		}
+		cases = append(cases, *tc)
+	} else {
+		cases = suite
+	}
+
+	var cl *serveClient
+	if serveURL != "" {
+		cl = newServeClient(serveURL, deadline)
+	}
+	if jobs < 1 {
+		jobs = 1
+	}
+
+	results := make([]caseResult, len(cases))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, jobs)
+	for i := range cases {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			results[i] = checkCase(cases[i], cl, diffMode, deadline, opts)
+		}(i)
+	}
+	wg.Wait()
+
+	code := exitOK
+	for _, r := range results {
+		fmt.Print(r.out)
+		if r.err != nil {
+			fmt.Fprintln(os.Stderr, "ratslitmus:", r.err)
+			if code == exitOK {
+				code = r.code
+			}
+		}
+	}
+	return code
+}
+
+// checkCase renders one catalog case under every model.
+func checkCase(tc litmus.Case, cl *serveClient, diffMode bool, deadline time.Duration, opts memmodel.CheckOptions) caseResult {
+	var b strings.Builder
+	src := litmus.Format(tc.Prog)
+	for _, m := range core.Models() {
+		var (
+			out  string
+			code int
+			err  error
+		)
+		if cl != nil {
+			var resp *serve.CheckResponse
+			resp, code, err = cl.check(src, m.String(), false)
+			if err == nil {
+				if diffMode {
+					out = diffText(resp.Name, resp.Model, resp.Legal, resp.Races, resp.SCResults)
+				} else {
+					out = fmt.Sprintf("%-26s %-8s legal=%-5v cached=%v\n", resp.Name, resp.Model, resp.Legal, resp.Cached)
+				}
+			}
+		} else {
+			out, code, err = localDiffText(tc.Prog, m, deadline, opts)
+			if err == nil && !diffMode {
+				out = strings.SplitN(out, "\n", 3)[0] + "\n" // compact: "case NAME model M"
+			}
+		}
+		if err != nil {
+			return caseResult{out: b.String(), code: code, err: err}
+		}
+		b.WriteString(out)
+	}
+	return caseResult{out: b.String(), code: exitOK}
+}

@@ -15,6 +15,17 @@
 //	ratslitmus -theorem          # Theorem 3.1 validation only
 //	ratslitmus -file t.litmus    # check a litmus file (with -witness for
 //	                             # a concrete racy execution)
+//	ratslitmus -diff             # stable machine-diffable catalog verdicts
+//	ratslitmus -serve-url URL    # check against a running ratsserve; the
+//	                             # -diff output is byte-identical to a
+//	                             # local run over the same programs
+//	ratslitmus -list             # print catalog case names
+//	ratslitmus -case IRIW -diff  # one catalog case
+//
+// Exit codes: 0 all verdicts produced and matched; 1 mismatch, checker
+// failure, or I/O error; 2 parse error (bad program text or flags);
+// 3 validation error (program parsed but is structurally invalid);
+// 4 deadline or execution/transition budget exhausted.
 package main
 
 import (
@@ -45,18 +56,31 @@ func main() {
 		httpAddr = flag.String("http", "", "serve live observability (/checks, /metrics, /progress, /buildinfo) on this address during the suite run")
 		linger   = flag.Duration("http-linger", 0, "with -http: keep serving this long after the suite finishes")
 		telOut   = flag.String("telemetry-out", "", "write deterministic per-check telemetry JSONL to this file")
+		serveURL = flag.String("serve-url", "", "check via a running ratsserve at this base URL instead of checking locally")
+		diffMode = flag.Bool("diff", false, "print stable machine-diffable verdicts (name/model/legal/races/sc_results) instead of the human report")
+		caseName = flag.String("case", "", "check one named catalog case (see -list) instead of the whole suite")
+		listOnly = flag.Bool("list", false, "print catalog case names and exit")
+		deadline = flag.Duration("deadline", 0, "per-check wall-time budget for -file/-case/-diff checks (0 = none locally, server default via -serve-url); trips exit code 4")
 	)
 	flag.Parse()
 
 	opts, err := pipelineOptions(*mode)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ratslitmus:", err)
-		os.Exit(2)
+		os.Exit(exitParse)
 	}
 
-	if *file != "" {
-		checkFile(*file, *witness, *infer, opts)
+	if *listOnly {
+		for _, tc := range litmus.Suite() {
+			fmt.Println(tc.Prog.Name)
+		}
 		return
+	}
+	if *file != "" {
+		os.Exit(checkFile(*file, *witness, *infer, *serveURL, *diffMode, *deadline, opts))
+	}
+	if *caseName != "" || *diffMode || *serveURL != "" {
+		os.Exit(runCatalog(*caseName, *serveURL, *jobs, *diffMode, *deadline, opts))
 	}
 
 	suite := litmus.Suite()
@@ -198,35 +222,71 @@ func raceSummary(v *memmodel.Verdict) string {
 	return out
 }
 
-// checkFile parses and checks one litmus file under all three models.
-func checkFile(path string, witness, infer bool, opts memmodel.CheckOptions) {
+// checkFile parses and checks one litmus file under all three models,
+// locally or through -serve-url, and returns the process exit code.
+// Parse, validation, and budget failures get distinct codes so callers
+// can script against the difference (see the package comment).
+func checkFile(path string, witness, infer bool, serveURL string, diffMode bool, deadline time.Duration, opts memmodel.CheckOptions) int {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ratslitmus:", err)
-		os.Exit(1)
+		return exitCheck
+	}
+	if serveURL != "" {
+		cl := newServeClient(serveURL, deadline)
+		for _, m := range core.Models() {
+			resp, code, err := cl.check(string(src), m.String(), witness)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ratslitmus:", err)
+				return code
+			}
+			if diffMode {
+				fmt.Print(diffText(resp.Name, resp.Model, resp.Legal, resp.Races, resp.SCResults))
+			} else {
+				fmt.Printf("%-26s %-8s legal=%-5v cached=%v\n", resp.Name, resp.Model, resp.Legal, resp.Cached)
+				if resp.Witness != "" {
+					fmt.Println(resp.Witness)
+				}
+			}
+		}
+		return exitOK
 	}
 	p, err := litmus.Parse(string(src))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ratslitmus:", err)
-		os.Exit(1)
+		return classifyLocal(err, true)
 	}
 	for _, m := range core.Models() {
-		v, err := memmodel.CheckProgramWith(p, m, opts)
+		if diffMode {
+			out, code, err := localDiffText(p, m, deadline, opts)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ratslitmus:", err)
+				return code
+			}
+			fmt.Print(out)
+			continue
+		}
+		mopts, cancel := withDeadline(opts, deadline)
+		v, err := memmodel.CheckProgramWith(p, m, mopts)
+		cancel()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ratslitmus:", err)
-			os.Exit(1)
+			return classifyLocal(err, false)
 		}
 		fmt.Println(v.Summary())
 		if witness && !v.Legal {
 			w, err := memmodel.FindWitness(p, m)
 			if err != nil {
 				fmt.Fprintln(os.Stderr, "ratslitmus:", err)
-				os.Exit(1)
+				return classifyLocal(err, false)
 			}
 			if w != nil {
 				fmt.Println(w)
 			}
 		}
+	}
+	if diffMode {
+		return exitOK
 	}
 	if infer {
 		fmt.Println("\nannotatable sites:")
@@ -236,7 +296,7 @@ func checkFile(path string, witness, infer bool, opts memmodel.CheckOptions) {
 		labels, err := memmodel.InferLabels(p, memmodel.InferOptions{})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "ratslitmus:", err)
-			os.Exit(1)
+			return exitCheck
 		}
 		if len(labels) == 0 {
 			fmt.Println("no legal labelling exists (data races?)")
@@ -251,7 +311,7 @@ func checkFile(path string, witness, infer bool, opts memmodel.CheckOptions) {
 	rep, err := memmodel.ValidateTheorem(p)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "ratslitmus:", err)
-		os.Exit(1)
+		return classifyLocal(err, false)
 	}
 	if rep.Legal {
 		if rep.SystemSC {
@@ -263,4 +323,5 @@ func checkFile(path string, witness, infer bool, opts memmodel.CheckOptions) {
 		fmt.Printf("system model: %d reachable results (illegal program; %d outside SC)\n",
 			rep.SystemCount, len(rep.NonSCResults))
 	}
+	return exitOK
 }

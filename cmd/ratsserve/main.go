@@ -1,0 +1,126 @@
+// Command ratsserve is the long-running race-checking service: it
+// accepts litmus programs as JSON over HTTP, checks them on the
+// streaming memmodel pipeline, and returns verdicts, witnesses, and
+// telemetry — hardened for overload (bounded queue + load shedding,
+// per-client rate limits, per-request deadlines that cancel the search
+// mid-enumeration) and for hostile input (size/thread/op caps, full
+// validation before any enumeration).
+//
+// Usage:
+//
+//	ratsserve -addr :8080                 # serve /check + observability
+//	ratsserve -workers 4 -queue 16        # admission control tuning
+//	ratsserve -rate 50 -burst 100         # per-client token bucket
+//	ratsserve -deadline 5s -max-deadline 30s
+//	ratsserve -telemetry-out checks.jsonl # flush per-check JSONL on exit
+//
+// Endpoints: POST /check, GET /healthz, /readyz, plus the shared
+// observability surface (/metrics, /checks, /buildinfo, /debug/pprof/).
+// On SIGINT/SIGTERM the service flips /readyz unready, finishes
+// in-flight checks, flushes telemetry, and exits.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rats/internal/memmodel/telemetry"
+	"rats/internal/obs"
+	"rats/internal/serve"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address (\":0\" picks a free port)")
+		workers    = flag.Int("workers", 0, "max concurrent checks (0 = GOMAXPROCS)")
+		queue      = flag.Int("queue", 0, "max requests waiting for a worker (0 = 4x workers)")
+		rate       = flag.Float64("rate", 0, "per-client requests/sec token-bucket refill (0 = unlimited)")
+		burst      = flag.Int("burst", 0, "per-client token-bucket burst (0 = rate+1)")
+		deadline   = flag.Duration("deadline", 10*time.Second, "default per-check deadline when the request sends none")
+		maxDl      = flag.Duration("max-deadline", time.Minute, "cap on client-requested deadlines")
+		execLimit  = flag.Int("exec-limit", 0, "per-check execution budget (0 = checker default)")
+		transLimit = flag.Int64("transition-limit", 0, "per-check transition budget (0 = server default)")
+		maxThreads = flag.Int("max-threads", 0, "max threads per submitted program (0 = default 8)")
+		maxOps     = flag.Int("max-ops", 0, "max total ops per submitted program (0 = default 64)")
+		maxBody    = flag.Int64("max-body", 0, "max request body bytes (0 = default 256KiB)")
+		cacheSize  = flag.Int("cache", 0, "verdict LRU capacity in entries (0 = default 1024, -1 disables)")
+		drainWait  = flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight checks on shutdown")
+		telOut     = flag.String("telemetry-out", "", "write per-check telemetry JSONL here on shutdown")
+	)
+	flag.Parse()
+
+	reg := telemetry.NewRegistry()
+	svc := serve.New(serve.Options{
+		Workers:         *workers,
+		QueueDepth:      *queue,
+		RatePerSec:      *rate,
+		RateBurst:       *burst,
+		DefaultDeadline: *deadline,
+		MaxDeadline:     *maxDl,
+		ExecLimit:       *execLimit,
+		TransitionLimit: *transLimit,
+		MaxThreads:      *maxThreads,
+		MaxOps:          *maxOps,
+		MaxBodyBytes:    *maxBody,
+		CacheSize:       *cacheSize,
+		Registry:        reg,
+	})
+
+	srv := obs.NewServer()
+	srv.SetRunInfo("service", "ratsserve")
+	srv.SetChecks(reg)
+	srv.AddMetricsFunc(svc.WriteMetrics)
+	h := svc.Handler()
+	srv.Handle("/check", h)
+	srv.Handle("/healthz", h)
+	srv.Handle("/readyz", h)
+
+	bound, err := srv.Start(*addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ratsserve:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "ratsserve: serving /check /healthz /readyz /metrics /checks on http://%s\n", bound)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	got := <-sig
+	fmt.Fprintf(os.Stderr, "ratsserve: %s — draining (in-flight checks finish, new checks get 503)\n", got)
+
+	// Drain order: flip unready and stop admitting enumerations, wait for
+	// in-flight checks, then stop the HTTP listener (which itself waits
+	// for in-flight handlers), then flush telemetry.
+	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := svc.Drain(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "ratsserve: drain incomplete: %v\n", err)
+	}
+	if err := srv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "ratsserve: shutdown: %v\n", err)
+	}
+	if *telOut != "" {
+		f, err := os.Create(*telOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ratsserve:", err)
+			os.Exit(1)
+		}
+		if err := telemetry.WriteRecords(f, reg.Records()); err != nil {
+			fmt.Fprintln(os.Stderr, "ratsserve:", err)
+			f.Close()
+			os.Exit(1)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "ratsserve:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "ratsserve: telemetry flushed to %s\n", *telOut)
+	}
+	st := svc.Stats()
+	fmt.Fprintf(os.Stderr, "ratsserve: exit — %d requests, %d checked, %d cache hits, %d shed, %d rate-limited, %d deadline/limit trips\n",
+		st.Requests, st.Checked, st.CacheHits, st.Shed, st.RateLimited, st.Deadlines+st.Limits)
+}

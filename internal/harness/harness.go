@@ -8,6 +8,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"runtime"
 	"runtime/debug"
 	"strings"
@@ -96,6 +97,19 @@ type RunOptions struct {
 	// JSONL records when a litmus sweep completes — one JSON object per
 	// check, in suite order, byte-identical across runs and worker counts.
 	TelemetryOut io.Writer
+	// Retries, when positive, re-runs a failed (workload, config) pair up
+	// to this many extra times when the failure looks transient — a
+	// recovered panic or a wall-clock timeout — with exponential backoff
+	// and jitter between attempts. Deterministic failures (bad config,
+	// nil trace) are never retried. Every failed attempt is journaled, so
+	// a resumed sweep picks up the remaining budget instead of starting
+	// the count over, and a pair that exhausted its budget in an earlier
+	// process fails immediately instead of burning the timeouts again.
+	Retries int
+	// RetryBackoff is the delay before the first retry; each further
+	// retry doubles it (plus up to 50% jitter, capped at 5s). Zero means
+	// 100ms.
+	RetryBackoff time.Duration
 }
 
 // apply folds the options into a run configuration.
@@ -143,6 +157,75 @@ func runOne(entry workloads.Entry, scale workloads.Scale, cfgName string, opts *
 		defer t.Stop()
 	}
 	return sys.Run()
+}
+
+// retryable reports whether a run failure is worth re-attempting: a
+// recovered panic or a wall-clock timeout can be a transient scheduling
+// or resource hiccup, while config and trace errors are deterministic
+// and would just fail again.
+func retryable(err error) bool {
+	msg := err.Error()
+	return strings.Contains(msg, "panic:") || strings.Contains(msg, "timeout")
+}
+
+// retrySleep is the backoff before retry n (0-based): base doubled n
+// times, capped at 5s, plus up to 50% jitter so retries from parallel
+// workers do not re-collide.
+func retrySleep(base time.Duration, n int) time.Duration {
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	d := base << uint(n)
+	if d > 5*time.Second {
+		d = 5 * time.Second
+	}
+	return d + time.Duration(rand.Int63n(int64(d)/2+1))
+}
+
+// runAttempts runs one (workload, config) pair through the retry budget.
+// The journal's attempt history counts against the budget, so a resumed
+// sweep continues where the previous process stopped — and refuses
+// outright when the budget was already exhausted.
+func runAttempts(entry workloads.Entry, scale workloads.Scale, cfgName string, opts *RunOptions) (*system.Result, error) {
+	budget := 1
+	var jnl *Journal
+	if opts != nil {
+		budget += opts.Retries
+		jnl = opts.Journal
+	}
+	start := 0
+	if jnl != nil {
+		n, lastErr := jnl.Attempts(entry.Name, cfgName)
+		if n >= budget {
+			return nil, fmt.Errorf("retry budget exhausted in an earlier sweep (%d attempts; last: %s)", n, lastErr)
+		}
+		start = n
+	}
+	for attempt := start; ; attempt++ {
+		res, err := runOne(entry, scale, cfgName, opts)
+		if err == nil {
+			return res, nil
+		}
+		if !retryable(err) {
+			return nil, err
+		}
+		if jnl != nil {
+			if jerr := jnl.RecordAttempt(entry.Name, cfgName, attempt+1, err); jerr != nil {
+				return nil, errors.Join(err, fmt.Errorf("journal attempt: %w", jerr))
+			}
+		}
+		if attempt+1 >= budget {
+			if budget > 1 {
+				return nil, fmt.Errorf("attempt %d/%d: %w", attempt+1, budget, err)
+			}
+			return nil, err
+		}
+		var backoff time.Duration
+		if opts != nil {
+			backoff = opts.RetryBackoff
+		}
+		time.Sleep(retrySleep(backoff, attempt-start))
+	}
 }
 
 // RunAll simulates every entry under every named configuration, in
@@ -200,7 +283,7 @@ func RunAllWith(entries []workloads.Entry, scale workloads.Scale, cfgNames []str
 			if opts != nil && opts.Progress != nil {
 				opts.Progress.Start(j.entry.Name, j.cfg)
 			}
-			res, err := runOne(j.entry, scale, j.cfg, opts)
+			res, err := runAttempts(j.entry, scale, j.cfg, opts)
 			if err != nil {
 				errs[i] = fmt.Errorf("%s/%s: %w", j.entry.Name, j.cfg, err)
 				if opts != nil && opts.Progress != nil {

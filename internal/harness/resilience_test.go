@@ -4,6 +4,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -186,5 +187,131 @@ func TestFigureWithPartialResults(t *testing.T) {
 	}
 	if fig == nil || len(fig.Order) == 0 {
 		t.Fatal("Figure3With returned no figure")
+	}
+}
+
+// TestRetriesRecoverFlakyRun makes a trace builder panic on its first
+// two calls and succeed on the third, and asserts Retries turns the
+// flaky pair into a success — with the attempts visible in the journal.
+func TestRetriesRecoverFlakyRun(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+
+	good := workloads.Micro()[0]
+	var calls atomic.Int64
+	flaky := workloads.Entry{
+		Name: "flaky",
+		Build: func(s workloads.Scale) *trace.Trace {
+			if calls.Add(1) < 3 {
+				panic("transient build failure")
+			}
+			return good.Build(s)
+		},
+	}
+	res, err := RunAllWith([]workloads.Entry{flaky}, workloads.Test, []string{"GD0"}, &RunOptions{
+		Journal:      j,
+		Retries:      2,
+		RetryBackoff: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("flaky run should have recovered on the third attempt: %v", err)
+	}
+	if res["flaky"]["GD0"] == nil {
+		t.Fatal("recovered run missing from results")
+	}
+	if got := calls.Load(); got != 3 {
+		t.Errorf("builder called %d times, want 3", got)
+	}
+	if n, last := j.Attempts("flaky", "GD0"); n != 2 || !strings.Contains(last, "transient") {
+		t.Errorf("journal attempts = (%d, %q), want 2 transient failures", n, last)
+	}
+}
+
+// TestRetriesNotForDeterministicFailures asserts a failure that is
+// neither a panic nor a timeout is not retried, whatever the budget.
+func TestRetriesNotForDeterministicFailures(t *testing.T) {
+	var calls atomic.Int64
+	broken := workloads.Entry{
+		Name: "nil-trace",
+		Build: func(workloads.Scale) *trace.Trace {
+			calls.Add(1)
+			return nil
+		},
+	}
+	_, err := RunAllWith([]workloads.Entry{broken}, workloads.Test, []string{"GD0"}, &RunOptions{
+		Retries:      5,
+		RetryBackoff: time.Millisecond,
+	})
+	if err == nil {
+		t.Fatal("nil trace must fail the run")
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("deterministic failure retried: builder called %d times, want 1", got)
+	}
+}
+
+// TestRetriesExhaustionSurvivesResume exhausts a pair's retry budget in
+// one sweep and asserts a resumed sweep (same journal) fails the pair
+// immediately instead of burning the attempts again.
+func TestRetriesExhaustionSurvivesResume(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.jsonl")
+	var calls atomic.Int64
+	bomb := workloads.Entry{
+		Name: "bomb",
+		Build: func(workloads.Scale) *trace.Trace {
+			calls.Add(1)
+			panic("kaboom")
+		},
+	}
+	opts := func(j *Journal) *RunOptions {
+		return &RunOptions{Journal: j, Retries: 1, RetryBackoff: time.Millisecond}
+	}
+
+	j1, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = RunAllWith([]workloads.Entry{bomb}, workloads.Test, []string{"GD0"}, opts(j1))
+	if err == nil || !strings.Contains(err.Error(), "attempt 2/2") {
+		t.Fatalf("first sweep error = %v, want exhausted attempt 2/2", err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("first sweep ran %d attempts, want 2", got)
+	}
+	j1.Close()
+
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if n, _ := j2.Attempts("bomb", "GD0"); n != 2 {
+		t.Fatalf("reloaded journal reports %d attempts, want 2", n)
+	}
+	_, err = RunAllWith([]workloads.Entry{bomb}, workloads.Test, []string{"GD0"}, opts(j2))
+	if err == nil || !strings.Contains(err.Error(), "exhausted") {
+		t.Fatalf("resumed sweep error = %v, want a budget-exhausted refusal", err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Errorf("resumed sweep re-ran the pair: %d total attempts, want still 2", got)
+	}
+
+	// A bigger budget on resume grants exactly the difference.
+	j3, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	_, err = RunAllWith([]workloads.Entry{bomb}, workloads.Test, []string{"GD0"},
+		&RunOptions{Journal: j3, Retries: 3, RetryBackoff: time.Millisecond})
+	if err == nil {
+		t.Fatal("bomb cannot succeed")
+	}
+	if got := calls.Load(); got != 4 {
+		t.Errorf("raised budget ran %d total attempts, want 4 (2 journaled + 2 new)", got)
 	}
 }

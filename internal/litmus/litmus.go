@@ -293,11 +293,26 @@ func (p *Program) HasClass(c core.Class) bool {
 	return false
 }
 
-// Validate checks structural sanity: register uses precede definitions,
-// classes are valid, CAS ops have expected values.
+// Validate checks structural sanity: thread names are unique, the
+// program performs at least one operation, register uses precede
+// definitions and stay within the thread's register file, classes are
+// valid, CAS ops have expected values.
 func (p *Program) Validate() error {
 	if len(p.Threads) == 0 {
 		return fmt.Errorf("litmus %s: no threads", p.Name)
+	}
+	names := make(map[string]bool, len(p.Threads))
+	for _, t := range p.Threads {
+		if t.Name == "" {
+			continue
+		}
+		if names[t.Name] {
+			return fmt.Errorf("litmus %s: duplicate thread name %q", p.Name, t.Name)
+		}
+		names[t.Name] = true
+	}
+	if p.NumOps() == 0 {
+		return fmt.Errorf("litmus %s: no operations", p.Name)
 	}
 	for ti, t := range p.Threads {
 		defined := map[Reg]bool{}
@@ -330,6 +345,10 @@ func (p *Program) Validate() error {
 			if o.Dst != NoReg {
 				if !o.Reads() {
 					return fmt.Errorf("litmus %s: thread %d op %d writes register but does not read memory", p.Name, ti, oi)
+				}
+				if o.Dst < 0 || int(o.Dst) >= t.nregs {
+					return fmt.Errorf("litmus %s: thread %d op %d destination r%d out of range (thread declares %d registers)",
+						p.Name, ti, oi, o.Dst, t.nregs)
 				}
 				defined[o.Dst] = true
 			}
@@ -396,6 +415,11 @@ func (t *Thread) newReg() Reg {
 
 // NumRegs returns the number of registers the thread uses.
 func (t *Thread) NumRegs() int { return t.nregs }
+
+// SetNumRegs records the thread's register count for threads whose Ops
+// are built directly (program transforms, deep copies) rather than
+// through the builder helpers, which maintain the count via newReg.
+func (t *Thread) SetNumRegs(n int) { t.nregs = n }
 
 // Load appends an atomic/data load and returns its destination register.
 func (t *Thread) Load(loc Loc, c core.Class) Reg {

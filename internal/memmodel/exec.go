@@ -9,6 +9,7 @@
 package memmodel
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -136,7 +137,53 @@ type EnumOptions struct {
 	// allocation events. A nil Check is the zero-overhead disabled mode
 	// (every counter folds into one nil-check branch).
 	Telemetry *telemetry.Check
+	// Ctx, when non-nil, cancels the search: the DFS polls the context at
+	// bounded strides (every checkStride nodes per worker), so a client
+	// disconnect or deadline stops enumeration promptly instead of
+	// exploring to exhaustion. A canceled search returns a *CancelError
+	// wrapping the context's error, so errors.Is(err,
+	// context.DeadlineExceeded) distinguishes deadlines from disconnects.
+	Ctx context.Context
+	// TransitionLimit, when positive, bounds the total DFS transitions
+	// taken across all workers (a work budget orthogonal to Limit's
+	// execution budget: it also caps searches whose interleavings mostly
+	// dead-end before recording). Enforced in checkStride-sized strides,
+	// so the real cutoff overshoots by at most checkStride transitions
+	// per worker. Tripping it returns a *LimitError with Phase
+	// "transitions".
+	TransitionLimit int64
 }
+
+// checkStride is how many DFS nodes a worker explores between
+// cancellation/budget checkpoints. Small enough that a 100ms deadline is
+// honored within well under a millisecond of search time, large enough
+// that the checks vanish from profiles.
+const checkStride = 256
+
+// CancelError reports a search stopped by its context. It wraps the
+// context's error, so errors.Is(err, context.Canceled) and errors.Is(err,
+// context.DeadlineExceeded) both see through it.
+type CancelError struct {
+	// Prog is the program whose search was canceled.
+	Prog string
+	// Phase is the search that was canceled (mirrors LimitError.Phase).
+	Phase string
+	// Executions is the number of executions recorded before the stop.
+	Executions int64
+	// Elapsed is the wall-clock time spent searching before the stop.
+	Elapsed time.Duration
+	// Err is the context's error: context.Canceled or
+	// context.DeadlineExceeded.
+	Err error
+}
+
+func (e *CancelError) Error() string {
+	return fmt.Sprintf("memmodel: %s canceled (program %s: %d executions in %s): %v",
+		e.Phase, e.Prog, e.Executions, e.Elapsed.Round(time.Millisecond), e.Err)
+}
+
+// Unwrap exposes the context error to errors.Is/As.
+func (e *CancelError) Unwrap() error { return e.Err }
 
 // DefaultLimit bounds enumeration to keep litmus tests tractable.
 const DefaultLimit = 500_000
@@ -351,6 +398,17 @@ type enumerator struct {
 	// per branch. clone starts fresh shards per worker.
 	transitions int64
 	sleepSkips  int64
+
+	// ctx and transLeft implement request-scoped cancellation and the
+	// transition budget: every checkEvery DFS nodes the worker polls the
+	// context and debits the shared budget in checkStride-sized strides.
+	// checkEvery is 0 when neither is configured, so an unscoped search
+	// pays one integer compare per node and nothing else. sinceCheck is
+	// clone-local.
+	ctx        context.Context
+	transLeft  *atomic.Int64
+	checkEvery int
+	sinceCheck int
 }
 
 func newEnumerator(p *litmus.Program, opts EnumOptions) *enumerator {
@@ -363,8 +421,16 @@ func newEnumerator(p *litmus.Program, opts EnumOptions) *enumerator {
 		count:  new(atomic.Int64),
 		stop:   new(atomic.Bool),
 		tel:    opts.Telemetry,
+		ctx:    opts.Ctx,
 		pc:     make([]int, len(p.Threads)),
 		order:  make([]int, 0, 16),
+	}
+	if opts.TransitionLimit > 0 {
+		e.transLeft = new(atomic.Int64)
+		e.transLeft.Store(opts.TransitionLimit)
+	}
+	if e.ctx != nil || e.transLeft != nil {
+		e.checkEvery = checkStride
 	}
 	e.mem = make([]int64, len(e.lay.locs))
 	e.lastW = make([]int, len(e.lay.locs))
@@ -414,6 +480,7 @@ func (e *enumerator) clone() *enumerator {
 		prog: e.prog, lay: e.lay, opts: e.opts, domain: e.domain,
 		por: e.por, count: e.count, stop: e.stop,
 		tel: e.tel, start: e.start,
+		ctx: e.ctx, transLeft: e.transLeft, checkEvery: e.checkEvery,
 		proto:   e.proto,
 		info:    e.info,
 		pc:      append([]int(nil), e.pc...),
@@ -452,6 +519,11 @@ func Enumerate(p *litmus.Program, opts EnumOptions) ([]*Execution, error) {
 	}
 	if opts.Limit == 0 {
 		opts.Limit = DefaultLimit
+	}
+	if opts.Ctx != nil {
+		if cerr := opts.Ctx.Err(); cerr != nil {
+			return nil, &CancelError{Prog: p.Name, Phase: "enumeration", Err: cerr}
+		}
 	}
 	e := newEnumerator(p, opts)
 	e.start = time.Now()
@@ -597,10 +669,45 @@ func (e *enumerator) filterSleep(sleep uint64, inf *opInfo) uint64 {
 	return out
 }
 
+// checkpoint polls the cancellation context and debits the shared
+// transition budget by one checkStride. Called every checkEvery DFS nodes
+// per worker, so detection lags the event by a bounded (and tiny) amount
+// of search work. It reports whether the search may continue.
+func (e *enumerator) checkpoint() bool {
+	if e.ctx != nil {
+		if cerr := e.ctx.Err(); cerr != nil {
+			e.err = &CancelError{
+				Prog: e.prog.Name, Phase: "enumeration",
+				Executions: e.count.Load(), Elapsed: time.Since(e.start),
+				Err: cerr,
+			}
+			e.stop.Store(true)
+			return false
+		}
+	}
+	if e.transLeft != nil && e.transLeft.Add(-checkStride) <= 0 {
+		e.flushTel()
+		e.err = newLimitError(e.prog.Name, "transitions",
+			int(e.opts.TransitionLimit), e.count.Load(), e.start, e.tel)
+		e.stop.Store(true)
+		return false
+	}
+	return true
+}
+
 // step is the DFS over interleavings (and quantum value choices).
 func (e *enumerator) step() {
 	if e.err != nil || e.stop.Load() {
 		return
+	}
+	if e.checkEvery > 0 {
+		e.sinceCheck++
+		if e.sinceCheck >= e.checkEvery {
+			e.sinceCheck = 0
+			if !e.checkpoint() {
+				return
+			}
+		}
 	}
 	done := true
 	for t := range e.prog.Threads {

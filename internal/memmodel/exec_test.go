@@ -2,6 +2,7 @@ package memmodel
 
 import (
 	"errors"
+	"strconv"
 	"testing"
 
 	"rats/internal/core"
@@ -141,7 +142,7 @@ func TestEnumerateRMWAtomicity(t *testing.T) {
 func TestEnumerateLimit(t *testing.T) {
 	p := litmus.New("big")
 	for i := 0; i < 3; i++ {
-		th := p.Thread("t")
+		th := p.Thread("t" + strconv.Itoa(i))
 		for j := 0; j < 4; j++ {
 			th.Store("X", int64(j), core.Paired)
 		}

@@ -1,6 +1,7 @@
 package memmodel
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -254,6 +255,16 @@ type CheckOptions struct {
 	// Limit overrides the enumerator's execution limit; 0 means the
 	// enumerator default.
 	Limit int
+	// TransitionLimit, when positive, bounds the total DFS transitions of
+	// the check (EnumOptions.TransitionLimit): a work budget that also
+	// caps searches whose interleavings mostly dead-end before recording
+	// an execution. Tripping it returns a *LimitError with Phase
+	// "transitions".
+	TransitionLimit int64
+	// Ctx, when non-nil, cancels the check: deadlines and client
+	// disconnects stop the enumeration promptly and surface as a
+	// *CancelError wrapping the context's error.
+	Ctx context.Context
 	// Telemetry, when non-nil, receives the check's live engine counters
 	// (enumeration, pruning, analysis workers, verdict merge) and its
 	// lifecycle transitions. nil disables instrumentation at zero cost.
@@ -288,7 +299,10 @@ func CheckProgramWith(p0 *litmus.Program, m core.Model, opts CheckOptions) (*Ver
 		effLimit = DefaultLimit
 	}
 	tel.Begin(int64(effLimit))
-	eo := EnumOptions{Quantum: true, Limit: opts.Limit, Telemetry: tel}
+	eo := EnumOptions{
+		Quantum: true, Limit: opts.Limit, Telemetry: tel,
+		Ctx: opts.Ctx, TransitionLimit: opts.TransitionLimit,
+	}
 
 	if opts.Materialize {
 		execs, err := Enumerate(p, eo)
@@ -422,10 +436,11 @@ func CheckProgramWith(p0 *litmus.Program, m core.Model, opts CheckOptions) (*Ver
 
 // stateForErr maps a check error onto its terminal telemetry state.
 func stateForErr(err error) telemetry.CheckState {
+	var ce *CancelError
 	switch {
 	case errors.Is(err, ErrLimit):
 		return telemetry.StateLimit
-	case errors.Is(err, ErrStop):
+	case errors.Is(err, ErrStop), errors.As(err, &ce):
 		return telemetry.StateStopped
 	}
 	return telemetry.StateFailed

@@ -2,6 +2,7 @@ package memmodel
 
 import (
 	"math/rand"
+	"strconv"
 	"testing"
 
 	"rats/internal/core"
@@ -139,7 +140,7 @@ func randomProgram(seed int64) *litmus.Program {
 	p := litmus.New("random")
 	nThreads := 2 + rng.Intn(2)
 	for t := 0; t < nThreads; t++ {
-		th := p.Thread("t")
+		th := p.Thread("t" + strconv.Itoa(t))
 		nOps := 2 + rng.Intn(2)
 		for i := 0; i < nOps; i++ {
 			c := classes[rng.Intn(len(classes))]

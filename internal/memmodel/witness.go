@@ -26,13 +26,24 @@ type Witness struct {
 // returns the same witness every run (the first in the reduced
 // enumerator's branch order).
 func FindWitness(p *litmus.Program, m core.Model) (*Witness, error) {
+	return FindWitnessWith(p, m, EnumOptions{})
+}
+
+// FindWitnessWith is FindWitness with caller-supplied enumeration
+// bounds: opts.Ctx, Limit, and TransitionLimit are honored, so a witness
+// search on hostile input stays as bounded as the check that preceded
+// it. The search-shape fields (Sequential, Quantum, Visit) are owned by
+// the witness search and overridden.
+func FindWitnessWith(p *litmus.Program, m core.Model, opts EnumOptions) (*Witness, error) {
 	kinds := []RaceKind{DataRace}
 	if m == core.DRFrlx {
 		kinds = RaceKinds()
 	}
 	var w *Witness
 	an := NewAnalyzer()
-	_, err := Enumerate(p.Under(m), EnumOptions{Quantum: true, Sequential: true, Visit: func(ex *Execution) error {
+	opts.Quantum = true
+	opts.Sequential = true
+	opts.Visit = func(ex *Execution) error {
 		a := an.Analyze(ex)
 		for _, k := range kinds {
 			if prs := a.Races[k]; len(prs) > 0 {
@@ -41,7 +52,8 @@ func FindWitness(p *litmus.Program, m core.Model) (*Witness, error) {
 			}
 		}
 		return nil
-	}})
+	}
+	_, err := Enumerate(p.Under(m), opts)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -11,6 +12,7 @@ import (
 	"runtime/debug"
 	"sort"
 	"sync"
+	"time"
 
 	"rats/internal/memmodel/telemetry"
 	"rats/internal/probe"
@@ -72,10 +74,27 @@ type Server struct {
 	latency  *probe.LatencySink
 	progress *Progress
 	checks   *telemetry.Registry
+	extra    []func(w io.Writer)
+	handlers map[string]http.Handler
 
 	ln  net.Listener
 	srv *http.Server
 }
+
+// Connection hardening for the observability listener. The endpoints are
+// read-only and cheap, so slow or hostile clients get short read windows;
+// there is deliberately no WriteTimeout because /debug/pprof/profile
+// streams for a caller-chosen number of seconds.
+const (
+	serverReadHeaderTimeout = 5 * time.Second
+	serverReadTimeout       = 30 * time.Second
+	serverIdleTimeout       = 2 * time.Minute
+	serverMaxHeaderBytes    = 1 << 20
+	// serverMaxBodyBytes bounds request bodies on every endpoint; the
+	// built-in endpoints ignore bodies entirely, and mounted extensions
+	// (Handle) accept litmus programs, which are tiny.
+	serverMaxBodyBytes = 1 << 20
+)
 
 // NewServer builds a server with no data sources attached.
 func NewServer() *Server { return &Server{info: map[string]string{}} }
@@ -115,6 +134,27 @@ func (s *Server) SetProgress(p *Progress) {
 func (s *Server) SetChecks(r *telemetry.Registry) {
 	s.mu.Lock()
 	s.checks = r
+	s.mu.Unlock()
+}
+
+// AddMetricsFunc registers an extra metrics source: f is invoked at the
+// end of every /metrics render (and WriteMetrics call) to append its own
+// exposition lines. Sources render in registration order.
+func (s *Server) AddMetricsFunc(f func(w io.Writer)) {
+	s.mu.Lock()
+	s.extra = append(s.extra, f)
+	s.mu.Unlock()
+}
+
+// Handle mounts an additional handler on the server's mux under pattern.
+// Registered handlers share the server's connection hardening and body
+// bounds. Must be called before Handler/Start.
+func (s *Server) Handle(pattern string, h http.Handler) {
+	s.mu.Lock()
+	if s.handlers == nil {
+		s.handlers = map[string]http.Handler{}
+	}
+	s.handlers[pattern] = h
 	s.mu.Unlock()
 }
 
@@ -214,6 +254,14 @@ func (s *Server) WriteMetrics(w io.Writer) {
 			fmt.Fprintf(w, "rats_check_latency_us_count %d\n", lat.Count())
 		}
 	}
+
+	s.mu.Lock()
+	extra := make([]func(w io.Writer), len(s.extra))
+	copy(extra, s.extra)
+	s.mu.Unlock()
+	for _, f := range extra {
+		f(w)
+	}
 }
 
 // BuildInfo is the /buildinfo JSON payload: toolchain and VCS identity of
@@ -290,23 +338,57 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	return mux
+	s.mu.Lock()
+	for pattern, h := range s.handlers {
+		mux.Handle(pattern, h)
+	}
+	s.mu.Unlock()
+	return boundBodies(mux)
+}
+
+// boundBodies caps every request body so no handler — built-in or
+// mounted — can be made to buffer an unbounded upload.
+func boundBodies(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Body != nil {
+			r.Body = http.MaxBytesReader(w, r.Body, serverMaxBodyBytes)
+		}
+		next.ServeHTTP(w, r)
+	})
 }
 
 // Start binds addr (e.g. ":6060"; ":0" picks a free port) and serves in
-// a background goroutine. It returns the bound address.
+// a background goroutine. It returns the bound address. The listener is
+// hardened against slow clients: header and request reads time out and
+// idle keep-alive connections are reaped, so a slowloris peer cannot pin
+// the endpoint for the lifetime of a sweep.
 func (s *Server) Start(addr string) (string, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", err
 	}
 	s.ln = ln
-	s.srv = &http.Server{Handler: s.Handler()}
+	s.srv = &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: serverReadHeaderTimeout,
+		ReadTimeout:       serverReadTimeout,
+		IdleTimeout:       serverIdleTimeout,
+		MaxHeaderBytes:    serverMaxHeaderBytes,
+	}
 	go s.srv.Serve(ln)
 	return ln.Addr().String(), nil
 }
 
-// Close stops the listener.
+// Shutdown gracefully stops the listener: new connections are refused
+// while in-flight requests run to completion (or ctx expires).
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s.srv != nil {
+		return s.srv.Shutdown(ctx)
+	}
+	return nil
+}
+
+// Close stops the listener immediately, dropping in-flight requests.
 func (s *Server) Close() error {
 	if s.srv != nil {
 		return s.srv.Close()

@@ -196,3 +196,55 @@ func TestProgressLifecycle(t *testing.T) {
 		t.Error("failed run lost its error message")
 	}
 }
+
+// TestServerExtensions checks the mount points the race-checking service
+// uses: extra metrics sources appended to /metrics, handlers mounted on
+// the shared mux, and the body bound applied to every request.
+func TestServerExtensions(t *testing.T) {
+	s := obs.NewServer()
+	s.AddMetricsFunc(func(w io.Writer) {
+		io.WriteString(w, "rats_extra_metric 42\n")
+	})
+	s.Handle("/echo", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, err := io.ReadAll(r.Body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusRequestEntityTooLarge)
+			return
+		}
+		w.Write(body)
+	}))
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(b), "rats_extra_metric 42") {
+		t.Errorf("/metrics missing extra source output:\n%s", b)
+	}
+
+	resp, err = http.Post(srv.URL+"/echo", "text/plain", strings.NewReader("ping"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(b) != "ping" {
+		t.Errorf("mounted handler: got %q, want %q", b, "ping")
+	}
+
+	// A body over the bound must be rejected, not buffered.
+	huge := strings.NewReader(strings.Repeat("x", 2<<20))
+	resp, err = http.Post(srv.URL+"/echo", "text/plain", huge)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized body: got status %d, want %d", resp.StatusCode, http.StatusRequestEntityTooLarge)
+	}
+}

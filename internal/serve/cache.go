@@ -1,0 +1,103 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+
+	"rats/internal/memmodel"
+)
+
+// verdictCache is a fixed-capacity LRU over canonical-key+model ->
+// verdict. Verdicts are stored in the canonical program's namespace and
+// rewritten per hit, so one entry serves every submission equivalent up
+// to thread and location renaming.
+type verdictCache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recent; values are *cacheEntry
+	byKey map[string]*list.Element
+}
+
+type cacheEntry struct {
+	key string
+	v   *memmodel.Verdict
+}
+
+func newVerdictCache(capacity int) *verdictCache {
+	return &verdictCache{
+		cap:   capacity,
+		order: list.New(),
+		byKey: make(map[string]*list.Element, capacity),
+	}
+}
+
+func (c *verdictCache) get(key string) (*memmodel.Verdict, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byKey[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).v, true
+}
+
+func (c *verdictCache) put(key string, v *memmodel.Verdict) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byKey[key]; ok {
+		el.Value.(*cacheEntry).v = v
+		c.order.MoveToFront(el)
+		return
+	}
+	c.byKey[key] = c.order.PushFront(&cacheEntry{key: key, v: v})
+	for c.order.Len() > c.cap {
+		last := c.order.Back()
+		c.order.Remove(last)
+		delete(c.byKey, last.Value.(*cacheEntry).key)
+	}
+}
+
+func (c *verdictCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// singleflight collapses concurrent calls with the same key onto one
+// execution; followers block until the leader's result is ready and
+// share it. Unlike a cache, entries live only while the call runs.
+type singleflight struct {
+	mu    sync.Mutex
+	calls map[string]*sfCall
+}
+
+type sfCall struct {
+	done chan struct{}
+	v    *memmodel.Verdict
+	err  error
+}
+
+// do runs fn once per concurrent key. The second return reports whether
+// this caller joined an existing flight rather than leading its own.
+func (g *singleflight) do(key string, fn func() (*memmodel.Verdict, error)) (*memmodel.Verdict, bool, error) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[string]*sfCall)
+	}
+	if c, ok := g.calls[key]; ok {
+		g.mu.Unlock()
+		<-c.done
+		return c.v, true, c.err
+	}
+	c := &sfCall{done: make(chan struct{})}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	c.v, c.err = fn()
+	g.mu.Lock()
+	delete(g.calls, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.v, false, c.err
+}

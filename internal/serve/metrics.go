@@ -1,0 +1,105 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sync/atomic"
+)
+
+// metrics holds the robustness counters the service exports: how much
+// work arrived, how much was served from where, and — the point of the
+// exercise — exactly how the rest was turned away.
+type metrics struct {
+	requests      atomic.Int64 // every /check request
+	ok            atomic.Int64 // 200 responses
+	checked       atomic.Int64 // checks actually enumerated
+	cacheHits     atomic.Int64 // verdicts served from the LRU
+	rejectedInput atomic.Int64 // 400/413: malformed or oversized input
+	rateLimited   atomic.Int64 // 429: token bucket empty
+	shed          atomic.Int64 // 503: queue full
+	deadlines     atomic.Int64 // deadline/disconnect cancellations
+	limits        atomic.Int64 // execution/transition budget trips
+	internal      atomic.Int64 // unexpected checker errors
+	drains        atomic.Int64 // BeginDrain transitions
+	queued        atomic.Int64 // gauge: requests waiting for a worker
+	running       atomic.Int64 // gauge: checks executing now
+}
+
+// Stats is a point-in-time snapshot of the service counters.
+type Stats struct {
+	Requests      int64 `json:"requests"`
+	OK            int64 `json:"ok"`
+	Checked       int64 `json:"checked"`
+	CacheHits     int64 `json:"cache_hits"`
+	RejectedInput int64 `json:"rejected_input"`
+	RateLimited   int64 `json:"rate_limited"`
+	Shed          int64 `json:"shed"`
+	Deadlines     int64 `json:"deadlines"`
+	Limits        int64 `json:"limits"`
+	Internal      int64 `json:"internal"`
+	Drains        int64 `json:"drains"`
+	Queued        int64 `json:"queued"`
+	Running       int64 `json:"running"`
+	CacheSize     int64 `json:"cache_size"`
+}
+
+// Stats snapshots the service counters.
+func (s *Service) Stats() Stats {
+	st := Stats{
+		Requests:      s.m.requests.Load(),
+		OK:            s.m.ok.Load(),
+		Checked:       s.m.checked.Load(),
+		CacheHits:     s.m.cacheHits.Load(),
+		RejectedInput: s.m.rejectedInput.Load(),
+		RateLimited:   s.m.rateLimited.Load(),
+		Shed:          s.m.shed.Load(),
+		Deadlines:     s.m.deadlines.Load(),
+		Limits:        s.m.limits.Load(),
+		Internal:      s.m.internal.Load(),
+		Drains:        s.m.drains.Load(),
+		Queued:        s.m.queued.Load(),
+		Running:       s.m.running.Load(),
+	}
+	if s.cache != nil {
+		st.CacheSize = int64(s.cache.len())
+	}
+	return st
+}
+
+// WriteMetrics renders the service counters in Prometheus text
+// exposition, for mounting on the obs server via AddMetricsFunc.
+func (s *Service) WriteMetrics(w io.Writer) {
+	st := s.Stats()
+	counters := []struct {
+		name, help string
+		value      int64
+	}{
+		{"requests", "Check requests received.", st.Requests},
+		{"ok", "Check requests answered 200.", st.OK},
+		{"checked", "Checks that ran an enumeration.", st.Checked},
+		{"cache_hits", "Verdicts served from the canonical LRU cache.", st.CacheHits},
+		{"rejected_input", "Requests rejected before enumeration (bad JSON, parse, validation, size).", st.RejectedInput},
+		{"rate_limited", "Requests rejected by the per-client token bucket.", st.RateLimited},
+		{"shed", "Requests shed because the work queue was full.", st.Shed},
+		{"deadline_exceeded", "Checks cancelled by deadline or client disconnect.", st.Deadlines},
+		{"limit_exceeded", "Checks stopped by the execution or transition budget.", st.Limits},
+		{"internal_errors", "Checks that failed unexpectedly.", st.Internal},
+		{"drains", "Times the service entered drain.", st.Drains},
+	}
+	for _, c := range counters {
+		fmt.Fprintf(w, "# HELP rats_serve_%s_total %s\n# TYPE rats_serve_%s_total counter\nrats_serve_%s_total %d\n",
+			c.name, c.help, c.name, c.name, c.value)
+	}
+	gauges := []struct {
+		name, help string
+		value      int64
+	}{
+		{"queue_depth", "Requests waiting for a worker slot.", st.Queued},
+		{"in_flight", "Checks executing right now.", st.Running},
+		{"cache_entries", "Verdicts resident in the LRU cache.", st.CacheSize},
+	}
+	for _, g := range gauges {
+		fmt.Fprintf(w, "# HELP rats_serve_%s %s\n# TYPE rats_serve_%s gauge\nrats_serve_%s %d\n",
+			g.name, g.help, g.name, g.name, g.value)
+	}
+}

@@ -1,0 +1,85 @@
+package serve
+
+import (
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// rateTable is a per-client token-bucket limiter: each client key gets
+// burst tokens refilled at rate per second. Stale buckets are pruned
+// opportunistically so a scan of client addresses cannot grow the table
+// without bound.
+type rateTable struct {
+	mu     sync.Mutex
+	rate   float64
+	burst  float64
+	now    func() time.Time
+	bucket map[string]*tokenBucket
+	// sweepAt is the next prune time.
+	sweepAt time.Time
+}
+
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// rateIdleEvict drops buckets untouched this long; full buckets carry no
+// state worth keeping.
+const rateIdleEvict = 5 * time.Minute
+
+func newRateTable(rate float64, burst int, now func() time.Time) *rateTable {
+	return &rateTable{
+		rate:    rate,
+		burst:   float64(burst),
+		now:     now,
+		bucket:  make(map[string]*tokenBucket),
+		sweepAt: now().Add(rateIdleEvict),
+	}
+}
+
+// allow consumes one token from key's bucket, reporting whether one was
+// available.
+func (t *rateTable) allow(key string) bool {
+	now := t.now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if now.After(t.sweepAt) {
+		for k, b := range t.bucket {
+			if now.Sub(b.last) > rateIdleEvict {
+				delete(t.bucket, k)
+			}
+		}
+		t.sweepAt = now.Add(rateIdleEvict)
+	}
+	b, ok := t.bucket[key]
+	if !ok {
+		b = &tokenBucket{tokens: t.burst, last: now}
+		t.bucket[key] = b
+	} else {
+		b.tokens += now.Sub(b.last).Seconds() * t.rate
+		if b.tokens > t.burst {
+			b.tokens = t.burst
+		}
+		b.last = now
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// clientKey identifies the requesting client for rate limiting: the
+// remote IP without the ephemeral port. Forwarding headers are ignored
+// on purpose — they are trivially spoofable, and ratsserve is expected
+// to face its clients directly.
+func clientKey(r *http.Request) string {
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}

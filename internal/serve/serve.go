@@ -1,0 +1,509 @@
+// Package serve implements the hardened race-checking HTTP service
+// behind cmd/ratsserve: litmus programs arrive as JSON, are validated,
+// canonicalized, and checked on the streaming memmodel pipeline, and the
+// service is engineered to stay predictable under overload and hostile
+// input — bounded queues shed with 429/503 + Retry-After, per-request
+// deadlines cancel the search mid-enumeration, duplicate submissions
+// collapse onto one in-flight check and an LRU verdict cache, and
+// SIGTERM drains in-flight work before the process exits.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"runtime"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"rats/internal/core"
+	"rats/internal/litmus"
+	"rats/internal/memmodel"
+	"rats/internal/memmodel/telemetry"
+)
+
+// Options configures a Service. The zero value serves with sane
+// defaults; every field has an explicit override for tests and tuning.
+type Options struct {
+	// Workers caps concurrently running checks; <= 0 means GOMAXPROCS.
+	Workers int
+	// QueueDepth caps requests waiting for a worker slot beyond the
+	// running ones; <= 0 means 4x Workers. Requests beyond the queue are
+	// shed with 503 + Retry-After.
+	QueueDepth int
+	// MaxBodyBytes bounds the request body; <= 0 means 256 KiB.
+	MaxBodyBytes int64
+	// MaxThreads and MaxOps bound the submitted program before any
+	// enumeration starts; <= 0 means 8 threads / 64 total ops.
+	MaxThreads int
+	MaxOps     int
+	// DefaultDeadline applies when the request carries no deadline_ms;
+	// <= 0 means 10s. MaxDeadline caps client-requested deadlines
+	// (<= 0 means 60s).
+	DefaultDeadline time.Duration
+	MaxDeadline     time.Duration
+	// ExecLimit and TransitionLimit are per-check search budgets passed
+	// to the checker; 0 means the checker's default execution limit and
+	// a 50M-transition budget. Tripping either returns HTTP 422.
+	ExecLimit       int
+	TransitionLimit int64
+	// CacheSize is the LRU verdict cache capacity in entries; <= 0 means
+	// 1024, negative... use -1 to disable.
+	CacheSize int
+	// RatePerSec and RateBurst configure the per-client token bucket;
+	// RatePerSec <= 0 disables rate limiting.
+	RatePerSec float64
+	RateBurst  int
+	// Registry, when non-nil, registers every executed check so the obs
+	// layer's /checks and rats_check_* metrics cover the service.
+	Registry *telemetry.Registry
+	// now overrides the clock in tests.
+	now func() time.Time
+}
+
+func (o *Options) withDefaults() Options {
+	v := *o
+	if v.Workers <= 0 {
+		v.Workers = runtime.GOMAXPROCS(0)
+	}
+	if v.QueueDepth <= 0 {
+		v.QueueDepth = 4 * v.Workers
+	}
+	if v.MaxBodyBytes <= 0 {
+		v.MaxBodyBytes = 256 << 10
+	}
+	if v.MaxThreads <= 0 {
+		v.MaxThreads = 8
+	}
+	if v.MaxOps <= 0 {
+		v.MaxOps = 64
+	}
+	if v.DefaultDeadline <= 0 {
+		v.DefaultDeadline = 10 * time.Second
+	}
+	if v.MaxDeadline <= 0 {
+		v.MaxDeadline = time.Minute
+	}
+	if v.TransitionLimit == 0 {
+		v.TransitionLimit = 50_000_000
+	}
+	if v.CacheSize == 0 {
+		v.CacheSize = 1024
+	}
+	if v.now == nil {
+		v.now = time.Now
+	}
+	return v
+}
+
+// Service is the race-checking service. Create with New, mount Handler
+// on an HTTP server, and call Drain on shutdown.
+type Service struct {
+	opts  Options
+	sem   chan struct{}
+	cache *verdictCache
+	group singleflight
+	rates *rateTable
+	m     metrics
+
+	draining atomic.Bool
+	inflight sync.WaitGroup
+}
+
+// New builds a Service from opts.
+func New(opts Options) *Service {
+	o := opts.withDefaults()
+	s := &Service{
+		opts: o,
+		sem:  make(chan struct{}, o.Workers),
+	}
+	if o.CacheSize > 0 {
+		s.cache = newVerdictCache(o.CacheSize)
+	}
+	if o.RatePerSec > 0 {
+		burst := o.RateBurst
+		if burst <= 0 {
+			burst = int(o.RatePerSec) + 1
+		}
+		s.rates = newRateTable(o.RatePerSec, burst, o.now)
+	}
+	return s
+}
+
+// CheckRequest is the POST /check payload.
+type CheckRequest struct {
+	// Program is the litmus program in the textual format of
+	// internal/litmus (see README).
+	Program string `json:"program"`
+	// Model is DRF0, DRF1, or DRFrlx; empty means DRFrlx.
+	Model string `json:"model,omitempty"`
+	// DeadlineMs bounds the check's wall time; 0 means the server
+	// default, values above the server cap are clamped.
+	DeadlineMs int64 `json:"deadline_ms,omitempty"`
+	// Witness asks for a human-readable witness execution when the
+	// program is illegal.
+	Witness bool `json:"witness,omitempty"`
+}
+
+// CheckResponse is the POST /check success payload. Verdict fields are
+// expressed in the submitted program's own thread/location namespace
+// even when the verdict was served from the canonical-program cache.
+type CheckResponse struct {
+	Name      string              `json:"name"`
+	Model     string              `json:"model"`
+	Legal     bool                `json:"legal"`
+	Races     map[string][]string `json:"races,omitempty"`
+	Execs     int                 `json:"execs"`
+	SCResults []string            `json:"sc_results"`
+	// Cached reports the verdict came from the LRU cache; Coalesced that
+	// it was joined onto a concurrent identical check.
+	Cached    bool   `json:"cached,omitempty"`
+	Coalesced bool   `json:"coalesced,omitempty"`
+	Canonical string `json:"canonical_key"`
+	ElapsedMs int64  `json:"elapsed_ms"`
+	Witness   string `json:"witness,omitempty"`
+}
+
+// ErrorResponse is the payload of every non-200 response.
+type ErrorResponse struct {
+	Error string `json:"error"`
+	// Kind classifies the failure: bad_json, parse, validate, too_large,
+	// rate_limited, overloaded, draining, deadline, limit, canceled,
+	// internal.
+	Kind string `json:"kind"`
+	// Phase, Executions, ElapsedMs detail budget trips (kind limit /
+	// deadline).
+	Phase      string `json:"phase,omitempty"`
+	Executions int64  `json:"executions,omitempty"`
+	ElapsedMs  int64  `json:"elapsed_ms,omitempty"`
+	// RetryAfterMs mirrors the Retry-After header on 429/503.
+	RetryAfterMs int64 `json:"retry_after_ms,omitempty"`
+}
+
+// retryAfter is the backoff hint attached to shed responses.
+const retryAfter = 1 * time.Second
+
+// Handler returns the service mux: POST /check, GET /healthz, GET
+// /readyz.
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/check", s.handleCheck)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, "ok\n")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		if s.draining.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			io.WriteString(w, "draining\n")
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+		io.WriteString(w, "ready\n")
+	})
+	return mux
+}
+
+// BeginDrain flips the service unready: /readyz and new /check requests
+// return 503 while already-admitted checks run to completion.
+func (s *Service) BeginDrain() {
+	if s.draining.CompareAndSwap(false, true) {
+		s.m.drains.Add(1)
+	}
+}
+
+// Drain begins draining (if not already begun) and blocks until every
+// in-flight check has completed or ctx expires.
+func (s *Service) Drain(ctx context.Context) error {
+	s.BeginDrain()
+	done := make(chan struct{})
+	go func() {
+		s.inflight.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func (s *Service) reject(w http.ResponseWriter, status int, kind, msg string) {
+	resp := ErrorResponse{Error: msg, Kind: kind}
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", strconv.Itoa(int(retryAfter/time.Second)))
+		resp.RetryAfterMs = retryAfter.Milliseconds()
+	}
+	writeJSON(w, status, resp)
+}
+
+// handleCheck runs the full request pipeline. Stage order is load-bearing:
+// parse and canonicalize before anything stateful so cache hits can be
+// served even when the service is shedding or draining, then rate-limit,
+// then admission-control the expensive enumeration.
+func (s *Service) handleCheck(w http.ResponseWriter, r *http.Request) {
+	// Track the whole request, not just the enumeration: Drain returns
+	// only once every admitted request has written its response.
+	s.inflight.Add(1)
+	defer s.inflight.Done()
+
+	s.m.requests.Add(1)
+	if r.Method != http.MethodPost {
+		s.reject(w, http.StatusMethodNotAllowed, "method", "POST a JSON check request")
+		return
+	}
+	start := s.opts.now()
+
+	// 1. Bound and decode the body.
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
+	if err != nil {
+		s.m.rejectedInput.Add(1)
+		s.reject(w, http.StatusRequestEntityTooLarge, "too_large",
+			"request body exceeds "+strconv.FormatInt(s.opts.MaxBodyBytes, 10)+" bytes")
+		return
+	}
+	var req CheckRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		s.m.rejectedInput.Add(1)
+		s.reject(w, http.StatusBadRequest, "bad_json", "invalid JSON: "+err.Error())
+		return
+	}
+
+	// 2. Parse, validate, and size-check the program — all before any
+	// enumeration state exists.
+	model := core.DRFrlx
+	if req.Model != "" {
+		model, err = core.ParseModel(req.Model)
+		if err != nil {
+			s.m.rejectedInput.Add(1)
+			s.reject(w, http.StatusBadRequest, "validate", err.Error())
+			return
+		}
+	}
+	prog, err := litmus.Parse(req.Program)
+	if err != nil {
+		s.m.rejectedInput.Add(1)
+		var pe *litmus.ParseError
+		if errors.As(err, &pe) {
+			s.reject(w, http.StatusBadRequest, "parse", err.Error())
+		} else {
+			s.reject(w, http.StatusBadRequest, "validate", err.Error())
+		}
+		return
+	}
+	if n := len(prog.Threads); n > s.opts.MaxThreads {
+		s.m.rejectedInput.Add(1)
+		s.reject(w, http.StatusBadRequest, "validate",
+			"program has "+strconv.Itoa(n)+" threads, server cap is "+strconv.Itoa(s.opts.MaxThreads))
+		return
+	}
+	if n := prog.NumOps(); n > s.opts.MaxOps {
+		s.m.rejectedInput.Add(1)
+		s.reject(w, http.StatusBadRequest, "validate",
+			"program has "+strconv.Itoa(n)+" operations, server cap is "+strconv.Itoa(s.opts.MaxOps))
+		return
+	}
+
+	// 3. Canonicalize: equivalent submissions share one cache entry and
+	// one in-flight check.
+	canon, err := memmodel.Canonicalize(prog)
+	if err != nil {
+		s.m.rejectedInput.Add(1)
+		s.reject(w, http.StatusBadRequest, "validate", err.Error())
+		return
+	}
+	key := canon.Key + "|" + model.String()
+
+	// 4. Cache: hits are served unconditionally — during shed, drain,
+	// and rate limiting — because they cost no enumeration.
+	if s.cache != nil {
+		if v, ok := s.cache.get(key); ok {
+			s.m.cacheHits.Add(1)
+			s.respond(w, r, req, prog, canon, model, v, start, true, false)
+			return
+		}
+	}
+
+	// 5. Drain gate: no new enumerations while shutting down.
+	if s.draining.Load() {
+		s.reject(w, http.StatusServiceUnavailable, "draining", "server is draining")
+		return
+	}
+
+	// 6. Per-client rate limit.
+	if s.rates != nil && !s.rates.allow(clientKey(r)) {
+		s.m.rateLimited.Add(1)
+		s.reject(w, http.StatusTooManyRequests, "rate_limited", "per-client rate limit exceeded")
+		return
+	}
+
+	// 7. Deadline for everything downstream: queue wait + check.
+	deadline := s.opts.DefaultDeadline
+	if req.DeadlineMs > 0 {
+		deadline = time.Duration(req.DeadlineMs) * time.Millisecond
+		if deadline > s.opts.MaxDeadline {
+			deadline = s.opts.MaxDeadline
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), deadline)
+	defer cancel()
+
+	// 8. Single-flight: concurrent identical submissions join the
+	// leader's check instead of queueing their own.
+	v, coalesced, err := s.group.do(key, func() (*memmodel.Verdict, error) {
+		return s.admitAndCheck(ctx, canon, model)
+	})
+	if err != nil {
+		s.writeCheckError(w, err)
+		return
+	}
+	s.respond(w, r, req, prog, canon, model, v, start, false, coalesced)
+}
+
+// admitAndCheck acquires a worker slot (respecting the bounded queue)
+// and runs the canonical program's check.
+func (s *Service) admitAndCheck(ctx context.Context, canon *memmodel.Canonical, model core.Model) (*memmodel.Verdict, error) {
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		// All workers busy: queue if there is room.
+		if n := s.m.queued.Add(1); n > int64(s.opts.QueueDepth) {
+			s.m.queued.Add(-1)
+			s.m.shed.Add(1)
+			return nil, errOverloaded
+		}
+		select {
+		case s.sem <- struct{}{}:
+			s.m.queued.Add(-1)
+		case <-ctx.Done():
+			s.m.queued.Add(-1)
+			s.m.deadlines.Add(1)
+			return nil, &memmodel.CancelError{Prog: canon.Prog.Name, Phase: "queue", Err: ctx.Err()}
+		}
+	}
+	defer func() { <-s.sem }()
+
+	s.m.running.Add(1)
+	defer s.m.running.Add(-1)
+
+	var tel *telemetry.Check
+	if s.opts.Registry != nil {
+		tel = s.opts.Registry.NewCheck(canon.Prog.Name+":"+canon.Key[:12], model.String())
+	}
+	v, err := memmodel.CheckProgramWith(canon.Prog, model, memmodel.CheckOptions{
+		Limit:           s.opts.ExecLimit,
+		TransitionLimit: s.opts.TransitionLimit,
+		Ctx:             ctx,
+		Telemetry:       tel,
+	})
+	if err != nil {
+		var ce *memmodel.CancelError
+		if errors.As(err, &ce) {
+			s.m.deadlines.Add(1)
+		} else if errors.Is(err, memmodel.ErrLimit) {
+			s.m.limits.Add(1)
+		}
+		return nil, err
+	}
+	s.m.checked.Add(1)
+	if s.cache != nil {
+		s.cache.put(canon.Key+"|"+model.String(), v)
+	}
+	return v, nil
+}
+
+// errOverloaded marks a queue-full shed.
+var errOverloaded = errors.New("serve: all workers busy and queue full")
+
+// writeCheckError maps checker errors onto structured HTTP responses.
+func (s *Service) writeCheckError(w http.ResponseWriter, err error) {
+	var ce *memmodel.CancelError
+	var le *memmodel.LimitError
+	switch {
+	case errors.Is(err, errOverloaded):
+		s.reject(w, http.StatusServiceUnavailable, "overloaded", "all workers busy and queue full; retry later")
+	case errors.As(err, &ce):
+		kind := "canceled"
+		if errors.Is(ce.Err, context.DeadlineExceeded) {
+			kind = "deadline"
+		}
+		writeJSON(w, http.StatusUnprocessableEntity, ErrorResponse{
+			Error: err.Error(), Kind: kind, Phase: ce.Phase,
+			Executions: ce.Executions, ElapsedMs: ce.Elapsed.Milliseconds(),
+		})
+	case errors.As(err, &le):
+		writeJSON(w, http.StatusUnprocessableEntity, ErrorResponse{
+			Error: err.Error(), Kind: "limit", Phase: le.Phase,
+			Executions: le.Executions, ElapsedMs: le.Elapsed.Milliseconds(),
+		})
+	default:
+		s.m.internal.Add(1)
+		writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error(), Kind: "internal"})
+	}
+}
+
+// respond rewrites the canonical verdict into the request's namespace
+// and renders the success payload.
+func (s *Service) respond(w http.ResponseWriter, r *http.Request, req CheckRequest,
+	prog *litmus.Program, canon *memmodel.Canonical, model core.Model,
+	v *memmodel.Verdict, start time.Time, cached, coalesced bool) {
+	rv := canon.RewriteVerdict(v, prog.Name)
+	resp := CheckResponse{
+		Name:      prog.Name,
+		Model:     model.String(),
+		Legal:     rv.Legal,
+		Execs:     rv.Execs,
+		SCResults: sortedKeys(rv.SCResults),
+		Cached:    cached,
+		Coalesced: coalesced,
+		Canonical: canon.Key,
+		ElapsedMs: s.opts.now().Sub(start).Milliseconds(),
+	}
+	if len(rv.Races) > 0 {
+		resp.Races = make(map[string][]string, len(rv.Races))
+		for k, descs := range rv.Races {
+			resp.Races[k.String()] = descs
+		}
+	}
+	if req.Witness && !rv.Legal {
+		// The witness is found on the submitted program itself (not the
+		// canonical form) so its threads and locations read back in the
+		// submitter's own names. The search stops at the first racy
+		// execution — cheap next to the full check — and carries its own
+		// deadline so a cached verdict cannot turn into an unbounded
+		// witness hunt.
+		wctx, wcancel := context.WithTimeout(r.Context(), s.opts.DefaultDeadline)
+		wit, err := memmodel.FindWitnessWith(prog, model, memmodel.EnumOptions{
+			Ctx: wctx, TransitionLimit: s.opts.TransitionLimit,
+		})
+		wcancel()
+		if err == nil && wit != nil {
+			resp.Witness = wit.String()
+		}
+	}
+	s.m.ok.Add(1)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
