@@ -13,6 +13,7 @@ import (
 	"runtime/debug"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"rats/internal/core"
@@ -127,6 +128,17 @@ func (o *RunOptions) apply(cfg *memsys.Config) {
 	}
 }
 
+// errRunPanic and errRunTimeout classify a run failure for the retry
+// logic. They are sentinels wrapped into the returned error at the point
+// where the failure's nature is known for certain — recovering the panic,
+// observing the timeout timer fire — so classification never depends on
+// what the error message happens to contain (a workload or config whose
+// name mentions "timeout" must not look transient).
+var (
+	errRunPanic   = errors.New("run panicked")
+	errRunTimeout = errors.New("run timed out")
+)
+
 // runOne executes a single (workload, config) pair with panic recovery
 // and an optional wall-clock timeout. A panic anywhere in trace building
 // or simulation is converted into an error carrying the stack, so one
@@ -135,7 +147,7 @@ func runOne(entry workloads.Entry, scale workloads.Scale, cfgName string, opts *
 	defer func() {
 		if r := recover(); r != nil {
 			res = nil
-			err = fmt.Errorf("panic: %v\n%s", r, debug.Stack())
+			err = fmt.Errorf("%w: panic: %v\n%s", errRunPanic, r, debug.Stack())
 		}
 	}()
 	cfg, err := ConfigFor(cfgName)
@@ -151,12 +163,20 @@ func runOne(entry workloads.Entry, scale workloads.Scale, cfgName string, opts *
 	if err := sys.Load(tr); err != nil {
 		return nil, err
 	}
+	var timedOut atomic.Bool
 	if opts != nil && opts.Timeout > 0 {
 		d := opts.Timeout
-		t := time.AfterFunc(d, func() { sys.Abort(fmt.Sprintf("wall-clock timeout %s exceeded", d)) })
+		t := time.AfterFunc(d, func() {
+			timedOut.Store(true)
+			sys.Abort(fmt.Sprintf("wall-clock timeout %s exceeded", d))
+		})
 		defer t.Stop()
 	}
-	return sys.Run()
+	res, err = sys.Run()
+	if err != nil && timedOut.Load() {
+		err = fmt.Errorf("%w: %w", errRunTimeout, err)
+	}
+	return res, err
 }
 
 // retryable reports whether a run failure is worth re-attempting: a
@@ -164,20 +184,24 @@ func runOne(entry workloads.Entry, scale workloads.Scale, cfgName string, opts *
 // or resource hiccup, while config and trace errors are deterministic
 // and would just fail again.
 func retryable(err error) bool {
-	msg := err.Error()
-	return strings.Contains(msg, "panic:") || strings.Contains(msg, "timeout")
+	return errors.Is(err, errRunPanic) || errors.Is(err, errRunTimeout)
 }
 
 // retrySleep is the backoff before retry n (0-based): base doubled n
 // times, capped at 5s, plus up to 50% jitter so retries from parallel
-// workers do not re-collide.
+// workers do not re-collide. Doubling stops at the cap, so a large n
+// cannot overflow the shift into a negative duration.
 func retrySleep(base time.Duration, n int) time.Duration {
+	const max = 5 * time.Second
 	if base <= 0 {
 		base = 100 * time.Millisecond
 	}
-	d := base << uint(n)
-	if d > 5*time.Second {
-		d = 5 * time.Second
+	d := base
+	for i := 0; i < n && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
 	}
 	return d + time.Duration(rand.Int63n(int64(d)/2+1))
 }

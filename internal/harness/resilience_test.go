@@ -231,6 +231,82 @@ func TestRetriesRecoverFlakyRun(t *testing.T) {
 	}
 }
 
+// TestRetrySleepNeverOverflows: large attempt numbers must saturate at
+// the 5s cap (plus jitter), not overflow the shift into a negative
+// duration or panic computing the jitter.
+func TestRetrySleepNeverOverflows(t *testing.T) {
+	const max = 5*time.Second + 5*time.Second/2
+	for _, n := range []int{0, 1, 6, 37, 63, 200} {
+		for _, base := range []time.Duration{0, 100 * time.Millisecond, time.Hour} {
+			d := retrySleep(base, n)
+			if d <= 0 || d > max+time.Hour/2 {
+				t.Errorf("retrySleep(%s, %d) = %s, want positive and capped", base, n, d)
+			}
+			if base <= 100*time.Millisecond && d > max {
+				t.Errorf("retrySleep(%s, %d) = %s, want <= %s", base, n, d, max)
+			}
+		}
+	}
+}
+
+// TestRetryableClassifiesBySentinel: a deterministic failure whose
+// message happens to contain "timeout" (here, the workload's own name)
+// must not look transient and burn the retry budget.
+func TestRetryableClassifiesBySentinel(t *testing.T) {
+	var calls atomic.Int64
+	broken := workloads.Entry{
+		Name: "timeout-stress",
+		Build: func(workloads.Scale) *trace.Trace {
+			calls.Add(1)
+			return nil // "workload timeout-stress built a nil trace"
+		},
+	}
+	_, err := RunAllWith([]workloads.Entry{broken}, workloads.Test, []string{"GD0"}, &RunOptions{
+		Retries:      3,
+		RetryBackoff: time.Millisecond,
+	})
+	if err == nil {
+		t.Fatal("nil trace must fail the run")
+	}
+	if !strings.Contains(err.Error(), "timeout") {
+		t.Fatalf("test premise broken: error %q no longer mentions timeout", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("message-matched failure retried: builder called %d times, want 1", got)
+	}
+}
+
+// TestRetriesOnTimeout: a genuine wall-clock timeout is classified
+// retryable through the sentinel and consumes the budget.
+func TestRetriesOnTimeout(t *testing.T) {
+	spec, err := fault.Parse("wedge:warp=0,from=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := workloads.Micro()[0]
+	var calls atomic.Int64
+	counted := workloads.Entry{
+		Name: "wedged",
+		Build: func(s workloads.Scale) *trace.Trace {
+			calls.Add(1)
+			return base.Build(s)
+		},
+	}
+	_, err = RunAllWith([]workloads.Entry{counted}, workloads.Test, []string{"GD0"}, &RunOptions{
+		Timeout:        80 * time.Millisecond,
+		Faults:         spec,
+		WatchdogWindow: -1,
+		Retries:        1,
+		RetryBackoff:   time.Millisecond,
+	})
+	if err == nil || !strings.Contains(err.Error(), "attempt 2/2") {
+		t.Fatalf("error = %v, want budget exhausted at attempt 2/2", err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Errorf("wedged run attempted %d times, want 2 (timeout is retryable)", got)
+	}
+}
+
 // TestRetriesNotForDeterministicFailures asserts a failure that is
 // neither a panic nor a timeout is not retried, whatever the budget.
 func TestRetriesNotForDeterministicFailures(t *testing.T) {

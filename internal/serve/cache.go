@@ -2,71 +2,75 @@ package serve
 
 import (
 	"container/list"
+	"context"
 	"sync"
 
 	"rats/internal/memmodel"
 )
 
-// verdictCache is a fixed-capacity LRU over canonical-key+model ->
-// verdict. Verdicts are stored in the canonical program's namespace and
+// lru is a fixed-capacity LRU map. The service keeps two: canonical
+// key+model -> verdict (stored in the canonical program's namespace and
 // rewritten per hit, so one entry serves every submission equivalent up
-// to thread and location renaming.
-type verdictCache struct {
+// to thread and location renaming) and submission hash+model -> rendered
+// witness (keyed by the raw text, because witnesses read back in the
+// submitter's own namespace).
+type lru[V any] struct {
 	mu    sync.Mutex
 	cap   int
-	order *list.List // front = most recent; values are *cacheEntry
+	order *list.List // front = most recent; values are *lruEntry[V]
 	byKey map[string]*list.Element
 }
 
-type cacheEntry struct {
+type lruEntry[V any] struct {
 	key string
-	v   *memmodel.Verdict
+	v   V
 }
 
-func newVerdictCache(capacity int) *verdictCache {
-	return &verdictCache{
+func newLRU[V any](capacity int) *lru[V] {
+	return &lru[V]{
 		cap:   capacity,
 		order: list.New(),
 		byKey: make(map[string]*list.Element, capacity),
 	}
 }
 
-func (c *verdictCache) get(key string) (*memmodel.Verdict, bool) {
+func (c *lru[V]) get(key string) (V, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	el, ok := c.byKey[key]
 	if !ok {
-		return nil, false
+		var zero V
+		return zero, false
 	}
 	c.order.MoveToFront(el)
-	return el.Value.(*cacheEntry).v, true
+	return el.Value.(*lruEntry[V]).v, true
 }
 
-func (c *verdictCache) put(key string, v *memmodel.Verdict) {
+func (c *lru[V]) put(key string, v V) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.byKey[key]; ok {
-		el.Value.(*cacheEntry).v = v
+		el.Value.(*lruEntry[V]).v = v
 		c.order.MoveToFront(el)
 		return
 	}
-	c.byKey[key] = c.order.PushFront(&cacheEntry{key: key, v: v})
+	c.byKey[key] = c.order.PushFront(&lruEntry[V]{key: key, v: v})
 	for c.order.Len() > c.cap {
 		last := c.order.Back()
 		c.order.Remove(last)
-		delete(c.byKey, last.Value.(*cacheEntry).key)
+		delete(c.byKey, last.Value.(*lruEntry[V]).key)
 	}
 }
 
-func (c *verdictCache) len() int {
+func (c *lru[V]) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.order.Len()
 }
 
 // singleflight collapses concurrent calls with the same key onto one
-// execution; followers block until the leader's result is ready and
-// share it. Unlike a cache, entries live only while the call runs.
+// execution; followers block until the shared result is ready. Unlike a
+// cache, entries live only while the call runs.
 type singleflight struct {
 	mu    sync.Mutex
 	calls map[string]*sfCall
@@ -76,28 +80,80 @@ type sfCall struct {
 	done chan struct{}
 	v    *memmodel.Verdict
 	err  error
+	// waiters counts requests still waiting on the result; when it drops
+	// to zero before fn returns, cancel stops the now-unwanted call.
+	waiters int
+	cancel  context.CancelFunc
 }
 
-// do runs fn once per concurrent key. The second return reports whether
-// this caller joined an existing flight rather than leading its own.
-func (g *singleflight) do(key string, fn func() (*memmodel.Verdict, error)) (*memmodel.Verdict, bool, error) {
+// waitCanceled reports that a waiting request's own context ended before
+// the shared call finished. The call itself may still be running for the
+// remaining waiters — this error describes the wait, not the check.
+type waitCanceled struct{ err error }
+
+func (e *waitCanceled) Error() string {
+	return "serve: gave up waiting for shared check: " + e.err.Error()
+}
+
+func (e *waitCanceled) Unwrap() error { return e.err }
+
+// do runs fn once per concurrent key. fn runs on its own goroutine under
+// a context detached from any single request and canceled only when
+// every joined request has stopped waiting — so a leader's disconnect
+// does not poison coalesced followers, and a follower whose own ctx ends
+// first gets a *waitCanceled immediately instead of waiting out the
+// leader's deadline. The bool reports whether this caller joined an
+// existing flight rather than leading its own.
+func (g *singleflight) do(ctx context.Context, key string, fn func(context.Context) (*memmodel.Verdict, error)) (*memmodel.Verdict, bool, error) {
 	g.mu.Lock()
 	if g.calls == nil {
 		g.calls = make(map[string]*sfCall)
 	}
-	if c, ok := g.calls[key]; ok {
-		g.mu.Unlock()
-		<-c.done
-		return c.v, true, c.err
+	c, joined := g.calls[key]
+	if !joined {
+		callCtx, cancel := context.WithCancel(context.Background())
+		c = &sfCall{done: make(chan struct{}), cancel: cancel}
+		g.calls[key] = c
+		go func() {
+			c.v, c.err = fn(callCtx)
+			g.mu.Lock()
+			delete(g.calls, key)
+			g.mu.Unlock()
+			close(c.done)
+			cancel()
+		}()
 	}
-	c := &sfCall{done: make(chan struct{})}
-	g.calls[key] = c
+	c.waiters++
 	g.mu.Unlock()
 
-	c.v, c.err = fn()
+	select {
+	case <-c.done:
+		g.leave(c)
+		return c.v, joined, c.err
+	case <-ctx.Done():
+		if g.leave(c) {
+			// Last waiter out: the call was just canceled on this
+			// request's behalf and returns promptly (the enumeration
+			// polls its context at bounded strides) with the search's own
+			// diagnostics — executions, elapsed — which beat a bare wait
+			// error. No other caller is blocked on this: the flight is
+			// already over for everyone else.
+			<-c.done
+			return c.v, joined, c.err
+		}
+		return nil, joined, &waitCanceled{err: ctx.Err()}
+	}
+}
+
+// leave drops one waiter and reports whether it was the last; the last
+// one out cancels the call's context (a no-op when fn already returned).
+func (g *singleflight) leave(c *sfCall) bool {
 	g.mu.Lock()
-	delete(g.calls, key)
+	c.waiters--
+	last := c.waiters == 0
 	g.mu.Unlock()
-	close(c.done)
-	return c.v, false, c.err
+	if last {
+		c.cancel()
+	}
+	return last
 }

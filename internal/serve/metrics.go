@@ -10,55 +10,61 @@ import (
 // work arrived, how much was served from where, and — the point of the
 // exercise — exactly how the rest was turned away.
 type metrics struct {
-	requests      atomic.Int64 // every /check request
-	ok            atomic.Int64 // 200 responses
-	checked       atomic.Int64 // checks actually enumerated
-	cacheHits     atomic.Int64 // verdicts served from the LRU
-	rejectedInput atomic.Int64 // 400/413: malformed or oversized input
-	rateLimited   atomic.Int64 // 429: token bucket empty
-	shed          atomic.Int64 // 503: queue full
-	deadlines     atomic.Int64 // deadline/disconnect cancellations
-	limits        atomic.Int64 // execution/transition budget trips
-	internal      atomic.Int64 // unexpected checker errors
-	drains        atomic.Int64 // BeginDrain transitions
-	queued        atomic.Int64 // gauge: requests waiting for a worker
-	running       atomic.Int64 // gauge: checks executing now
+	requests        atomic.Int64 // every /check request
+	ok              atomic.Int64 // 200 responses
+	checked         atomic.Int64 // checks actually enumerated
+	cacheHits       atomic.Int64 // verdicts served from the LRU
+	rejectedInput   atomic.Int64 // 400/413: malformed or oversized input
+	rateLimited     atomic.Int64 // 429: token bucket empty
+	shed            atomic.Int64 // 503: queue full
+	deadlines       atomic.Int64 // deadline/disconnect cancellations
+	limits          atomic.Int64 // execution/transition budget trips
+	witnessSearches atomic.Int64 // witness enumerations run under admission
+	witnessDrops    atomic.Int64 // witnesses omitted: gates, deadline, or failed search
+	internal        atomic.Int64 // unexpected checker errors
+	drains          atomic.Int64 // BeginDrain transitions
+	queued          atomic.Int64 // gauge: requests waiting for a worker
+	running         atomic.Int64 // gauge: checks executing now
 }
 
 // Stats is a point-in-time snapshot of the service counters.
 type Stats struct {
-	Requests      int64 `json:"requests"`
-	OK            int64 `json:"ok"`
-	Checked       int64 `json:"checked"`
-	CacheHits     int64 `json:"cache_hits"`
-	RejectedInput int64 `json:"rejected_input"`
-	RateLimited   int64 `json:"rate_limited"`
-	Shed          int64 `json:"shed"`
-	Deadlines     int64 `json:"deadlines"`
-	Limits        int64 `json:"limits"`
-	Internal      int64 `json:"internal"`
-	Drains        int64 `json:"drains"`
-	Queued        int64 `json:"queued"`
-	Running       int64 `json:"running"`
-	CacheSize     int64 `json:"cache_size"`
+	Requests        int64 `json:"requests"`
+	OK              int64 `json:"ok"`
+	Checked         int64 `json:"checked"`
+	CacheHits       int64 `json:"cache_hits"`
+	RejectedInput   int64 `json:"rejected_input"`
+	RateLimited     int64 `json:"rate_limited"`
+	Shed            int64 `json:"shed"`
+	Deadlines       int64 `json:"deadlines"`
+	Limits          int64 `json:"limits"`
+	WitnessSearches int64 `json:"witness_searches"`
+	WitnessDrops    int64 `json:"witness_drops"`
+	Internal        int64 `json:"internal"`
+	Drains          int64 `json:"drains"`
+	Queued          int64 `json:"queued"`
+	Running         int64 `json:"running"`
+	CacheSize       int64 `json:"cache_size"`
 }
 
 // Stats snapshots the service counters.
 func (s *Service) Stats() Stats {
 	st := Stats{
-		Requests:      s.m.requests.Load(),
-		OK:            s.m.ok.Load(),
-		Checked:       s.m.checked.Load(),
-		CacheHits:     s.m.cacheHits.Load(),
-		RejectedInput: s.m.rejectedInput.Load(),
-		RateLimited:   s.m.rateLimited.Load(),
-		Shed:          s.m.shed.Load(),
-		Deadlines:     s.m.deadlines.Load(),
-		Limits:        s.m.limits.Load(),
-		Internal:      s.m.internal.Load(),
-		Drains:        s.m.drains.Load(),
-		Queued:        s.m.queued.Load(),
-		Running:       s.m.running.Load(),
+		Requests:        s.m.requests.Load(),
+		OK:              s.m.ok.Load(),
+		Checked:         s.m.checked.Load(),
+		CacheHits:       s.m.cacheHits.Load(),
+		RejectedInput:   s.m.rejectedInput.Load(),
+		RateLimited:     s.m.rateLimited.Load(),
+		Shed:            s.m.shed.Load(),
+		Deadlines:       s.m.deadlines.Load(),
+		Limits:          s.m.limits.Load(),
+		WitnessSearches: s.m.witnessSearches.Load(),
+		WitnessDrops:    s.m.witnessDrops.Load(),
+		Internal:        s.m.internal.Load(),
+		Drains:          s.m.drains.Load(),
+		Queued:          s.m.queued.Load(),
+		Running:         s.m.running.Load(),
 	}
 	if s.cache != nil {
 		st.CacheSize = int64(s.cache.len())
@@ -83,6 +89,8 @@ func (s *Service) WriteMetrics(w io.Writer) {
 		{"shed", "Requests shed because the work queue was full.", st.Shed},
 		{"deadline_exceeded", "Checks cancelled by deadline or client disconnect.", st.Deadlines},
 		{"limit_exceeded", "Checks stopped by the execution or transition budget.", st.Limits},
+		{"witness_searches", "Witness enumerations run under admission control.", st.WitnessSearches},
+		{"witness_drops", "Witness requests degraded to a witness-less response.", st.WitnessDrops},
 		{"internal_errors", "Checks that failed unexpectedly.", st.Internal},
 		{"drains", "Times the service entered drain.", st.Drains},
 	}

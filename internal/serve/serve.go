@@ -10,6 +10,8 @@ package serve
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"io"
@@ -106,10 +108,15 @@ func (o *Options) withDefaults() Options {
 type Service struct {
 	opts  Options
 	sem   chan struct{}
-	cache *verdictCache
-	group singleflight
-	rates *rateTable
-	m     metrics
+	cache *lru[*memmodel.Verdict]
+	// witnesses caches rendered witnesses by submission hash: the witness
+	// is computed on the submitted program itself (names read back in the
+	// submitter's namespace), so the raw text — not the canonical form —
+	// is the right key.
+	witnesses *lru[string]
+	group     singleflight
+	rates     *rateTable
+	m         metrics
 
 	draining atomic.Bool
 	inflight sync.WaitGroup
@@ -123,7 +130,8 @@ func New(opts Options) *Service {
 		sem:  make(chan struct{}, o.Workers),
 	}
 	if o.CacheSize > 0 {
-		s.cache = newVerdictCache(o.CacheSize)
+		s.cache = newLRU[*memmodel.Verdict](o.CacheSize)
+		s.witnesses = newLRU[string](o.CacheSize)
 	}
 	if o.RatePerSec > 0 {
 		burst := o.RateBurst
@@ -172,9 +180,9 @@ type CheckResponse struct {
 // ErrorResponse is the payload of every non-200 response.
 type ErrorResponse struct {
 	Error string `json:"error"`
-	// Kind classifies the failure: bad_json, parse, validate, too_large,
-	// rate_limited, overloaded, draining, deadline, limit, canceled,
-	// internal.
+	// Kind classifies the failure: bad_json, bad_body, parse, validate,
+	// too_large, rate_limited, overloaded, draining, deadline, limit,
+	// canceled, internal.
 	Kind string `json:"kind"`
 	// Phase, Executions, ElapsedMs detail budget trips (kind limit /
 	// deadline).
@@ -268,12 +276,20 @@ func (s *Service) handleCheck(w http.ResponseWriter, r *http.Request) {
 	}
 	start := s.opts.now()
 
-	// 1. Bound and decode the body.
+	// 1. Bound and decode the body. Only the size limit tripping is the
+	// client's input being too large; any other read error is a transport
+	// failure (typically an upload aborted mid-body) and gets a 400 that
+	// the client likely never sees — it must not count as rejected input.
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
 	if err != nil {
-		s.m.rejectedInput.Add(1)
-		s.reject(w, http.StatusRequestEntityTooLarge, "too_large",
-			"request body exceeds "+strconv.FormatInt(s.opts.MaxBodyBytes, 10)+" bytes")
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			s.m.rejectedInput.Add(1)
+			s.reject(w, http.StatusRequestEntityTooLarge, "too_large",
+				"request body exceeds "+strconv.FormatInt(s.opts.MaxBodyBytes, 10)+" bytes")
+			return
+		}
+		s.reject(w, http.StatusBadRequest, "bad_body", "reading request body: "+err.Error())
 		return
 	}
 	var req CheckRequest
@@ -328,30 +344,62 @@ func (s *Service) handleCheck(w http.ResponseWriter, r *http.Request) {
 	}
 	key := canon.Key + "|" + model.String()
 
-	// 4. Cache: hits are served unconditionally — during shed, drain,
-	// and rate limiting — because they cost no enumeration.
+	// 4. Cache: verdict hits cost no enumeration and are served
+	// unconditionally — during shed, drain, and rate limiting. A hit that
+	// also needs a witness may still require enumeration work; unless the
+	// witness is cached too, that work passes the same gates and
+	// admission control as a fresh check below.
+	var v *memmodel.Verdict
+	var witness string
+	var cached, coalesced bool
 	if s.cache != nil {
-		if v, ok := s.cache.get(key); ok {
+		if cv, ok := s.cache.get(key); ok {
 			s.m.cacheHits.Add(1)
-			s.respond(w, r, req, prog, canon, model, v, start, true, false)
+			v, cached = cv, true
+		}
+	}
+	if cached {
+		needWitness := req.Witness && !v.Legal
+		if needWitness && s.witnesses != nil {
+			if wc, ok := s.witnesses.get(witnessKey(req.Program, model)); ok {
+				witness, needWitness = wc, false
+			}
+		}
+		if !needWitness {
+			s.respond(w, prog, canon, model, v, witness, start, true, false)
 			return
 		}
 	}
 
-	// 5. Drain gate: no new enumerations while shutting down.
+	// 5. Drain gate: no new enumeration — check or witness search —
+	// starts while shutting down. A cached verdict still goes out; only
+	// its witness search is dropped.
 	if s.draining.Load() {
+		if cached {
+			s.m.witnessDrops.Add(1)
+			s.respond(w, prog, canon, model, v, "", start, true, false)
+			return
+		}
 		s.reject(w, http.StatusServiceUnavailable, "draining", "server is draining")
 		return
 	}
 
-	// 6. Per-client rate limit.
+	// 6. Per-client rate limit. A witness search on a cached verdict is
+	// enumeration work like any other, so it spends a token — but an
+	// empty bucket degrades it to a witness-less 200 rather than a 429.
 	if s.rates != nil && !s.rates.allow(clientKey(r)) {
+		if cached {
+			s.m.witnessDrops.Add(1)
+			s.respond(w, prog, canon, model, v, "", start, true, false)
+			return
+		}
 		s.m.rateLimited.Add(1)
 		s.reject(w, http.StatusTooManyRequests, "rate_limited", "per-client rate limit exceeded")
 		return
 	}
 
-	// 7. Deadline for everything downstream: queue wait + check.
+	// 7. Deadline for everything downstream: queue wait, check, and
+	// witness search share one budget.
 	deadline := s.opts.DefaultDeadline
 	if req.DeadlineMs > 0 {
 		deadline = time.Duration(req.DeadlineMs) * time.Millisecond
@@ -362,21 +410,54 @@ func (s *Service) handleCheck(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), deadline)
 	defer cancel()
 
-	// 8. Single-flight: concurrent identical submissions join the
-	// leader's check instead of queueing their own.
-	v, coalesced, err := s.group.do(key, func() (*memmodel.Verdict, error) {
-		return s.admitAndCheck(ctx, canon, model)
-	})
-	if err != nil {
-		s.writeCheckError(w, err)
-		return
+	// 8. Single-flight: concurrent identical submissions join one shared
+	// check. The shared check runs detached from any single request, so
+	// this request waiting out its own deadline (or its client hanging
+	// up) ends only its wait, not the flight.
+	if v == nil {
+		var err error
+		v, coalesced, err = s.group.do(ctx, key, func(cctx context.Context) (*memmodel.Verdict, error) {
+			return s.admitAndCheck(cctx, canon, model)
+		})
+		if err != nil {
+			var wc *waitCanceled
+			var ce *memmodel.CancelError
+			switch {
+			case errors.As(err, &wc):
+				// This request stopped waiting; the shared check ran (or
+				// runs) on for the other waiters.
+				s.m.deadlines.Add(1)
+				err = &memmodel.CancelError{Prog: prog.Name, Phase: "wait", Err: wc.Unwrap()}
+			case errors.As(err, &ce) && ctx.Err() != nil:
+				// The shared check was canceled because this request was
+				// its last waiter: report the request's own cause —
+				// deadline vs disconnect — alongside the search's
+				// diagnostics (the check itself only ever saw
+				// context.Canceled from the flight winding down).
+				err = &memmodel.CancelError{Prog: ce.Prog, Phase: ce.Phase,
+					Executions: ce.Executions, Elapsed: ce.Elapsed, Err: ctx.Err()}
+			}
+			s.writeCheckError(w, err)
+			return
+		}
 	}
-	s.respond(w, r, req, prog, canon, model, v, start, false, coalesced)
+
+	// 9. Witness search: enumeration on the submitted program, admitted
+	// like a check and best-effort — failure degrades to a witness-less
+	// verdict, never an error.
+	if req.Witness && !v.Legal && witness == "" {
+		witness = s.findWitness(ctx, req.Program, prog, model)
+	}
+	s.respond(w, prog, canon, model, v, witness, start, cached, coalesced)
 }
 
-// admitAndCheck acquires a worker slot (respecting the bounded queue)
-// and runs the canonical program's check.
-func (s *Service) admitAndCheck(ctx context.Context, canon *memmodel.Canonical, model core.Model) (*memmodel.Verdict, error) {
+// admit acquires a worker slot, queueing up to QueueDepth waiters
+// behind the busy workers. It fails with errOverloaded when the queue is
+// full and with ctx.Err() when the caller's context ends first; on
+// success the returned release func must be called to free the slot.
+// Every enumeration the service runs — check or witness search — goes
+// through here, so the worker/queue bounds hold globally.
+func (s *Service) admit(ctx context.Context) (func(), error) {
 	select {
 	case s.sem <- struct{}{}:
 	default:
@@ -391,11 +472,24 @@ func (s *Service) admitAndCheck(ctx context.Context, canon *memmodel.Canonical, 
 			s.m.queued.Add(-1)
 		case <-ctx.Done():
 			s.m.queued.Add(-1)
-			s.m.deadlines.Add(1)
-			return nil, &memmodel.CancelError{Prog: canon.Prog.Name, Phase: "queue", Err: ctx.Err()}
+			return nil, ctx.Err()
 		}
 	}
-	defer func() { <-s.sem }()
+	return func() { <-s.sem }, nil
+}
+
+// admitAndCheck acquires a worker slot (respecting the bounded queue)
+// and runs the canonical program's check.
+func (s *Service) admitAndCheck(ctx context.Context, canon *memmodel.Canonical, model core.Model) (*memmodel.Verdict, error) {
+	release, err := s.admit(ctx)
+	if err != nil {
+		if errors.Is(err, errOverloaded) {
+			return nil, err
+		}
+		s.m.deadlines.Add(1)
+		return nil, &memmodel.CancelError{Prog: canon.Prog.Name, Phase: "queue", Err: err}
+	}
+	defer release()
 
 	s.m.running.Add(1)
 	defer s.m.running.Add(-1)
@@ -456,11 +550,59 @@ func (s *Service) writeCheckError(w http.ResponseWriter, err error) {
 	}
 }
 
+// witnessKey keys the rendered-witness cache by submission text and
+// model: witnesses are found on the submitted program itself so names
+// read back in the submitter's namespace, which makes equivalent-but-
+// renamed submissions distinct entries on purpose.
+func witnessKey(src string, model core.Model) string {
+	sum := sha256.Sum256([]byte(src))
+	return hex.EncodeToString(sum[:]) + "|" + model.String()
+}
+
+// findWitness runs the witness search on the submitted program under the
+// same admission control as a check: a worker slot (queueing if
+// necessary) bounds concurrent enumerations and ctx bounds wall time, so
+// repeated witness requests can never run more searches than the service
+// has capacity for. Successful searches are cached by submission text;
+// any admission or search failure yields "" — the caller serves the
+// verdict witness-less rather than erroring.
+func (s *Service) findWitness(ctx context.Context, src string, prog *litmus.Program, model core.Model) string {
+	if s.witnesses != nil {
+		if w, ok := s.witnesses.get(witnessKey(src, model)); ok {
+			return w
+		}
+	}
+	release, err := s.admit(ctx)
+	if err != nil {
+		s.m.witnessDrops.Add(1)
+		return ""
+	}
+	defer release()
+
+	s.m.running.Add(1)
+	defer s.m.running.Add(-1)
+	s.m.witnessSearches.Add(1)
+	wit, err := memmodel.FindWitnessWith(prog, model, memmodel.EnumOptions{
+		Ctx: ctx, TransitionLimit: s.opts.TransitionLimit,
+	})
+	if err != nil || wit == nil {
+		s.m.witnessDrops.Add(1)
+		return ""
+	}
+	rendered := wit.String()
+	if s.witnesses != nil {
+		s.witnesses.put(witnessKey(src, model), rendered)
+	}
+	return rendered
+}
+
 // respond rewrites the canonical verdict into the request's namespace
-// and renders the success payload.
-func (s *Service) respond(w http.ResponseWriter, r *http.Request, req CheckRequest,
+// and renders the success payload. It runs no enumeration: the witness,
+// if any, was found (or cache-hit) by the caller under admission
+// control.
+func (s *Service) respond(w http.ResponseWriter,
 	prog *litmus.Program, canon *memmodel.Canonical, model core.Model,
-	v *memmodel.Verdict, start time.Time, cached, coalesced bool) {
+	v *memmodel.Verdict, witness string, start time.Time, cached, coalesced bool) {
 	rv := canon.RewriteVerdict(v, prog.Name)
 	resp := CheckResponse{
 		Name:      prog.Name,
@@ -472,27 +614,12 @@ func (s *Service) respond(w http.ResponseWriter, r *http.Request, req CheckReque
 		Coalesced: coalesced,
 		Canonical: canon.Key,
 		ElapsedMs: s.opts.now().Sub(start).Milliseconds(),
+		Witness:   witness,
 	}
 	if len(rv.Races) > 0 {
 		resp.Races = make(map[string][]string, len(rv.Races))
 		for k, descs := range rv.Races {
 			resp.Races[k.String()] = descs
-		}
-	}
-	if req.Witness && !rv.Legal {
-		// The witness is found on the submitted program itself (not the
-		// canonical form) so its threads and locations read back in the
-		// submitter's own names. The search stops at the first racy
-		// execution — cheap next to the full check — and carries its own
-		// deadline so a cached verdict cannot turn into an unbounded
-		// witness hunt.
-		wctx, wcancel := context.WithTimeout(r.Context(), s.opts.DefaultDeadline)
-		wit, err := memmodel.FindWitnessWith(prog, model, memmodel.EnumOptions{
-			Ctx: wctx, TransitionLimit: s.opts.TransitionLimit,
-		})
-		wcancel()
-		if err == nil && wit != nil {
-			resp.Witness = wit.String()
 		}
 	}
 	s.m.ok.Add(1)

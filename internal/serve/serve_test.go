@@ -4,7 +4,9 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"runtime"
@@ -15,6 +17,7 @@ import (
 	"time"
 
 	"rats/internal/litmus"
+	"rats/internal/memmodel"
 )
 
 // contendedSrc builds the service's worst-case input in textual form:
@@ -487,6 +490,257 @@ func TestRateLimitPerClient(t *testing.T) {
 	}
 	if st := s.Stats(); st.RateLimited != 1 {
 		t.Errorf("rateLimited=%d, want 1", st.RateLimited)
+	}
+}
+
+// TestWitnessCachedAcrossRequests: the first witness request runs one
+// admitted search; an identical resubmission is served from the witness
+// cache with no further enumeration.
+func TestWitnessCachedAcrossRequests(t *testing.T) {
+	s, srv := newTestServer(t, Options{})
+	req := CheckRequest{Program: catalogSrc(t, "MPData"), Model: "DRFrlx", Witness: true}
+	status, first, bad := postCheck(t, srv.URL, req)
+	if status != http.StatusOK || first.Witness == "" {
+		t.Fatalf("first witness request: %d (%s), witness %q", status, bad.Error, first.Witness)
+	}
+	status, second, bad := postCheck(t, srv.URL, req)
+	if status != http.StatusOK {
+		t.Fatalf("second witness request: %d (%s)", status, bad.Error)
+	}
+	if !second.Cached || second.Witness != first.Witness {
+		t.Errorf("resubmission: cached=%v, witness match=%v", second.Cached, second.Witness == first.Witness)
+	}
+	if st := s.Stats(); st.WitnessSearches != 1 {
+		t.Errorf("witness searches = %d, want exactly 1 (second served from cache)", st.WitnessSearches)
+	}
+}
+
+// TestWitnessOnCacheHitRespectsDrain: a witness request for a cached
+// illegal program must not start an enumeration while draining — the
+// verdict is still served, witness-less — and fresh checks still get
+// 503. This pins the gate ordering: only zero-enumeration work bypasses
+// the drain gate.
+func TestWitnessOnCacheHitRespectsDrain(t *testing.T) {
+	s, srv := newTestServer(t, Options{})
+	src := catalogSrc(t, "MPData")
+	// Cache the verdict without a witness.
+	if status, _, bad := postCheck(t, srv.URL, CheckRequest{Program: src, Model: "DRFrlx"}); status != http.StatusOK {
+		t.Fatalf("prefill: %d (%s)", status, bad.Error)
+	}
+	s.BeginDrain()
+	status, resp, bad := postCheck(t, srv.URL, CheckRequest{Program: src, Model: "DRFrlx", Witness: true})
+	if status != http.StatusOK {
+		t.Fatalf("cached verdict during drain: %d (%s)", status, bad.Error)
+	}
+	if !resp.Cached || resp.Witness != "" {
+		t.Errorf("during drain: cached=%v witness=%q, want cached verdict with the witness dropped", resp.Cached, resp.Witness)
+	}
+	if st := s.Stats(); st.WitnessSearches != 0 || st.WitnessDrops != 1 {
+		t.Errorf("stats: searches=%d drops=%d, want 0 searches and 1 drop", st.WitnessSearches, st.WitnessDrops)
+	}
+}
+
+// TestWitnessOnCacheHitRespectsRateLimit: witness searches on cached
+// verdicts spend rate-limit tokens like any other enumeration, and an
+// empty bucket degrades to a witness-less 200 instead of running the
+// search (or returning 429).
+func TestWitnessOnCacheHitRespectsRateLimit(t *testing.T) {
+	now := time.Unix(1000, 0)
+	var mu sync.Mutex
+	clock := func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	}
+	s := New(Options{RatePerSec: 1, RateBurst: 1, now: clock})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	src := catalogSrc(t, "MPData")
+	// Prefill spends the only token and caches the verdict.
+	if status, _, bad := postCheck(t, srv.URL, CheckRequest{Program: src, Model: "DRFrlx"}); status != http.StatusOK {
+		t.Fatalf("prefill: %d (%s)", status, bad.Error)
+	}
+	status, resp, bad := postCheck(t, srv.URL, CheckRequest{Program: src, Model: "DRFrlx", Witness: true})
+	if status != http.StatusOK {
+		t.Fatalf("cached verdict with empty bucket: %d (%s)", status, bad.Error)
+	}
+	if !resp.Cached || resp.Witness != "" {
+		t.Errorf("empty bucket: cached=%v witness=%q, want cached verdict with the witness dropped", resp.Cached, resp.Witness)
+	}
+	if st := s.Stats(); st.WitnessSearches != 0 || st.RateLimited != 0 {
+		t.Errorf("stats: searches=%d rateLimited=%d, want 0 and 0 (degraded, not rejected)", st.WitnessSearches, st.RateLimited)
+	}
+	// With a refilled bucket the same request runs the admitted search.
+	mu.Lock()
+	now = now.Add(2 * time.Second)
+	mu.Unlock()
+	status, resp, bad = postCheck(t, srv.URL, CheckRequest{Program: src, Model: "DRFrlx", Witness: true})
+	if status != http.StatusOK || resp.Witness == "" {
+		t.Fatalf("after refill: %d (%s), witness %q", status, bad.Error, resp.Witness)
+	}
+	if st := s.Stats(); st.WitnessSearches != 1 {
+		t.Errorf("witness searches = %d, want 1", st.WitnessSearches)
+	}
+}
+
+// TestAbortedUploadNotCountedTooLarge: a client that dies mid-body must
+// not be classified (and counted) as oversized input.
+func TestAbortedUploadNotCountedTooLarge(t *testing.T) {
+	s, srv := newTestServer(t, Options{})
+	conn, err := net.Dial("tcp", srv.Listener.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(conn, "POST /check HTTP/1.1\r\nHost: t\r\nContent-Type: application/json\r\nContent-Length: 4096\r\n\r\n{\"prog")
+	conn.Close()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Stats().Requests == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("aborted request never reached the handler")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Give the handler a moment to classify the read error.
+	time.Sleep(50 * time.Millisecond)
+	if st := s.Stats(); st.RejectedInput != 0 {
+		t.Errorf("aborted upload counted as rejected input (%d), want 0", st.RejectedInput)
+	}
+}
+
+// TestSingleFlightFollowerSurvivesLeaderCancel: the shared check is
+// detached from any single request — the leader's context ending cancels
+// only the leader's wait, the follower still gets the verdict, and the
+// call context is torn down once everyone is gone.
+func TestSingleFlightFollowerSurvivesLeaderCancel(t *testing.T) {
+	var g singleflight
+	started := make(chan context.Context, 1)
+	release := make(chan struct{})
+	fn := func(ctx context.Context) (*memmodel.Verdict, error) {
+		started <- ctx
+		select {
+		case <-release:
+			return &memmodel.Verdict{Legal: true}, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	type result struct {
+		v         *memmodel.Verdict
+		coalesced bool
+		err       error
+	}
+	waiters := func() int {
+		g.mu.Lock()
+		defer g.mu.Unlock()
+		if c := g.calls["k"]; c != nil {
+			return c.waiters
+		}
+		return 0
+	}
+
+	leaderCtx, leaderCancel := context.WithCancel(context.Background())
+	defer leaderCancel()
+	leaderDone := make(chan result, 1)
+	go func() {
+		v, c, err := g.do(leaderCtx, "k", fn)
+		leaderDone <- result{v, c, err}
+	}()
+	callCtx := <-started
+
+	followerDone := make(chan result, 1)
+	go func() {
+		v, c, err := g.do(context.Background(), "k", fn)
+		followerDone <- result{v, c, err}
+	}()
+	for i := 0; waiters() != 2; i++ {
+		if i > 1000 {
+			t.Fatal("follower never joined the flight")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	leaderCancel()
+	lr := <-leaderDone
+	var wc *waitCanceled
+	if !errors.As(lr.err, &wc) || !errors.Is(lr.err, context.Canceled) {
+		t.Fatalf("leader error = %v, want *waitCanceled wrapping context.Canceled", lr.err)
+	}
+	// The shared check must keep running for the follower.
+	select {
+	case <-callCtx.Done():
+		t.Fatal("leader cancellation killed the shared check the follower is waiting on")
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	close(release)
+	fr := <-followerDone
+	if fr.err != nil || fr.v == nil || !fr.v.Legal {
+		t.Fatalf("follower result = (%+v, %v), want the completed verdict", fr.v, fr.err)
+	}
+	if !fr.coalesced {
+		t.Error("follower must report it joined an existing flight")
+	}
+	select {
+	case <-callCtx.Done():
+	case <-time.After(time.Second):
+		t.Error("call context not released after the flight completed")
+	}
+}
+
+// TestSingleFlightFollowerOwnDeadline: a follower with a short deadline
+// gets its own cancellation immediately instead of waiting out the
+// leader's longer one.
+func TestSingleFlightFollowerOwnDeadline(t *testing.T) {
+	var g singleflight
+	release := make(chan struct{})
+	defer close(release)
+	fn := func(ctx context.Context) (*memmodel.Verdict, error) {
+		select {
+		case <-release:
+			return &memmodel.Verdict{}, nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	go g.do(context.Background(), "k", fn) // leader with no deadline
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, _, err := g.do(ctx, "k", fn)
+	var wc *waitCanceled
+	if !errors.As(err, &wc) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("follower error = %v, want *waitCanceled wrapping DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Errorf("follower waited %s past its own 20ms deadline", elapsed)
+	}
+}
+
+// TestSingleFlightLastWaiterCancelsCheck: when every joined request has
+// given up, the now-unwanted check is canceled instead of enumerating on.
+func TestSingleFlightLastWaiterCancelsCheck(t *testing.T) {
+	var g singleflight
+	fnErr := make(chan error, 1)
+	fn := func(ctx context.Context) (*memmodel.Verdict, error) {
+		<-ctx.Done()
+		fnErr <- ctx.Err()
+		return nil, ctx.Err()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, _, err := g.do(ctx, "k", fn); !errors.Is(err, context.Canceled) {
+		t.Fatalf("sole waiter error = %v, want canceled", err)
+	}
+	select {
+	case err := <-fnErr:
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("check saw %v, want cancellation", err)
+		}
+	case <-time.After(time.Second):
+		t.Error("abandoned check was never canceled")
 	}
 }
 
