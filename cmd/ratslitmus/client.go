@@ -120,6 +120,8 @@ func (c *serveClient) check(src, model string, witness bool) (*serve.CheckRespon
 
 // post performs one /check attempt. The int result is the exit code on
 // a terminal answer, or the HTTP status 429/503 on a retryable shed.
+// Errors carry the server's X-Rats-Trace-Id so a failed run can be
+// cross-referenced against the service's /tracez ring and trace JSONL.
 func (c *serveClient) post(body []byte) (*serve.CheckResponse, int64, int, error) {
 	httpResp, err := c.client.Post(c.url+"/check", "application/json", bytes.NewReader(body))
 	if err != nil {
@@ -131,21 +133,31 @@ func (c *serveClient) post(body []byte) (*serve.CheckResponse, int64, int, error
 		return nil, 0, exitCheck, err
 	}
 	if httpResp.StatusCode != http.StatusOK {
+		trace := traceSuffix(httpResp)
 		var er serve.ErrorResponse
 		decodeErr := json.Unmarshal(raw, &er)
 		if httpResp.StatusCode == http.StatusTooManyRequests || httpResp.StatusCode == http.StatusServiceUnavailable {
-			return nil, er.RetryAfterMs, httpResp.StatusCode, fmt.Errorf("%s: %s (%s)", c.url, er.Error, er.Kind)
+			return nil, er.RetryAfterMs, httpResp.StatusCode, fmt.Errorf("%s: %s (%s)%s", c.url, er.Error, er.Kind, trace)
 		}
 		if decodeErr == nil && er.Error != "" {
-			return nil, 0, classifyRemote(er.Kind), fmt.Errorf("%s: %s (%s)", c.url, er.Error, er.Kind)
+			return nil, 0, classifyRemote(er.Kind), fmt.Errorf("%s: %s (%s)%s", c.url, er.Error, er.Kind, trace)
 		}
-		return nil, 0, exitCheck, fmt.Errorf("%s: HTTP %d", c.url, httpResp.StatusCode)
+		return nil, 0, exitCheck, fmt.Errorf("%s: HTTP %d%s", c.url, httpResp.StatusCode, trace)
 	}
 	var resp serve.CheckResponse
 	if err := json.Unmarshal(raw, &resp); err != nil {
-		return nil, 0, exitCheck, err
+		return nil, 0, exitCheck, fmt.Errorf("%s: %w%s", c.url, err, traceSuffix(httpResp))
 	}
 	return &resp, 0, exitOK, nil
+}
+
+// traceSuffix renders " [trace <id>]" from the response's trace header,
+// or "" when the server (or an intermediary) sent none.
+func traceSuffix(resp *http.Response) string {
+	if id := resp.Header.Get(serve.TraceHeader); id != "" {
+		return " [trace " + id + "]"
+	}
+	return ""
 }
 
 // diffText renders one verdict in the stable, machine-diffable form

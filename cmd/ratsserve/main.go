@@ -13,11 +13,17 @@
 //	ratsserve -rate 50 -burst 100         # per-client token bucket
 //	ratsserve -deadline 5s -max-deadline 30s
 //	ratsserve -telemetry-out checks.jsonl # flush per-check JSONL on exit
+//	ratsserve -traces-out traces.jsonl    # stream request traces (JSONL)
+//	ratsserve -traces-tail 0.95           # ...tail-sampled: errors + slowest 5%
+//	ratsserve -access-log access.jsonl    # one wide-event JSON line per request
 //
 // Endpoints: POST /check, GET /healthz, /readyz, plus the shared
-// observability surface (/metrics, /checks, /buildinfo, /debug/pprof/).
+// observability surface (/metrics, /checks, /tracez, /buildinfo,
+// /debug/pprof/). Every response carries an X-Rats-Trace-Id header;
+// /tracez?id=<id> shows that request's span tree, and
+// /tracez?id=<id>&format=chrome exports it for Perfetto.
 // On SIGINT/SIGTERM the service flips /readyz unready, finishes
-// in-flight checks, flushes telemetry, and exits.
+// in-flight checks, flushes telemetry and traces, and exits.
 package main
 
 import (
@@ -31,6 +37,7 @@ import (
 
 	"rats/internal/memmodel/telemetry"
 	"rats/internal/obs"
+	"rats/internal/rtrace"
 	"rats/internal/serve"
 )
 
@@ -51,11 +58,35 @@ func main() {
 		cacheSize  = flag.Int("cache", 0, "verdict LRU capacity in entries (0 = default 1024, -1 disables)")
 		drainWait  = flag.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight checks on shutdown")
 		telOut     = flag.String("telemetry-out", "", "write per-check telemetry JSONL here on shutdown")
+		tracesOut  = flag.String("traces-out", "", "stream request traces here as JSONL (one span tree per line)")
+		tracesTail = flag.Float64("traces-tail", 0, "tail-sample the JSONL: keep errors plus traces at or above this duration quantile, e.g. 0.95 (0 = keep every trace)")
+		accessLog  = flag.String("access-log", "", "write one wide-event JSON line per request here")
 	)
 	flag.Parse()
 
+	var traceFile, accessFile *os.File
+	topts := rtrace.Options{Tail: *tracesTail}
+	if *tracesOut != "" {
+		f, err := os.Create(*tracesOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ratsserve:", err)
+			os.Exit(1)
+		}
+		traceFile = f
+		topts.Out = f
+	}
+	tracer := rtrace.New(topts)
+	if *accessLog != "" {
+		f, err := os.Create(*accessLog)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "ratsserve:", err)
+			os.Exit(1)
+		}
+		accessFile = f
+	}
+
 	reg := telemetry.NewRegistry()
-	svc := serve.New(serve.Options{
+	sopts := serve.Options{
 		Workers:         *workers,
 		QueueDepth:      *queue,
 		RatePerSec:      *rate,
@@ -69,12 +100,18 @@ func main() {
 		MaxBodyBytes:    *maxBody,
 		CacheSize:       *cacheSize,
 		Registry:        reg,
-	})
+		Tracer:          tracer,
+	}
+	if accessFile != nil {
+		sopts.AccessLog = accessFile
+	}
+	svc := serve.New(sopts)
 
 	srv := obs.NewServer()
 	srv.SetRunInfo("service", "ratsserve")
 	srv.SetChecks(reg)
-	srv.AddMetricsFunc(svc.WriteMetrics)
+	srv.SetTraces(tracer)
+	srv.AddMetricsOM(svc.WriteMetricsTo)
 	h := svc.Handler()
 	srv.Handle("/check", h)
 	srv.Handle("/healthz", h)
@@ -85,7 +122,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "ratsserve:", err)
 		os.Exit(1)
 	}
-	fmt.Fprintf(os.Stderr, "ratsserve: serving /check /healthz /readyz /metrics /checks on http://%s\n", bound)
+	fmt.Fprintf(os.Stderr, "ratsserve: serving /check /healthz /readyz /metrics /checks /tracez on http://%s\n", bound)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -94,7 +131,8 @@ func main() {
 
 	// Drain order: flip unready and stop admitting enumerations, wait for
 	// in-flight checks, then stop the HTTP listener (which itself waits
-	// for in-flight handlers), then flush telemetry.
+	// for in-flight handlers), then wait for straggler traces (a detached
+	// singleflight can outlive its last waiter) and flush telemetry.
 	ctx, cancel := context.WithTimeout(context.Background(), *drainWait)
 	defer cancel()
 	if err := svc.Drain(ctx); err != nil {
@@ -102,6 +140,19 @@ func main() {
 	}
 	if err := srv.Shutdown(ctx); err != nil {
 		fmt.Fprintf(os.Stderr, "ratsserve: shutdown: %v\n", err)
+	}
+	if err := tracer.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "ratsserve: traces: %v\n", err)
+	}
+	if traceFile != nil {
+		if err := traceFile.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "ratsserve:", err)
+		} else {
+			fmt.Fprintf(os.Stderr, "ratsserve: traces flushed to %s\n", *tracesOut)
+		}
+	}
+	if accessFile != nil {
+		accessFile.Close()
 	}
 	if *telOut != "" {
 		f, err := os.Create(*telOut)

@@ -108,18 +108,18 @@ func overall(entries map[probe.LatencyKey]probe.LatencyEntry) hist.Histogram {
 func RenderLatencySweep(cells []LatencyCell, cfgNames []string) string {
 	var b strings.Builder
 	b.WriteString("per-transaction memory latency sweep (cycles)\n")
-	fmt.Fprintf(&b, "  %-10s %-8s %10s %9s %7s %7s %7s %7s\n",
-		"workload", "config", "cycles", "spans", "p50", "p90", "p99", "max")
+	fmt.Fprintf(&b, "  %-10s %-8s %10s %9s %7s %7s %7s %7s %7s\n",
+		"workload", "config", "cycles", "spans", "p50", "p90", "p99", "p99.9", "max")
 	for _, c := range cells {
 		h := overall(c.Entries)
 		s := h.Summarize()
-		fmt.Fprintf(&b, "  %-10s %-8s %10d %9d %7d %7d %7d %7d\n",
-			c.Workload, c.Config, c.Cycles, s.Count, s.P50, s.P90, s.P99, s.Max)
+		fmt.Fprintf(&b, "  %-10s %-8s %10d %9d %7d %7d %7d %7d %7d\n",
+			c.Workload, c.Config, c.Cycles, s.Count, s.P50, s.P90, s.P99, s.P999, s.Max)
 	}
 
 	b.WriteString("\nby op class, merged over workloads\n")
-	fmt.Fprintf(&b, "  %-8s %-8s %9s %7s %7s %7s %7s\n",
-		"config", "op", "spans", "p50", "p90", "p99", "max")
+	fmt.Fprintf(&b, "  %-8s %-8s %9s %7s %7s %7s %7s %7s\n",
+		"config", "op", "spans", "p50", "p90", "p99", "p99.9", "max")
 	for _, cfg := range cfgNames {
 		merged := map[probe.SpanOp]*hist.Histogram{}
 		for _, c := range cells {
@@ -142,8 +142,8 @@ func RenderLatencySweep(cells []LatencyCell, cfgNames []string) string {
 				continue
 			}
 			s := h.Summarize()
-			fmt.Fprintf(&b, "  %-8s %-8s %9d %7d %7d %7d %7d\n",
-				cfg, op, s.Count, s.P50, s.P90, s.P99, s.Max)
+			fmt.Fprintf(&b, "  %-8s %-8s %9d %7d %7d %7d %7d %7d\n",
+				cfg, op, s.Count, s.P50, s.P90, s.P99, s.P999, s.Max)
 		}
 	}
 	return b.String()

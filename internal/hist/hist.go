@@ -150,9 +150,9 @@ func (h *Histogram) Each(fn func(upper, count int64)) {
 
 // Summary bundles the quantiles a latency table wants.
 type Summary struct {
-	Count               int64
-	P50, P90, P99, Max  int64
-	Mean                float64
+	Count                     int64
+	P50, P90, P99, P999, Max  int64
+	Mean                      float64
 }
 
 // Summarize computes the standard latency summary.
@@ -162,7 +162,18 @@ func (h *Histogram) Summarize() Summary {
 		P50:   h.Quantile(0.50),
 		P90:   h.Quantile(0.90),
 		P99:   h.Quantile(0.99),
+		P999:  h.Quantile(0.999),
 		Max:   h.max,
 		Mean:  h.Mean(),
 	}
+}
+
+// UpperFor returns the inclusive upper bound of the bucket that would
+// hold v — the same edge Each reports — so callers can key per-bucket
+// side tables (e.g. exemplars) off observed values.
+func UpperFor(v int64) int64 {
+	if v < 0 {
+		v = 0
+	}
+	return upperBound(bucketIndex(v))
 }

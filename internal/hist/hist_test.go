@@ -132,3 +132,43 @@ func BenchmarkQuantile(b *testing.B) {
 		_ = h.Quantile(0.99)
 	}
 }
+
+func TestP999TracksTail(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 1997; i++ {
+		h.Record(10)
+	}
+	for i := 0; i < 3; i++ {
+		h.Record(100000)
+	}
+	s := h.Summarize()
+	if s.P99 >= s.P999 {
+		t.Fatalf("P99 %d should be below P999 %d with a 1.5-in-1000 outlier", s.P99, s.P999)
+	}
+	if s.P999 < 100000 || s.P999 != s.Max {
+		t.Fatalf("P999 = %d, want clamped to max %d", s.P999, s.Max)
+	}
+}
+
+func TestUpperForMatchesEach(t *testing.T) {
+	var h Histogram
+	for _, v := range []int64{0, 1, 31, 32, 1000, 123456, 1 << 40} {
+		h.Record(v)
+		u := UpperFor(v)
+		if v > u {
+			t.Fatalf("UpperFor(%d) = %d is below the value", v, u)
+		}
+		found := false
+		h.Each(func(upper, count int64) {
+			if upper == u {
+				found = true
+			}
+		})
+		if !found {
+			t.Fatalf("UpperFor(%d) = %d is not a bucket edge Each reports", v, u)
+		}
+	}
+	if got := UpperFor(-5); got != UpperFor(0) {
+		t.Fatalf("UpperFor(-5) = %d, want clamp to UpperFor(0) = %d", got, UpperFor(0))
+	}
+}

@@ -22,6 +22,7 @@ import (
 	"rats/internal/core"
 	"rats/internal/litmus"
 	"rats/internal/memmodel/telemetry"
+	"rats/internal/rtrace"
 )
 
 // Event is one dynamic memory operation of an execution. Branch markers
@@ -135,7 +136,10 @@ type EnumOptions struct {
 	// Telemetry, when non-nil, receives live engine counters: executions
 	// recorded, DFS transitions taken, sleep-set skips, and recycle/
 	// allocation events. A nil Check is the zero-overhead disabled mode
-	// (every counter folds into one nil-check branch).
+	// (every counter folds into one nil-check branch). A request-trace
+	// span linked via Telemetry.SetSpan additionally receives
+	// enumeration span events; it rides this pointer rather than a field
+	// of its own so the disabled layout never changes.
 	Telemetry *telemetry.Check
 	// Ctx, when non-nil, cancels the search: the DFS polls the context at
 	// bounded strides (every checkStride nodes per worker), so a client
@@ -529,6 +533,17 @@ func Enumerate(p *litmus.Program, opts EnumOptions) ([]*Execution, error) {
 	e.start = time.Now()
 	if opts.Naive || opts.Sequential || len(p.Threads) < 2 {
 		e.step()
+		// A request trace linked via Telemetry.SetSpan gets one summary
+		// event with the final counters (read before flushTel zeroes the
+		// clone-local shards). Reading the span off the telemetry block
+		// keeps EnumOptions and the enumerator layout-identical to the
+		// untraced build — see the tel field's struct comment.
+		if sp := e.tel.Span(); sp != nil {
+			sp.Event("enumerated",
+				rtrace.Int("executions", e.count.Load()),
+				rtrace.Int("transitions", e.transitions),
+				rtrace.Int("sleep_skips", e.sleepSkips))
+		}
 		e.flushTel()
 		if e.err != nil {
 			return nil, e.err
@@ -616,17 +631,36 @@ func (e *enumerator) runParallel() ([]*Execution, error) {
 	}
 	for w := 0; w < n; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			// When a request trace is linked on the telemetry block,
+			// each pool worker reports as an "enum.worker" child span
+			// with one "branch" event per explored first-step branch
+			// (clone-local transition shards, read before flushTel
+			// zeroes them; executions is the shared recorded total at
+			// event time). nil span = nil child = no per-branch work.
+			var wsp *rtrace.Span
+			if psp := e.tel.Span(); psp != nil {
+				wsp = psp.Child("enum.worker")
+				wsp.SetInt("worker", int64(w))
+			}
 			for i := range jobs {
 				tk := tasks[i]
 				c := e.clone()
 				c.sleep = tk.sleep
 				c.execOne(tk.t, tk.inf, tk.lv, tk.sv)
+				if wsp != nil {
+					wsp.Event("branch",
+						rtrace.Int("task", int64(i)),
+						rtrace.Int("executions", e.count.Load()),
+						rtrace.Int("transitions", c.transitions),
+						rtrace.Int("sleep_skips", c.sleepSkips))
+				}
 				c.flushTel()
 				workers[i] = c
 			}
-		}()
+			wsp.End()
+		}(w)
 	}
 	for i := range tasks {
 		jobs <- i

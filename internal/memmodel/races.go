@@ -13,6 +13,7 @@ import (
 	"rats/internal/litmus"
 	"rats/internal/memmodel/rel"
 	"rats/internal/memmodel/telemetry"
+	"rats/internal/rtrace"
 )
 
 // RaceKind is one of the paper's illegal race categories.
@@ -269,6 +270,13 @@ type CheckOptions struct {
 	// (enumeration, pruning, analysis workers, verdict merge) and its
 	// lifecycle transitions. nil disables instrumentation at zero cost.
 	Telemetry *telemetry.Check
+	// Span, when non-nil, is the request-trace parent for this check:
+	// the pipeline opens "enumerate", per-worker "analyze.worker", and
+	// "merge" children under it, and links each enumerate child onto
+	// Telemetry (telemetry.Check.SetSpan) for the engine's own events —
+	// so the engine-internal "enumerated"/"enum.worker" annotations need
+	// Telemetry set too. nil disables tracing at zero cost.
+	Span *rtrace.Span
 }
 
 // CheckProgram enumerates the SC executions of the program's
@@ -299,17 +307,23 @@ func CheckProgramWith(p0 *litmus.Program, m core.Model, opts CheckOptions) (*Ver
 		effLimit = DefaultLimit
 	}
 	tel.Begin(int64(effLimit))
+	sp := opts.Span
 	eo := EnumOptions{
 		Quantum: true, Limit: opts.Limit, Telemetry: tel,
 		Ctx: opts.Ctx, TransitionLimit: opts.TransitionLimit,
 	}
 
 	if opts.Materialize {
+		en := sp.Child("enumerate")
+		tel.SetSpan(en)
 		execs, err := Enumerate(p, eo)
+		tel.SetSpan(nil)
+		en.End()
 		if err != nil {
 			tel.Finish(stateForErr(err))
 			return nil, err
 		}
+		aw := sp.Child("analyze.worker")
 		pv := newPartialVerdict()
 		an := NewAnalyzer()
 		w := tel.Worker()
@@ -317,7 +331,11 @@ func CheckProgramWith(p0 *litmus.Program, m core.Model, opts CheckOptions) (*Ver
 			pv.add(an.Analyze(ex), kinds)
 			w.IncAnalyzed()
 		}
+		aw.SetInt("analyzed", int64(len(execs)))
+		aw.End()
+		mg := sp.Child("merge")
 		v := finishVerdict(p0.Name, m, []*partialVerdict{pv}, tel)
+		mg.End()
 		tel.Finish(telemetry.StateDone)
 		return v, nil
 	}
@@ -347,11 +365,20 @@ func CheckProgramWith(p0 *litmus.Program, m core.Model, opts CheckOptions) (*Ver
 			spare = ex
 			return nil
 		}
-		if _, err := Enumerate(p, eo); err != nil {
+		// Enumeration and analysis interleave on one goroutine, so a
+		// single span covers both.
+		en := sp.Child("enumerate")
+		tel.SetSpan(en)
+		_, err := Enumerate(p, eo)
+		tel.SetSpan(nil)
+		en.End()
+		if err != nil {
 			tel.Finish(stateForErr(err))
 			return nil, err
 		}
+		mg := sp.Child("merge")
 		v := finishVerdict(p0.Name, m, []*partialVerdict{pv}, tel)
+		mg.End()
 		tel.Finish(telemetry.StateDone)
 		return v, nil
 	}
@@ -371,11 +398,16 @@ func CheckProgramWith(p0 *litmus.Program, m core.Model, opts CheckOptions) (*Ver
 		pv := newPartialVerdict()
 		parts = append(parts, pv)
 		w := tel.Worker()
+		var wsp *rtrace.Span
+		if sp != nil {
+			wsp = sp.Child("analyze.worker")
+			wsp.SetInt("worker", int64(len(parts)-1))
+		}
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			an := NewAnalyzer()
-			if w == nil {
+			if w == nil && wsp == nil {
 				for ex := range ch {
 					pv.add(an.Analyze(ex), kinds)
 					exPool.Put(ex)
@@ -385,6 +417,13 @@ func CheckProgramWith(p0 *litmus.Program, m core.Model, opts CheckOptions) (*Ver
 			// Instrumented loop: a blocking receive on an empty channel
 			// means this worker outpaced the enumerator — count it as an
 			// idle wait before parking.
+			var analyzed int64
+			defer func() {
+				if wsp != nil {
+					wsp.SetInt("analyzed", analyzed)
+					wsp.End()
+				}
+			}()
 			for {
 				var ex *Execution
 				var ok bool
@@ -399,6 +438,7 @@ func CheckProgramWith(p0 *litmus.Program, m core.Model, opts CheckOptions) (*Ver
 				}
 				pv.add(an.Analyze(ex), kinds)
 				w.IncAnalyzed()
+				analyzed++
 				exPool.Put(ex)
 			}
 		}()
@@ -422,14 +462,20 @@ func CheckProgramWith(p0 *litmus.Program, m core.Model, opts CheckOptions) (*Ver
 		ch <- ex
 		return nil
 	}
+	en := sp.Child("enumerate")
+	tel.SetSpan(en)
 	_, err := Enumerate(p, eo)
+	tel.SetSpan(nil)
+	en.End()
 	close(ch)
 	wg.Wait()
 	if err != nil {
 		tel.Finish(stateForErr(err))
 		return nil, err
 	}
+	mg := sp.Child("merge")
 	v := finishVerdict(p0.Name, m, parts, tel)
+	mg.End()
 	tel.Finish(telemetry.StateDone)
 	return v, nil
 }

@@ -15,10 +15,19 @@ import (
 // the disabled mode: NewCheck returns a nil *Check and the whole
 // instrumentation layer folds away.
 type Registry struct {
-	mu      sync.Mutex
-	checks  []*Check
-	latency hist.Histogram // per-check wall time, microseconds
-	clock   func() time.Time
+	mu        sync.Mutex
+	checks    []*Check
+	latency   hist.Histogram // per-check wall time, microseconds
+	exemplars map[int64]Exemplar
+	clock     func() time.Time
+}
+
+// Exemplar links one latency-histogram bucket to a recent trace that
+// landed in it — the OpenMetrics exemplar payload for that bucket.
+type Exemplar struct {
+	TraceID string
+	ValueUs int64
+	At      time.Time
 }
 
 // NewRegistry builds an empty registry.
@@ -53,9 +62,41 @@ func (r *Registry) NewCheck(program, model string) *Check {
 
 func (r *Registry) observe(c *Check) {
 	us := c.elapsedNS.Load() / 1e3
+	id := c.TraceID()
 	r.mu.Lock()
 	r.latency.Record(us)
+	if id != "" {
+		// Last trace to land in a bucket wins: recency beats fairness
+		// for "show me a request that was this slow".
+		if r.exemplars == nil {
+			r.exemplars = make(map[int64]Exemplar)
+		}
+		at := time.Now()
+		if r.clock != nil {
+			at = r.clock()
+		}
+		r.exemplars[hist.UpperFor(us)] = Exemplar{TraceID: id, ValueUs: us, At: at}
+	}
 	r.mu.Unlock()
+}
+
+// LatencyExemplars returns the per-bucket exemplar table, keyed by the
+// same inclusive bucket upper bound Histogram.Each reports (nil on nil
+// or when no traced checks have finished).
+func (r *Registry) LatencyExemplars() map[int64]Exemplar {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.exemplars) == 0 {
+		return nil
+	}
+	out := make(map[int64]Exemplar, len(r.exemplars))
+	for k, v := range r.exemplars {
+		out[k] = v
+	}
+	return out
 }
 
 // Totals aggregates the deterministic counters across every registered
@@ -136,6 +177,7 @@ func (r *Registry) Snapshot() RegistrySnapshot {
 		ms := hist.Summary{
 			Count: us.Count,
 			P50:   us.P50 / 1000, P90: us.P90 / 1000, P99: us.P99 / 1000,
+			P999: us.P999 / 1000,
 			Max:  us.Max / 1000,
 			Mean: us.Mean / 1000,
 		}

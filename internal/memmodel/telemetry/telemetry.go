@@ -21,6 +21,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"rats/internal/rtrace"
 )
 
 // CheckState is one check's lifecycle state.
@@ -91,6 +93,14 @@ type Check struct {
 	mu       sync.Mutex
 	workers  []*Worker
 	onFinish func(*Check)
+	traceID  string
+
+	// span is the request-trace span covering the current enumeration
+	// phase, if any. The engine reads it through the Check pointer the
+	// options already carry, so linking a trace never widens EnumOptions
+	// or the enumerator's hot search state (whose field offsets are
+	// layout-sensitive; see the enumerator struct comment in exec.go).
+	span atomic.Pointer[rtrace.Span]
 }
 
 // NewCheck builds a standalone (unregistered) check. Registry.NewCheck
@@ -122,6 +132,47 @@ func (c *Check) SetClock(fn func() time.Time) {
 	if c != nil {
 		c.clock = fn
 	}
+}
+
+// SetTraceID links the check to a request trace, so metric exemplars and
+// /checks rows can point back at the trace that produced them.
+func (c *Check) SetTraceID(id string) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	c.traceID = id
+	c.mu.Unlock()
+}
+
+// TraceID returns the linked request trace ID ("" on nil or unlinked).
+func (c *Check) TraceID() string {
+	if c == nil {
+		return ""
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.traceID
+}
+
+// SetSpan links (or, with nil, unlinks) the request-trace span covering
+// the check's current enumeration phase. While linked, the enumerator
+// emits telemetry-fed span events — the sequential path's "enumerated"
+// summary and the parallel pool's per-worker "enum.worker" children —
+// onto it. The caller owns the span's lifetime: unlink before ending it.
+func (c *Check) SetSpan(sp *rtrace.Span) {
+	if c != nil {
+		c.span.Store(sp)
+	}
+}
+
+// Span returns the linked enumeration span (nil on a nil receiver or
+// when no trace is linked).
+func (c *Check) Span() *rtrace.Span {
+	if c == nil {
+		return nil
+	}
+	return c.span.Load()
 }
 
 // SetSuiteWorker attributes the check to a suite-level worker index.

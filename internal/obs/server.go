@@ -16,6 +16,7 @@ import (
 
 	"rats/internal/memmodel/telemetry"
 	"rats/internal/probe"
+	"rats/internal/rtrace"
 	"rats/internal/stats"
 )
 
@@ -74,7 +75,9 @@ type Server struct {
 	latency  *probe.LatencySink
 	progress *Progress
 	checks   *telemetry.Registry
+	traces   *rtrace.Tracer
 	extra    []func(w io.Writer)
+	extraOM  []func(w io.Writer, om bool)
 	handlers map[string]http.Handler
 
 	ln  net.Listener
@@ -146,6 +149,16 @@ func (s *Server) AddMetricsFunc(f func(w io.Writer)) {
 	s.mu.Unlock()
 }
 
+// AddMetricsOM registers a format-aware metrics source: f receives om
+// true when the scrape negotiated the OpenMetrics content type (so it
+// can attach exemplars) and false for the classic text format. It
+// renders alongside AddMetricsFunc sources in registration order.
+func (s *Server) AddMetricsOM(f func(w io.Writer, om bool)) {
+	s.mu.Lock()
+	s.extraOM = append(s.extraOM, f)
+	s.mu.Unlock()
+}
+
 // Handle mounts an additional handler on the server's mux under pattern.
 // Registered handlers share the server's connection hardening and body
 // bounds. Must be called before Handler/Start.
@@ -168,11 +181,21 @@ func (s *Server) sources() (map[string]string, *StatsGauge, *probe.LatencySink, 
 	return info, s.gauge, s.latency, s.progress, s.checks
 }
 
-// WriteMetrics renders the Prometheus text exposition. The output is
-// deterministic for a fixed state: run-info labels and latency keys are
-// sorted, counters follow stats.Rows order, and histogram buckets are
-// emitted in increasing bound order (non-empty buckets plus +Inf).
+// WriteMetrics renders the classic Prometheus text exposition. The
+// output is deterministic for a fixed state: run-info labels and latency
+// keys are sorted, counters follow stats.Rows order, and histogram
+// buckets are emitted in increasing bound order (non-empty buckets plus
+// +Inf).
 func (s *Server) WriteMetrics(w io.Writer) {
+	s.writeMetrics(w, false)
+}
+
+// writeMetrics renders either the classic text format (om false,
+// byte-identical to what WriteMetrics always produced) or OpenMetrics
+// (om true): counter TYPE lines drop the _total suffix, latency-
+// histogram buckets carry `# {trace_id=...}` exemplars when the
+// telemetry registry has them, and the output ends with `# EOF`.
+func (s *Server) writeMetrics(w io.Writer, om bool) {
 	info, gauge, latency, _, checks := s.sources()
 
 	if len(info) > 0 {
@@ -239,15 +262,29 @@ func (s *Server) WriteMetrics(w io.Writer) {
 			{"sc_results", "Distinct SC results across final verdicts.", tot.SCResults},
 		}
 		for _, c := range counters {
-			fmt.Fprintf(w, "# HELP rats_check_%s_total %s\n# TYPE rats_check_%s_total counter\nrats_check_%s_total %d\n",
-				c.name, c.help, c.name, c.name, c.value)
+			if om {
+				fmt.Fprintf(w, "# HELP rats_check_%s %s\n# TYPE rats_check_%s counter\nrats_check_%s_total %d\n",
+					c.name, c.help, c.name, c.name, c.value)
+			} else {
+				fmt.Fprintf(w, "# HELP rats_check_%s_total %s\n# TYPE rats_check_%s_total counter\nrats_check_%s_total %d\n",
+					c.name, c.help, c.name, c.name, c.value)
+			}
 		}
 		if lat := checks.Latency(); lat.Count() > 0 {
+			var exemplars map[int64]telemetry.Exemplar
+			if om {
+				exemplars = checks.LatencyExemplars()
+			}
 			fmt.Fprintf(w, "# HELP rats_check_latency_us Per-check wall time in microseconds.\n# TYPE rats_check_latency_us histogram\n")
 			cum := int64(0)
 			lat.Each(func(upper, count int64) {
 				cum += count
-				fmt.Fprintf(w, "rats_check_latency_us_bucket{le=\"%d\"} %d\n", upper, cum)
+				fmt.Fprintf(w, "rats_check_latency_us_bucket{le=\"%d\"} %d", upper, cum)
+				if ex, ok := exemplars[upper]; ok {
+					fmt.Fprintf(w, " # {trace_id=%q} %d %.3f", ex.TraceID, ex.ValueUs,
+						float64(ex.At.UnixNano())/1e9)
+				}
+				fmt.Fprintln(w)
 			})
 			fmt.Fprintf(w, "rats_check_latency_us_bucket{le=\"+Inf\"} %d\n", lat.Count())
 			fmt.Fprintf(w, "rats_check_latency_us_sum %d\n", lat.Sum())
@@ -258,9 +295,17 @@ func (s *Server) WriteMetrics(w io.Writer) {
 	s.mu.Lock()
 	extra := make([]func(w io.Writer), len(s.extra))
 	copy(extra, s.extra)
+	extraOM := make([]func(w io.Writer, om bool), len(s.extraOM))
+	copy(extraOM, s.extraOM)
 	s.mu.Unlock()
 	for _, f := range extra {
 		f(w)
+	}
+	for _, f := range extraOM {
+		f(w, om)
+	}
+	if om {
+		io.WriteString(w, "# EOF\n")
 	}
 }
 
@@ -305,10 +350,16 @@ func (s *Server) buildInfo() BuildInfo {
 // /debug/pprof/.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		if acceptsOpenMetrics(r.Header.Get("Accept")) {
+			w.Header().Set("Content-Type", openMetricsContentType)
+			s.writeMetrics(w, true)
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		s.WriteMetrics(w)
+		s.writeMetrics(w, false)
 	})
+	mux.HandleFunc("/tracez", s.handleTracez)
 	mux.HandleFunc("/progress", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		_, _, _, progress, _ := s.sources()

@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+
+	"rats/internal/rtrace"
+)
+
+// openMetricsContentType is the negotiated OpenMetrics exposition type.
+const openMetricsContentType = "application/openmetrics-text; version=1.0.0; charset=utf-8"
+
+// acceptsOpenMetrics reports whether the Accept header asks for the
+// OpenMetrics exposition format. Matching is deliberately loose — any
+// listed media range naming openmetrics-text opts in; q-weights are not
+// compared because the server only has the two formats and classic text
+// is the safe default.
+func acceptsOpenMetrics(accept string) bool {
+	for _, part := range strings.Split(accept, ",") {
+		mt := strings.TrimSpace(part)
+		if i := strings.IndexByte(mt, ';'); i >= 0 {
+			mt = strings.TrimSpace(mt[:i])
+		}
+		if strings.EqualFold(mt, "application/openmetrics-text") {
+			return true
+		}
+	}
+	return false
+}
+
+// SetTraces attaches the request tracer: its ring buffer of recent,
+// error, and slowest traces becomes the /tracez payload.
+func (s *Server) SetTraces(t *rtrace.Tracer) {
+	s.mu.Lock()
+	s.traces = t
+	s.mu.Unlock()
+}
+
+func (s *Server) tracer() *rtrace.Tracer {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.traces
+}
+
+// handleTracez serves the ring-buffered trace views.
+//
+//	/tracez                  — JSON: stats + recent/error/slowest traces
+//	/tracez?id=<trace-id>    — JSON: that one trace (404 if it left the ring)
+//	/tracez?id=<id>&format=chrome — that trace as a Chrome/Perfetto
+//	                           trace-event file (the internal/probe format)
+//	/tracez?format=chrome    — every ringed trace on one Chrome timeline
+func (s *Server) handleTracez(w http.ResponseWriter, r *http.Request) {
+	t := s.tracer()
+	if t == nil {
+		http.Error(w, "no tracer attached", http.StatusNotFound)
+		return
+	}
+	id := r.URL.Query().Get("id")
+	chrome := r.URL.Query().Get("format") == "chrome"
+	if id != "" {
+		td, ok := t.Find(id)
+		if !ok {
+			http.Error(w, "trace not found (evicted from ring or never existed)", http.StatusNotFound)
+			return
+		}
+		if chrome {
+			w.Header().Set("Content-Type", "application/json")
+			w.Header().Set("Content-Disposition", `attachment; filename="trace-`+id+`.json"`)
+			rtrace.WriteChrome(w, td)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(td)
+		return
+	}
+	snap := t.Snapshot()
+	if chrome {
+		// One timeline of everything the ring holds, deduplicated (a
+		// trace can sit in several views) and in recent-first order.
+		seen := map[string]bool{}
+		var all []*rtrace.TraceData
+		for _, set := range [][]*rtrace.TraceData{snap.Recent, snap.Errors, snap.Slowest} {
+			for _, td := range set {
+				if !seen[td.TraceID] {
+					seen[td.TraceID] = true
+					all = append(all, td)
+				}
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("Content-Disposition", `attachment; filename="tracez.json"`)
+		rtrace.WriteChrome(w, all...)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(snap)
+}

@@ -102,13 +102,13 @@ func SortKeys[V any](m map[LatencyKey]V) []LatencyKey {
 func (l *LatencySink) Table() string {
 	snap := l.Snapshot()
 	var b strings.Builder
-	fmt.Fprintf(&b, "  %-8s %-10s %9s %7s %7s %7s %7s   %s\n",
-		"op", "level", "spans", "p50", "p90", "p99", "max", "mean cycles per segment")
+	fmt.Fprintf(&b, "  %-8s %-10s %9s %7s %7s %7s %7s %7s   %s\n",
+		"op", "level", "spans", "p50", "p90", "p99", "p99.9", "max", "mean cycles per segment")
 	for _, k := range SortKeys(snap) {
 		e := snap[k]
 		s := e.Hist.Summarize()
-		fmt.Fprintf(&b, "  %-8s %-10s %9d %7d %7d %7d %7d  ",
-			k.Op, k.Level, s.Count, s.P50, s.P90, s.P99, s.Max)
+		fmt.Fprintf(&b, "  %-8s %-10s %9d %7d %7d %7d %7d %7d  ",
+			k.Op, k.Level, s.Count, s.P50, s.P90, s.P99, s.P999, s.Max)
 		for seg := Seg(0); seg < NumSegs; seg++ {
 			fmt.Fprintf(&b, " %s=%.1f", seg, float64(e.Segs[seg])/float64(s.Count))
 		}

@@ -1,0 +1,91 @@
+package rtrace
+
+import "sync"
+
+// ring keeps three bounded views of finished traces for /tracez: the
+// last N of everything, the last N errors, and the N slowest by
+// duration. TraceData is immutable, so the views share pointers with the
+// JSONL export and snapshots are cheap copies.
+type ring struct {
+	mu      sync.Mutex
+	size    int
+	recent  []*TraceData // append-ordered, oldest first, capped at size
+	errors  []*TraceData
+	slowest []*TraceData // sorted by DurationUs descending, capped at size
+}
+
+func newRing(size int) *ring {
+	return &ring{size: size}
+}
+
+func (r *ring) add(td *TraceData, isErr bool) {
+	r.mu.Lock()
+	r.recent = pushCapped(r.recent, td, r.size)
+	if isErr {
+		r.errors = pushCapped(r.errors, td, r.size)
+	}
+	// Insertion into the slowest view: find the spot, drop the tail.
+	i := len(r.slowest)
+	for i > 0 && r.slowest[i-1].DurationUs < td.DurationUs {
+		i--
+	}
+	if i < r.size {
+		r.slowest = append(r.slowest, nil)
+		copy(r.slowest[i+1:], r.slowest[i:])
+		r.slowest[i] = td
+		if len(r.slowest) > r.size {
+			r.slowest = r.slowest[:r.size]
+		}
+	}
+	r.mu.Unlock()
+}
+
+func pushCapped(s []*TraceData, td *TraceData, size int) []*TraceData {
+	s = append(s, td)
+	if len(s) > size {
+		copy(s, s[1:])
+		s = s[:len(s)-1]
+	}
+	return s
+}
+
+// RingSnapshot is the /tracez payload: newest-first recents and errors,
+// slowest-first slow traces, plus the tracer's activity counters.
+type RingSnapshot struct {
+	Stats   Stats        `json:"stats"`
+	Recent  []*TraceData `json:"recent"`
+	Errors  []*TraceData `json:"errors,omitempty"`
+	Slowest []*TraceData `json:"slowest,omitempty"`
+}
+
+func (r *ring) snapshot() RingSnapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return RingSnapshot{
+		Recent:  reversed(r.recent),
+		Errors:  reversed(r.errors),
+		Slowest: append([]*TraceData(nil), r.slowest...),
+	}
+}
+
+func reversed(s []*TraceData) []*TraceData {
+	out := make([]*TraceData, len(s))
+	for i, td := range s {
+		out[len(s)-1-i] = td
+	}
+	return out
+}
+
+// find looks a trace up by ID across all three views.
+func (r *ring) find(id string) (*TraceData, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, set := range [][]*TraceData{r.recent, r.errors, r.slowest} {
+		for _, td := range set {
+			if td.TraceID == id {
+				return td, true
+			}
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,492 @@
+package rtrace
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// fakeClock advances a fixed step per call, for deterministic offsets.
+func fakeClock(start time.Time, step time.Duration) func() time.Time {
+	t := start
+	var mu sync.Mutex
+	return func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		t = t.Add(step)
+		return t
+	}
+}
+
+func testTracer(opts Options) *Tracer {
+	if opts.Now == nil {
+		opts.Now = fakeClock(time.Unix(1_700_000_000, 0), time.Millisecond)
+	}
+	if opts.NewID == nil {
+		n := 0
+		var mu sync.Mutex
+		opts.NewID = func() string {
+			mu.Lock()
+			defer mu.Unlock()
+			n++
+			return fmt.Sprintf("trace%04d", n)
+		}
+	}
+	return New(opts)
+}
+
+// sumPhases asserts the reconciliation contract: phases tile [0, dur]
+// contiguously and their durations sum to the trace duration exactly.
+func sumPhases(t *testing.T, td *TraceData) {
+	t.Helper()
+	var sum int64
+	prevEnd := int64(0)
+	for i, ph := range td.Phases {
+		if ph.StartUs != prevEnd {
+			t.Errorf("phase %d (%s) starts at %d, previous ended at %d", i, ph.Name, ph.StartUs, prevEnd)
+		}
+		if ph.EndUs < ph.StartUs {
+			t.Errorf("phase %d (%s) ends before it starts: [%d, %d]", i, ph.Name, ph.StartUs, ph.EndUs)
+		}
+		sum += ph.EndUs - ph.StartUs
+		prevEnd = ph.EndUs
+	}
+	if len(td.Phases) > 0 && prevEnd != td.DurationUs {
+		t.Errorf("last phase ends at %d, trace duration is %d", prevEnd, td.DurationUs)
+	}
+	if sum != td.DurationUs {
+		t.Errorf("phase durations sum to %d, trace duration is %d", sum, td.DurationUs)
+	}
+}
+
+func TestPhaseTiling(t *testing.T) {
+	tr := testTracer(Options{}).Start("check")
+	if tr.ID() == "" {
+		t.Fatal("no trace ID")
+	}
+	p1 := tr.Phase("decode")
+	p1.SetInt("bytes", 120)
+	tr.Phase("validate")
+	p3 := tr.Phase("flight")
+	c := p3.Child("queue")
+	c.End()
+	chk := p3.Child("check")
+	chk.Event("enumerated", Int("executions", 42), Str("pruned_pct", "61.0"))
+	chk.End()
+	tr.Phase("serialize")
+	tr.SetStatus(200, "")
+	td := tr.Finish()
+	if td == nil {
+		t.Fatal("Finish returned nil")
+	}
+	sumPhases(t, td)
+	if td.Status != 200 {
+		t.Fatalf("status = %d", td.Status)
+	}
+	if len(td.Phases) != 4 {
+		t.Fatalf("phases = %d, want 4", len(td.Phases))
+	}
+	fl := td.Phases[2]
+	if len(fl.Children) != 2 {
+		t.Fatalf("flight children = %d, want 2", len(fl.Children))
+	}
+	for _, c := range fl.Children {
+		if c.StartUs < fl.StartUs || c.EndUs > td.DurationUs {
+			t.Errorf("child %s [%d,%d] escapes trace [0,%d]", c.Name, c.StartUs, c.EndUs, td.DurationUs)
+		}
+	}
+	if ev := fl.Children[1].Events; len(ev) != 1 || ev[0].Name != "enumerated" {
+		t.Fatalf("events = %+v", ev)
+	}
+	if td.Truncated != 0 {
+		t.Fatalf("truncated = %d, want 0", td.Truncated)
+	}
+	// Finish is idempotent and returns the same data.
+	if td2 := tr.Finish(); td2 != td {
+		t.Fatal("second Finish returned different data")
+	}
+}
+
+func TestOpenSpansClampedAtFinish(t *testing.T) {
+	tc := testTracer(Options{})
+	tr := tc.Start("check")
+	ph := tr.Phase("flight")
+	ph.Child("check") // never ended
+	td := tr.Finish()
+	sumPhases(t, td)
+	if td.Truncated != 1 {
+		t.Fatalf("truncated = %d, want 1", td.Truncated)
+	}
+	c := td.Phases[0].Children[0]
+	if c.EndUs != td.DurationUs {
+		t.Fatalf("open child clamped to %d, want trace duration %d", c.EndUs, td.DurationUs)
+	}
+}
+
+func TestLateSpansDropped(t *testing.T) {
+	tc := testTracer(Options{})
+	tr := tc.Start("check")
+	ph := tr.Phase("flight")
+	tr.Finish()
+	if c := ph.Child("check"); c != nil {
+		t.Fatal("Child on finished trace should return nil")
+	}
+	ph.Event("late")
+	if got := tc.Stats().LateSpans; got != 2 {
+		t.Fatalf("late spans = %d, want 2", got)
+	}
+	// Late drops must not corrupt the already-exported data.
+	td, ok := tc.Find(tr.ID())
+	if !ok {
+		t.Fatal("trace not in ring")
+	}
+	if len(td.Phases[0].Children) != 0 || len(td.Phases[0].Events) != 0 {
+		t.Fatal("late span or event leaked into finished trace")
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var tc *Tracer
+	tr := tc.Start("x")
+	if tr != nil {
+		t.Fatal("nil tracer must return nil trace")
+	}
+	tr.SetAttr("k", "v")
+	tr.SetStatus(200, "")
+	sp := tr.Phase("p")
+	sp.SetInt("n", 1)
+	sp.Event("e")
+	c := sp.Child("c")
+	c.End()
+	if got := c.TraceID(); got != "" {
+		t.Fatalf("TraceID on nil span = %q", got)
+	}
+	if td := tr.Finish(); td != nil {
+		t.Fatal("Finish on nil trace must return nil")
+	}
+	if err := tc.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTailSampling(t *testing.T) {
+	var out bytes.Buffer
+	// No warmup: the keep decision is pure error-or-slow from trace one.
+	tc := testTracer(Options{Out: &out, Tail: 0.9, TailWarmup: -1})
+	// Slowest first: once the 500ms outlier anchors the tail quantile,
+	// the 1ms bulk falls below it and gets sampled out.
+	durs := []time.Duration{500 * time.Millisecond, time.Millisecond,
+		time.Millisecond, time.Millisecond, time.Millisecond, time.Millisecond,
+		time.Millisecond, time.Millisecond, time.Millisecond, time.Millisecond}
+	now := time.Unix(1_700_000_000, 0)
+	var mu sync.Mutex
+	step := time.Duration(0)
+	tc.opts.Now = func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now.Add(step)
+	}
+	for i, d := range durs {
+		tr := tc.Start(fmt.Sprintf("t%d", i))
+		mu.Lock()
+		step += d
+		mu.Unlock()
+		tr.SetStatus(200, "")
+		tr.Finish()
+	}
+	// One error trace: always kept regardless of duration.
+	tr := tc.Start("err")
+	tr.SetStatus(422, "deadline")
+	tr.Finish()
+
+	st := tc.Stats()
+	if st.Kept == 0 || st.Sampled == 0 {
+		t.Fatalf("sampler kept %d / dropped %d, want both nonzero", st.Kept, st.Sampled)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != int(st.Kept) {
+		t.Fatalf("JSONL lines = %d, kept = %d", len(lines), st.Kept)
+	}
+	var sawErr, sawSlow bool
+	for _, ln := range lines {
+		var td TraceData
+		if err := json.Unmarshal([]byte(ln), &td); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", ln, err)
+		}
+		if td.Kind == "deadline" {
+			sawErr = true
+		}
+		if td.DurationUs >= 500_000 {
+			sawSlow = true
+		}
+	}
+	if !sawErr {
+		t.Error("error trace was sampled out")
+	}
+	if !sawSlow {
+		t.Error("slowest trace was sampled out")
+	}
+}
+
+func TestKeepAllByDefault(t *testing.T) {
+	var out bytes.Buffer
+	tc := testTracer(Options{Out: &out})
+	for i := 0; i < 10; i++ {
+		tc.Start("t").Finish()
+	}
+	if st := tc.Stats(); st.Sampled != 0 || st.Kept != 10 {
+		t.Fatalf("default sampling dropped traces: %+v", st)
+	}
+	if lines := strings.Count(out.String(), "\n"); lines != 10 {
+		t.Fatalf("JSONL lines = %d, want 10", lines)
+	}
+}
+
+func TestRing(t *testing.T) {
+	tc := testTracer(Options{RingSize: 4})
+	now := time.Unix(1_700_000_000, 0)
+	var mu sync.Mutex
+	step := time.Duration(0)
+	tc.opts.Now = func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now.Add(step)
+	}
+	ids := make([]string, 10)
+	for i := 0; i < 10; i++ {
+		tr := tc.Start(fmt.Sprintf("t%d", i))
+		ids[i] = tr.ID()
+		mu.Lock()
+		step += time.Duration(i+1) * time.Millisecond
+		mu.Unlock()
+		if i == 3 {
+			tr.SetStatus(500, "internal")
+		}
+		tr.Finish()
+	}
+	snap := tc.Snapshot()
+	if len(snap.Recent) != 4 {
+		t.Fatalf("recent = %d, want 4", len(snap.Recent))
+	}
+	if snap.Recent[0].TraceID != ids[9] {
+		t.Fatalf("recent[0] = %s, want newest %s", snap.Recent[0].TraceID, ids[9])
+	}
+	if len(snap.Errors) != 1 || snap.Errors[0].TraceID != ids[3] {
+		t.Fatalf("errors = %+v", snap.Errors)
+	}
+	if len(snap.Slowest) != 4 {
+		t.Fatalf("slowest = %d, want 4", len(snap.Slowest))
+	}
+	for i := 1; i < len(snap.Slowest); i++ {
+		if snap.Slowest[i].DurationUs > snap.Slowest[i-1].DurationUs {
+			t.Fatal("slowest not sorted descending")
+		}
+	}
+	if snap.Slowest[0].TraceID != ids[9] {
+		t.Fatalf("slowest[0] = %s, want %s", snap.Slowest[0].TraceID, ids[9])
+	}
+	// The error trace fell out of recent but is still findable via the
+	// error view.
+	if _, ok := tc.Find(ids[3]); !ok {
+		t.Fatal("error trace not findable")
+	}
+	if _, ok := tc.Find("nope"); ok {
+		t.Fatal("found a trace that does not exist")
+	}
+	if snap.Stats.Finished != 10 {
+		t.Fatalf("finished = %d", snap.Stats.Finished)
+	}
+}
+
+func TestShutdownWaits(t *testing.T) {
+	tc := testTracer(Options{})
+	tr := tc.Start("slow")
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if err := tc.Shutdown(ctx); err == nil {
+		t.Fatal("Shutdown returned nil with a trace still active")
+	}
+	tr.Finish()
+	if err := tc.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if n := tc.Active(); n != 0 {
+		t.Fatalf("active = %d after shutdown", n)
+	}
+}
+
+func TestConcurrentSpansAndSnapshots(t *testing.T) {
+	tc := New(Options{RingSize: 8})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				tr := tc.Start("load")
+				ph := tr.Phase("work")
+				var inner sync.WaitGroup
+				for w := 0; w < 3; w++ {
+					inner.Add(1)
+					go func(w int) {
+						defer inner.Done()
+						c := ph.Child("worker")
+						c.Event("tick", Int("w", int64(w)))
+						c.End()
+					}(w)
+				}
+				inner.Wait()
+				tr.Phase("serialize")
+				tr.SetStatus(200, "")
+				td := tr.Finish()
+				sumPhases(t, td)
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				tc.Snapshot()
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+	if st := tc.Stats(); st.Active != 0 || st.Finished != 400 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// buildGoldenTrace assembles the fixed trace used by the Chrome and
+// wide-event goldens.
+func buildGoldenTrace(t *testing.T) *TraceData {
+	t.Helper()
+	tc := testTracer(Options{})
+	tr := tc.Start("check")
+	tr.SetAttr("client", "127.0.0.1")
+	tr.SetAttr("program", "IRIW")
+	tr.SetAttr("model", "DRFrlx")
+	tr.Phase("decode")
+	tr.Phase("validate")
+	tr.Phase("cache")
+	tr.Phase("gates")
+	fl := tr.Phase("flight")
+	fl.SetAttr("role", "leader")
+	q := fl.Child("queue")
+	q.End()
+	chk := fl.Child("check")
+	en := chk.Child("enumerate")
+	en.Event("enumerated", Int("executions", 15), Int("transitions", 96), Str("pruned_pct", "61.3"))
+	en.End()
+	mg := chk.Child("merge")
+	mg.SetInt("race_pairs", 2)
+	mg.End()
+	chk.End()
+	tr.Phase("serialize")
+	tr.SetStatus(200, "")
+	return tr.Finish()
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s differs from golden (run with -update to refresh)\ngot:\n%s\nwant:\n%s", name, got, want)
+	}
+}
+
+func TestChromeGolden(t *testing.T) {
+	td := buildGoldenTrace(t)
+	var buf bytes.Buffer
+	if err := WriteChrome(&buf, td); err != nil {
+		t.Fatal(err)
+	}
+	// Structural sanity before byte comparison: valid JSON with the
+	// probe-format envelope.
+	var doc struct {
+		DisplayTimeUnit string            `json:"displayTimeUnit"`
+		TraceEvents     []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome export is not valid JSON: %v", err)
+	}
+	if doc.DisplayTimeUnit != "ms" || len(doc.TraceEvents) == 0 {
+		t.Fatalf("unexpected envelope: unit=%q events=%d", doc.DisplayTimeUnit, len(doc.TraceEvents))
+	}
+	checkGolden(t, "chrome_trace.json", buf.Bytes())
+
+	// Byte stability: a second render of the same data is identical.
+	var again bytes.Buffer
+	if err := WriteChrome(&again, td); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatal("chrome export is not byte-stable across renders")
+	}
+}
+
+func TestWideEventGolden(t *testing.T) {
+	td := buildGoldenTrace(t)
+	line, err := WideEvent(td)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasSuffix(line, []byte("\n")) {
+		t.Fatal("wide event line is not newline-terminated")
+	}
+	var we map[string]any
+	if err := json.Unmarshal(line, &we); err != nil {
+		t.Fatalf("wide event is not valid JSON: %v", err)
+	}
+	for _, k := range []string{"ts", "trace_id", "name", "status", "duration_ms", "attrs", "phases_ms"} {
+		if _, ok := we[k]; !ok {
+			t.Errorf("wide event missing %q", k)
+		}
+	}
+	checkGolden(t, "wide_event.json", line)
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	var out bytes.Buffer
+	tc := testTracer(Options{Out: &out})
+	tr := tc.Start("check")
+	tr.Phase("decode")
+	tr.Phase("serialize")
+	tr.SetStatus(400, "bad_json")
+	want := tr.Finish()
+	var got TraceData
+	if err := json.Unmarshal(out.Bytes(), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.TraceID != want.TraceID || got.Status != 400 || got.Kind != "bad_json" {
+		t.Fatalf("round-trip mismatch: %+v", got)
+	}
+	sumPhases(t, &got)
+}

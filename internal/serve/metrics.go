@@ -4,27 +4,55 @@ import (
 	"fmt"
 	"io"
 	"sync/atomic"
+	"time"
 )
+
+// exemplar links a counter to the most recent traced request that
+// incremented it — the OpenMetrics exemplar payload.
+type exemplar struct {
+	traceID string
+	at      time.Time
+}
+
+// counter is an atomic counter that remembers one recent exemplar.
+// Add-only sites (no request trace in scope) use Add; request-path
+// sites go through Service.hit, which also stamps the exemplar.
+type counter struct {
+	n  atomic.Int64
+	ex atomic.Pointer[exemplar]
+}
+
+func (c *counter) Add(d int64) int64 { return c.n.Add(d) }
+func (c *counter) Load() int64       { return c.n.Load() }
 
 // metrics holds the robustness counters the service exports: how much
 // work arrived, how much was served from where, and — the point of the
 // exercise — exactly how the rest was turned away.
 type metrics struct {
-	requests        atomic.Int64 // every /check request
-	ok              atomic.Int64 // 200 responses
-	checked         atomic.Int64 // checks actually enumerated
-	cacheHits       atomic.Int64 // verdicts served from the LRU
-	rejectedInput   atomic.Int64 // 400/413: malformed or oversized input
-	rateLimited     atomic.Int64 // 429: token bucket empty
-	shed            atomic.Int64 // 503: queue full
-	deadlines       atomic.Int64 // deadline/disconnect cancellations
-	limits          atomic.Int64 // execution/transition budget trips
-	witnessSearches atomic.Int64 // witness enumerations run under admission
-	witnessDrops    atomic.Int64 // witnesses omitted: gates, deadline, or failed search
-	internal        atomic.Int64 // unexpected checker errors
-	drains          atomic.Int64 // BeginDrain transitions
+	requests        counter // every /check request
+	ok              counter // 200 responses
+	checked         counter // checks actually enumerated
+	cacheHits       counter // verdicts served from the LRU
+	rejectedInput   counter // 400/413: malformed or oversized input
+	rateLimited     counter // 429: token bucket empty
+	shed            counter // 503: queue full
+	deadlines       counter // deadline/disconnect cancellations
+	limits          counter // execution/transition budget trips
+	witnessSearches counter // witness enumerations run under admission
+	witnessDrops    counter // witnesses omitted: gates, deadline, or failed search
+	internal        counter // unexpected checker errors
+	drains          counter // BeginDrain transitions
 	queued          atomic.Int64 // gauge: requests waiting for a worker
 	running         atomic.Int64 // gauge: checks executing now
+}
+
+// hit increments c and, when the increment belongs to a traced request,
+// stamps the counter's exemplar with that trace.
+func (s *Service) hit(c *counter, traceID string) {
+	c.n.Add(1)
+	if traceID != "" {
+		c.ex.Store(&exemplar{traceID: traceID, at: s.opts.now()})
+	}
 }
 
 // Stats is a point-in-time snapshot of the service counters.
@@ -72,29 +100,51 @@ func (s *Service) Stats() Stats {
 	return st
 }
 
-// WriteMetrics renders the service counters in Prometheus text
+// WriteMetrics renders the service counters in classic Prometheus text
 // exposition, for mounting on the obs server via AddMetricsFunc.
 func (s *Service) WriteMetrics(w io.Writer) {
+	s.WriteMetricsTo(w, false)
+}
+
+// WriteMetricsTo renders the service counters. With om false the output
+// is the classic Prometheus text format, byte-identical to what
+// WriteMetrics always produced. With om true it follows OpenMetrics
+// conventions — the TYPE line names the metric family without the
+// _total suffix — and each counter with a recorded exemplar carries it
+// in `# {trace_id="..."}` syntax, linking the aggregate back to a
+// concrete recent request.
+func (s *Service) WriteMetricsTo(w io.Writer, om bool) {
 	st := s.Stats()
 	counters := []struct {
 		name, help string
 		value      int64
+		c          *counter
 	}{
-		{"requests", "Check requests received.", st.Requests},
-		{"ok", "Check requests answered 200.", st.OK},
-		{"checked", "Checks that ran an enumeration.", st.Checked},
-		{"cache_hits", "Verdicts served from the canonical LRU cache.", st.CacheHits},
-		{"rejected_input", "Requests rejected before enumeration (bad JSON, parse, validation, size).", st.RejectedInput},
-		{"rate_limited", "Requests rejected by the per-client token bucket.", st.RateLimited},
-		{"shed", "Requests shed because the work queue was full.", st.Shed},
-		{"deadline_exceeded", "Checks cancelled by deadline or client disconnect.", st.Deadlines},
-		{"limit_exceeded", "Checks stopped by the execution or transition budget.", st.Limits},
-		{"witness_searches", "Witness enumerations run under admission control.", st.WitnessSearches},
-		{"witness_drops", "Witness requests degraded to a witness-less response.", st.WitnessDrops},
-		{"internal_errors", "Checks that failed unexpectedly.", st.Internal},
-		{"drains", "Times the service entered drain.", st.Drains},
+		{"requests", "Check requests received.", st.Requests, &s.m.requests},
+		{"ok", "Check requests answered 200.", st.OK, &s.m.ok},
+		{"checked", "Checks that ran an enumeration.", st.Checked, &s.m.checked},
+		{"cache_hits", "Verdicts served from the canonical LRU cache.", st.CacheHits, &s.m.cacheHits},
+		{"rejected_input", "Requests rejected before enumeration (bad JSON, parse, validation, size).", st.RejectedInput, &s.m.rejectedInput},
+		{"rate_limited", "Requests rejected by the per-client token bucket.", st.RateLimited, &s.m.rateLimited},
+		{"shed", "Requests shed because the work queue was full.", st.Shed, &s.m.shed},
+		{"deadline_exceeded", "Checks cancelled by deadline or client disconnect.", st.Deadlines, &s.m.deadlines},
+		{"limit_exceeded", "Checks stopped by the execution or transition budget.", st.Limits, &s.m.limits},
+		{"witness_searches", "Witness enumerations run under admission control.", st.WitnessSearches, &s.m.witnessSearches},
+		{"witness_drops", "Witness requests degraded to a witness-less response.", st.WitnessDrops, &s.m.witnessDrops},
+		{"internal_errors", "Checks that failed unexpectedly.", st.Internal, &s.m.internal},
+		{"drains", "Times the service entered drain.", st.Drains, &s.m.drains},
 	}
 	for _, c := range counters {
+		if om {
+			fmt.Fprintf(w, "# HELP rats_serve_%s %s\n# TYPE rats_serve_%s counter\nrats_serve_%s_total %d",
+				c.name, c.help, c.name, c.name, c.value)
+			if ex := c.c.ex.Load(); ex != nil {
+				fmt.Fprintf(w, " # {trace_id=%q} 1 %.3f", ex.traceID,
+					float64(ex.at.UnixNano())/1e9)
+			}
+			fmt.Fprintln(w)
+			continue
+		}
 		fmt.Fprintf(w, "# HELP rats_serve_%s_total %s\n# TYPE rats_serve_%s_total counter\nrats_serve_%s_total %d\n",
 			c.name, c.help, c.name, c.name, c.value)
 	}

@@ -41,8 +41,10 @@ func newRateTable(rate float64, burst int, now func() time.Time) *rateTable {
 }
 
 // allow consumes one token from key's bucket, reporting whether one was
-// available.
-func (t *rateTable) allow(key string) bool {
+// available and the tokens remaining after the decision — the trace
+// layer records the remainder so a 429's span shows how far over the
+// budget the client was.
+func (t *rateTable) allow(key string) (bool, float64) {
 	now := t.now()
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -66,10 +68,10 @@ func (t *rateTable) allow(key string) bool {
 		b.last = now
 	}
 	if b.tokens < 1 {
-		return false
+		return false, b.tokens
 	}
 	b.tokens--
-	return true
+	return true, b.tokens
 }
 
 // clientKey identifies the requesting client for rate limiting: the

@@ -27,7 +27,11 @@ import (
 	"rats/internal/litmus"
 	"rats/internal/memmodel"
 	"rats/internal/memmodel/telemetry"
+	"rats/internal/rtrace"
 )
+
+// TraceHeader is the response header carrying the request's trace ID.
+const TraceHeader = "X-Rats-Trace-Id"
 
 // Options configures a Service. The zero value serves with sane
 // defaults; every field has an explicit override for tests and tuning.
@@ -64,6 +68,13 @@ type Options struct {
 	// Registry, when non-nil, registers every executed check so the obs
 	// layer's /checks and rats_check_* metrics cover the service.
 	Registry *telemetry.Registry
+	// Tracer issues request traces. nil means New builds a default
+	// in-process tracer (ring buffer only, no JSONL export): tracing is
+	// always on, every response carries a trace ID.
+	Tracer *rtrace.Tracer
+	// AccessLog, when non-nil, receives one wide-event JSON line per
+	// finished request (rtrace.WideEvent). Writes are serialized.
+	AccessLog io.Writer
 	// now overrides the clock in tests.
 	now func() time.Time
 }
@@ -117,17 +128,26 @@ type Service struct {
 	group     singleflight
 	rates     *rateTable
 	m         metrics
+	tracer    *rtrace.Tracer
+	logMu     sync.Mutex
 
 	draining atomic.Bool
 	inflight sync.WaitGroup
 }
 
+// Tracer returns the service's request tracer (for /tracez wiring).
+func (s *Service) Tracer() *rtrace.Tracer { return s.tracer }
+
 // New builds a Service from opts.
 func New(opts Options) *Service {
 	o := opts.withDefaults()
 	s := &Service{
-		opts: o,
-		sem:  make(chan struct{}, o.Workers),
+		opts:   o,
+		sem:    make(chan struct{}, o.Workers),
+		tracer: o.Tracer,
+	}
+	if s.tracer == nil {
+		s.tracer = rtrace.New(rtrace.Options{})
 	}
 	if o.CacheSize > 0 {
 		s.cache = newLRU[*memmodel.Verdict](o.CacheSize)
@@ -175,6 +195,9 @@ type CheckResponse struct {
 	Canonical string `json:"canonical_key"`
 	ElapsedMs int64  `json:"elapsed_ms"`
 	Witness   string `json:"witness,omitempty"`
+	// TraceID identifies the request's trace (also in X-Rats-Trace-Id),
+	// resolvable via /tracez?id= and the -traces-out JSONL.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // ErrorResponse is the payload of every non-200 response.
@@ -191,6 +214,9 @@ type ErrorResponse struct {
 	ElapsedMs  int64  `json:"elapsed_ms,omitempty"`
 	// RetryAfterMs mirrors the Retry-After header on 429/503.
 	RetryAfterMs int64 `json:"retry_after_ms,omitempty"`
+	// TraceID identifies the request's trace (also in X-Rats-Trace-Id),
+	// resolvable via /tracez?id= and the -traces-out JSONL.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // retryAfter is the backoff hint attached to shed responses.
@@ -250,13 +276,34 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	enc.Encode(v)
 }
 
-func (s *Service) reject(w http.ResponseWriter, status int, kind, msg string) {
-	resp := ErrorResponse{Error: msg, Kind: kind}
+func (s *Service) reject(w http.ResponseWriter, tr *rtrace.Trace, status int, kind, msg string) {
+	tr.Phase("serialize")
+	resp := ErrorResponse{Error: msg, Kind: kind, TraceID: tr.ID()}
 	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
 		w.Header().Set("Retry-After", strconv.Itoa(int(retryAfter/time.Second)))
 		resp.RetryAfterMs = retryAfter.Milliseconds()
 	}
 	writeJSON(w, status, resp)
+	s.finishTrace(tr, status, kind)
+}
+
+// finishTrace closes the request trace and emits its wide-event access
+// log line. Every response path — success and every rejection — funnels
+// through here exactly once.
+func (s *Service) finishTrace(tr *rtrace.Trace, status int, kind string) {
+	if tr == nil {
+		return
+	}
+	tr.SetStatus(status, kind)
+	td := tr.Finish()
+	if s.opts.AccessLog == nil || td == nil {
+		return
+	}
+	if line, err := rtrace.WideEvent(td); err == nil {
+		s.logMu.Lock()
+		s.opts.AccessLog.Write(line)
+		s.logMu.Unlock()
+	}
 }
 
 // handleCheck runs the full request pipeline. Stage order is load-bearing:
@@ -269,9 +316,15 @@ func (s *Service) handleCheck(w http.ResponseWriter, r *http.Request) {
 	s.inflight.Add(1)
 	defer s.inflight.Done()
 
-	s.m.requests.Add(1)
+	tr := s.tracer.Start("check")
+	tid := tr.ID()
+	if tid != "" {
+		w.Header().Set(TraceHeader, tid)
+		tr.SetAttr("client", clientKey(r))
+	}
+	s.hit(&s.m.requests, tid)
 	if r.Method != http.MethodPost {
-		s.reject(w, http.StatusMethodNotAllowed, "method", "POST a JSON check request")
+		s.reject(w, tr, http.StatusMethodNotAllowed, "method", "POST a JSON check request")
 		return
 	}
 	start := s.opts.now()
@@ -280,56 +333,58 @@ func (s *Service) handleCheck(w http.ResponseWriter, r *http.Request) {
 	// client's input being too large; any other read error is a transport
 	// failure (typically an upload aborted mid-body) and gets a 400 that
 	// the client likely never sees — it must not count as rejected input.
+	tr.Phase("decode")
 	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes))
 	if err != nil {
 		var mbe *http.MaxBytesError
 		if errors.As(err, &mbe) {
-			s.m.rejectedInput.Add(1)
-			s.reject(w, http.StatusRequestEntityTooLarge, "too_large",
+			s.hit(&s.m.rejectedInput, tid)
+			s.reject(w, tr, http.StatusRequestEntityTooLarge, "too_large",
 				"request body exceeds "+strconv.FormatInt(s.opts.MaxBodyBytes, 10)+" bytes")
 			return
 		}
-		s.reject(w, http.StatusBadRequest, "bad_body", "reading request body: "+err.Error())
+		s.reject(w, tr, http.StatusBadRequest, "bad_body", "reading request body: "+err.Error())
 		return
 	}
 	var req CheckRequest
 	if err := json.Unmarshal(body, &req); err != nil {
-		s.m.rejectedInput.Add(1)
-		s.reject(w, http.StatusBadRequest, "bad_json", "invalid JSON: "+err.Error())
+		s.hit(&s.m.rejectedInput, tid)
+		s.reject(w, tr, http.StatusBadRequest, "bad_json", "invalid JSON: "+err.Error())
 		return
 	}
 
 	// 2. Parse, validate, and size-check the program — all before any
 	// enumeration state exists.
+	tr.Phase("validate")
 	model := core.DRFrlx
 	if req.Model != "" {
 		model, err = core.ParseModel(req.Model)
 		if err != nil {
-			s.m.rejectedInput.Add(1)
-			s.reject(w, http.StatusBadRequest, "validate", err.Error())
+			s.hit(&s.m.rejectedInput, tid)
+			s.reject(w, tr, http.StatusBadRequest, "validate", err.Error())
 			return
 		}
 	}
 	prog, err := litmus.Parse(req.Program)
 	if err != nil {
-		s.m.rejectedInput.Add(1)
+		s.hit(&s.m.rejectedInput, tid)
 		var pe *litmus.ParseError
 		if errors.As(err, &pe) {
-			s.reject(w, http.StatusBadRequest, "parse", err.Error())
+			s.reject(w, tr, http.StatusBadRequest, "parse", err.Error())
 		} else {
-			s.reject(w, http.StatusBadRequest, "validate", err.Error())
+			s.reject(w, tr, http.StatusBadRequest, "validate", err.Error())
 		}
 		return
 	}
 	if n := len(prog.Threads); n > s.opts.MaxThreads {
-		s.m.rejectedInput.Add(1)
-		s.reject(w, http.StatusBadRequest, "validate",
+		s.hit(&s.m.rejectedInput, tid)
+		s.reject(w, tr, http.StatusBadRequest, "validate",
 			"program has "+strconv.Itoa(n)+" threads, server cap is "+strconv.Itoa(s.opts.MaxThreads))
 		return
 	}
 	if n := prog.NumOps(); n > s.opts.MaxOps {
-		s.m.rejectedInput.Add(1)
-		s.reject(w, http.StatusBadRequest, "validate",
+		s.hit(&s.m.rejectedInput, tid)
+		s.reject(w, tr, http.StatusBadRequest, "validate",
 			"program has "+strconv.Itoa(n)+" operations, server cap is "+strconv.Itoa(s.opts.MaxOps))
 		return
 	}
@@ -338,11 +393,16 @@ func (s *Service) handleCheck(w http.ResponseWriter, r *http.Request) {
 	// one in-flight check.
 	canon, err := memmodel.Canonicalize(prog)
 	if err != nil {
-		s.m.rejectedInput.Add(1)
-		s.reject(w, http.StatusBadRequest, "validate", err.Error())
+		s.hit(&s.m.rejectedInput, tid)
+		s.reject(w, tr, http.StatusBadRequest, "validate", err.Error())
 		return
 	}
 	key := canon.Key + "|" + model.String()
+	if tid != "" {
+		tr.SetAttr("program", prog.Name)
+		tr.SetAttr("model", model.String())
+		tr.SetAttr("canonical", canon.Key)
+	}
 
 	// 4. Cache: verdict hits cost no enumeration and are served
 	// unconditionally — during shed, drain, and rate limiting. A hit that
@@ -352,21 +412,24 @@ func (s *Service) handleCheck(w http.ResponseWriter, r *http.Request) {
 	var v *memmodel.Verdict
 	var witness string
 	var cached, coalesced bool
+	cacheSpan := tr.Phase("cache")
 	if s.cache != nil {
 		if cv, ok := s.cache.get(key); ok {
-			s.m.cacheHits.Add(1)
+			s.hit(&s.m.cacheHits, tid)
 			v, cached = cv, true
 		}
 	}
+	cacheSpan.SetAttr("hit", strconv.FormatBool(cached))
 	if cached {
 		needWitness := req.Witness && !v.Legal
 		if needWitness && s.witnesses != nil {
 			if wc, ok := s.witnesses.get(witnessKey(req.Program, model)); ok {
 				witness, needWitness = wc, false
+				cacheSpan.Event("witness_cache_hit")
 			}
 		}
 		if !needWitness {
-			s.respond(w, prog, canon, model, v, witness, start, true, false)
+			s.respond(w, tr, prog, canon, model, v, witness, start, true, false)
 			return
 		}
 	}
@@ -374,28 +437,36 @@ func (s *Service) handleCheck(w http.ResponseWriter, r *http.Request) {
 	// 5. Drain gate: no new enumeration — check or witness search —
 	// starts while shutting down. A cached verdict still goes out; only
 	// its witness search is dropped.
+	gates := tr.Phase("gates")
 	if s.draining.Load() {
 		if cached {
-			s.m.witnessDrops.Add(1)
-			s.respond(w, prog, canon, model, v, "", start, true, false)
+			s.hit(&s.m.witnessDrops, tid)
+			gates.Event("witness_dropped", rtrace.Str("reason", "draining"))
+			s.respond(w, tr, prog, canon, model, v, "", start, true, false)
 			return
 		}
-		s.reject(w, http.StatusServiceUnavailable, "draining", "server is draining")
+		s.reject(w, tr, http.StatusServiceUnavailable, "draining", "server is draining")
 		return
 	}
 
 	// 6. Per-client rate limit. A witness search on a cached verdict is
 	// enumeration work like any other, so it spends a token — but an
 	// empty bucket degrades it to a witness-less 200 rather than a 429.
-	if s.rates != nil && !s.rates.allow(clientKey(r)) {
-		if cached {
-			s.m.witnessDrops.Add(1)
-			s.respond(w, prog, canon, model, v, "", start, true, false)
+	if s.rates != nil {
+		ok, left := s.rates.allow(clientKey(r))
+		gates.Event("rate_limit",
+			rtrace.Str("allowed", strconv.FormatBool(ok)),
+			rtrace.Str("tokens_left", strconv.FormatFloat(left, 'f', 2, 64)))
+		if !ok {
+			if cached {
+				s.hit(&s.m.witnessDrops, tid)
+				s.respond(w, tr, prog, canon, model, v, "", start, true, false)
+				return
+			}
+			s.hit(&s.m.rateLimited, tid)
+			s.reject(w, tr, http.StatusTooManyRequests, "rate_limited", "per-client rate limit exceeded")
 			return
 		}
-		s.m.rateLimited.Add(1)
-		s.reject(w, http.StatusTooManyRequests, "rate_limited", "per-client rate limit exceeded")
-		return
 	}
 
 	// 7. Deadline for everything downstream: queue wait, check, and
@@ -413,12 +484,17 @@ func (s *Service) handleCheck(w http.ResponseWriter, r *http.Request) {
 	// 8. Single-flight: concurrent identical submissions join one shared
 	// check. The shared check runs detached from any single request, so
 	// this request waiting out its own deadline (or its client hanging
-	// up) ends only its wait, not the flight.
+	// up) ends only its wait, not the flight. The flight span belongs to
+	// THIS request: a leader's span hosts the queue/check children (via
+	// the closure below); a follower's span only measures its wait, and
+	// its role attribute says so.
 	if v == nil {
+		flight := tr.Phase("flight")
 		var err error
 		v, coalesced, err = s.group.do(ctx, key, func(cctx context.Context) (*memmodel.Verdict, error) {
-			return s.admitAndCheck(cctx, canon, model)
+			return s.admitAndCheck(cctx, canon, model, flight)
 		})
+		flight.SetAttr("role", flightRole(coalesced))
 		if err != nil {
 			var wc *waitCanceled
 			var ce *memmodel.CancelError
@@ -426,7 +502,7 @@ func (s *Service) handleCheck(w http.ResponseWriter, r *http.Request) {
 			case errors.As(err, &wc):
 				// This request stopped waiting; the shared check ran (or
 				// runs) on for the other waiters.
-				s.m.deadlines.Add(1)
+				s.hit(&s.m.deadlines, tid)
 				err = &memmodel.CancelError{Prog: prog.Name, Phase: "wait", Err: wc.Unwrap()}
 			case errors.As(err, &ce) && ctx.Err() != nil:
 				// The shared check was canceled because this request was
@@ -437,7 +513,7 @@ func (s *Service) handleCheck(w http.ResponseWriter, r *http.Request) {
 				err = &memmodel.CancelError{Prog: ce.Prog, Phase: ce.Phase,
 					Executions: ce.Executions, Elapsed: ce.Elapsed, Err: ctx.Err()}
 			}
-			s.writeCheckError(w, err)
+			s.writeCheckError(w, tr, err)
 			return
 		}
 	}
@@ -446,9 +522,19 @@ func (s *Service) handleCheck(w http.ResponseWriter, r *http.Request) {
 	// like a check and best-effort — failure degrades to a witness-less
 	// verdict, never an error.
 	if req.Witness && !v.Legal && witness == "" {
-		witness = s.findWitness(ctx, req.Program, prog, model)
+		wsp := tr.Phase("witness")
+		witness = s.findWitness(ctx, req.Program, prog, model, wsp)
 	}
-	s.respond(w, prog, canon, model, v, witness, start, cached, coalesced)
+	s.respond(w, tr, prog, canon, model, v, witness, start, cached, coalesced)
+}
+
+// flightRole names this request's side of the singleflight: the leader
+// ran the check, a follower coalesced onto it and only waited.
+func flightRole(coalesced bool) string {
+	if coalesced {
+		return "follower"
+	}
+	return "leader"
 }
 
 // admit acquires a worker slot, queueing up to QueueDepth waiters
@@ -457,14 +543,14 @@ func (s *Service) handleCheck(w http.ResponseWriter, r *http.Request) {
 // success the returned release func must be called to free the slot.
 // Every enumeration the service runs — check or witness search — goes
 // through here, so the worker/queue bounds hold globally.
-func (s *Service) admit(ctx context.Context) (func(), error) {
+func (s *Service) admit(ctx context.Context, traceID string) (func(), error) {
 	select {
 	case s.sem <- struct{}{}:
 	default:
 		// All workers busy: queue if there is room.
 		if n := s.m.queued.Add(1); n > int64(s.opts.QueueDepth) {
 			s.m.queued.Add(-1)
-			s.m.shed.Add(1)
+			s.hit(&s.m.shed, traceID)
 			return nil, errOverloaded
 		}
 		select {
@@ -479,14 +565,20 @@ func (s *Service) admit(ctx context.Context) (func(), error) {
 }
 
 // admitAndCheck acquires a worker slot (respecting the bounded queue)
-// and runs the canonical program's check.
-func (s *Service) admitAndCheck(ctx context.Context, canon *memmodel.Canonical, model core.Model) (*memmodel.Verdict, error) {
-	release, err := s.admit(ctx)
+// and runs the canonical program's check. sp is the singleflight
+// leader's flight span (nil when its request already finished): queue
+// dwell and the check itself become children under it, and the engine's
+// telemetry block is linked to the leader's trace ID.
+func (s *Service) admitAndCheck(ctx context.Context, canon *memmodel.Canonical, model core.Model, sp *rtrace.Span) (*memmodel.Verdict, error) {
+	tid := sp.TraceID()
+	qs := sp.Child("queue")
+	release, err := s.admit(ctx, tid)
+	qs.End()
 	if err != nil {
 		if errors.Is(err, errOverloaded) {
 			return nil, err
 		}
-		s.m.deadlines.Add(1)
+		s.hit(&s.m.deadlines, tid)
 		return nil, &memmodel.CancelError{Prog: canon.Prog.Name, Phase: "queue", Err: err}
 	}
 	defer release()
@@ -494,26 +586,36 @@ func (s *Service) admitAndCheck(ctx context.Context, canon *memmodel.Canonical, 
 	s.m.running.Add(1)
 	defer s.m.running.Add(-1)
 
+	cs := sp.Child("check")
+	defer cs.End()
 	var tel *telemetry.Check
 	if s.opts.Registry != nil {
 		tel = s.opts.Registry.NewCheck(canon.Prog.Name+":"+canon.Key[:12], model.String())
+		tel.SetTraceID(tid)
 	}
 	v, err := memmodel.CheckProgramWith(canon.Prog, model, memmodel.CheckOptions{
 		Limit:           s.opts.ExecLimit,
 		TransitionLimit: s.opts.TransitionLimit,
 		Ctx:             ctx,
 		Telemetry:       tel,
+		Span:            cs,
 	})
+	if tel != nil {
+		snap := tel.Snapshot()
+		cs.Event("enumerated",
+			rtrace.Int("executions", snap.Executions),
+			rtrace.Str("pruned_pct", strconv.FormatFloat(snap.PrunedPct, 'f', 1, 64)))
+	}
 	if err != nil {
 		var ce *memmodel.CancelError
 		if errors.As(err, &ce) {
-			s.m.deadlines.Add(1)
+			s.hit(&s.m.deadlines, tid)
 		} else if errors.Is(err, memmodel.ErrLimit) {
-			s.m.limits.Add(1)
+			s.hit(&s.m.limits, tid)
 		}
 		return nil, err
 	}
-	s.m.checked.Add(1)
+	s.hit(&s.m.checked, tid)
 	if s.cache != nil {
 		s.cache.put(canon.Key+"|"+model.String(), v)
 	}
@@ -524,30 +626,40 @@ func (s *Service) admitAndCheck(ctx context.Context, canon *memmodel.Canonical, 
 var errOverloaded = errors.New("serve: all workers busy and queue full")
 
 // writeCheckError maps checker errors onto structured HTTP responses.
-func (s *Service) writeCheckError(w http.ResponseWriter, err error) {
+func (s *Service) writeCheckError(w http.ResponseWriter, tr *rtrace.Trace, err error) {
 	var ce *memmodel.CancelError
 	var le *memmodel.LimitError
+	var status int
+	var resp ErrorResponse
 	switch {
 	case errors.Is(err, errOverloaded):
-		s.reject(w, http.StatusServiceUnavailable, "overloaded", "all workers busy and queue full; retry later")
+		s.reject(w, tr, http.StatusServiceUnavailable, "overloaded", "all workers busy and queue full; retry later")
+		return
 	case errors.As(err, &ce):
 		kind := "canceled"
 		if errors.Is(ce.Err, context.DeadlineExceeded) {
 			kind = "deadline"
 		}
-		writeJSON(w, http.StatusUnprocessableEntity, ErrorResponse{
+		status = http.StatusUnprocessableEntity
+		resp = ErrorResponse{
 			Error: err.Error(), Kind: kind, Phase: ce.Phase,
 			Executions: ce.Executions, ElapsedMs: ce.Elapsed.Milliseconds(),
-		})
+		}
 	case errors.As(err, &le):
-		writeJSON(w, http.StatusUnprocessableEntity, ErrorResponse{
+		status = http.StatusUnprocessableEntity
+		resp = ErrorResponse{
 			Error: err.Error(), Kind: "limit", Phase: le.Phase,
 			Executions: le.Executions, ElapsedMs: le.Elapsed.Milliseconds(),
-		})
+		}
 	default:
-		s.m.internal.Add(1)
-		writeJSON(w, http.StatusInternalServerError, ErrorResponse{Error: err.Error(), Kind: "internal"})
+		s.hit(&s.m.internal, tr.ID())
+		status = http.StatusInternalServerError
+		resp = ErrorResponse{Error: err.Error(), Kind: "internal"}
 	}
+	tr.Phase("serialize")
+	resp.TraceID = tr.ID()
+	writeJSON(w, status, resp)
+	s.finishTrace(tr, status, resp.Kind)
 }
 
 // witnessKey keys the rendered-witness cache by submission text and
@@ -566,27 +678,44 @@ func witnessKey(src string, model core.Model) string {
 // has capacity for. Successful searches are cached by submission text;
 // any admission or search failure yields "" — the caller serves the
 // verdict witness-less rather than erroring.
-func (s *Service) findWitness(ctx context.Context, src string, prog *litmus.Program, model core.Model) string {
+func (s *Service) findWitness(ctx context.Context, src string, prog *litmus.Program, model core.Model, sp *rtrace.Span) string {
+	tid := sp.TraceID()
 	if s.witnesses != nil {
 		if w, ok := s.witnesses.get(witnessKey(src, model)); ok {
+			sp.Event("witness_cache_hit")
 			return w
 		}
 	}
-	release, err := s.admit(ctx)
+	qs := sp.Child("queue")
+	release, err := s.admit(ctx, tid)
+	qs.End()
 	if err != nil {
-		s.m.witnessDrops.Add(1)
+		s.hit(&s.m.witnessDrops, tid)
+		sp.Event("witness_dropped", rtrace.Str("reason", "admission"))
 		return ""
 	}
 	defer release()
 
 	s.m.running.Add(1)
 	defer s.m.running.Add(-1)
-	s.m.witnessSearches.Add(1)
+	s.hit(&s.m.witnessSearches, tid)
+	// The witness search is not a registered check, but when the request
+	// is traced an ephemeral telemetry block carries the enumerate span
+	// to the engine (spans ride telemetry.Check.SetSpan, not EnumOptions,
+	// to keep the untraced enumerator layout untouched).
+	es := sp.Child("enumerate")
+	var wtel *telemetry.Check
+	if es != nil {
+		wtel = telemetry.NewCheck(prog.Name, model.String())
+		wtel.SetSpan(es)
+	}
 	wit, err := memmodel.FindWitnessWith(prog, model, memmodel.EnumOptions{
-		Ctx: ctx, TransitionLimit: s.opts.TransitionLimit,
+		Ctx: ctx, TransitionLimit: s.opts.TransitionLimit, Telemetry: wtel,
 	})
+	es.End()
 	if err != nil || wit == nil {
-		s.m.witnessDrops.Add(1)
+		s.hit(&s.m.witnessDrops, tid)
+		sp.Event("witness_dropped", rtrace.Str("reason", "search"))
 		return ""
 	}
 	rendered := wit.String()
@@ -600,9 +729,24 @@ func (s *Service) findWitness(ctx context.Context, src string, prog *litmus.Prog
 // and renders the success payload. It runs no enumeration: the witness,
 // if any, was found (or cache-hit) by the caller under admission
 // control.
-func (s *Service) respond(w http.ResponseWriter,
+func (s *Service) respond(w http.ResponseWriter, tr *rtrace.Trace,
 	prog *litmus.Program, canon *memmodel.Canonical, model core.Model,
 	v *memmodel.Verdict, witness string, start time.Time, cached, coalesced bool) {
+	if tr != nil {
+		outcome := "checked"
+		if cached {
+			outcome = "cache_hit"
+		} else if coalesced {
+			outcome = "coalesced"
+		}
+		tr.SetAttr("outcome", outcome)
+		verdict := "illegal"
+		if v.Legal {
+			verdict = "legal"
+		}
+		tr.SetAttr("verdict", verdict)
+	}
+	tr.Phase("serialize")
 	rv := canon.RewriteVerdict(v, prog.Name)
 	resp := CheckResponse{
 		Name:      prog.Name,
@@ -615,6 +759,7 @@ func (s *Service) respond(w http.ResponseWriter,
 		Canonical: canon.Key,
 		ElapsedMs: s.opts.now().Sub(start).Milliseconds(),
 		Witness:   witness,
+		TraceID:   tr.ID(),
 	}
 	if len(rv.Races) > 0 {
 		resp.Races = make(map[string][]string, len(rv.Races))
@@ -622,8 +767,9 @@ func (s *Service) respond(w http.ResponseWriter,
 			resp.Races[k.String()] = descs
 		}
 	}
-	s.m.ok.Add(1)
+	s.hit(&s.m.ok, tr.ID())
 	writeJSON(w, http.StatusOK, resp)
+	s.finishTrace(tr, http.StatusOK, "")
 }
 
 func sortedKeys(m map[string]bool) []string {

@@ -1,0 +1,559 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"rats/internal/memmodel/telemetry"
+	"rats/internal/rtrace"
+)
+
+// syncBuffer is an io.Writer the tracer can share with test assertions.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// newTracedServer wires an explicit tracer (with a JSONL sink) into a
+// test service, mirroring how cmd/ratsserve assembles the pieces.
+func newTracedServer(t *testing.T, opts Options, topts rtrace.Options) (*Service, *httptest.Server, *rtrace.Tracer, *syncBuffer) {
+	t.Helper()
+	out := &syncBuffer{}
+	topts.Out = out
+	tracer := rtrace.New(topts)
+	opts.Tracer = tracer
+	s, srv := newTestServer(t, opts)
+	return s, srv, tracer, out
+}
+
+// postTraced POSTs one check and returns the response's trace ID from
+// the X-Rats-Trace-Id header alongside the decoded payload.
+func postTraced(t *testing.T, url string, req CheckRequest) (int, string, CheckResponse, ErrorResponse) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/check", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var ok CheckResponse
+	var bad ErrorResponse
+	dec := json.NewDecoder(resp.Body)
+	if resp.StatusCode == http.StatusOK {
+		if err := dec.Decode(&ok); err != nil {
+			t.Fatalf("decode 200 body: %v", err)
+		}
+	} else if err := dec.Decode(&bad); err != nil {
+		t.Fatalf("decode %d body: %v", resp.StatusCode, err)
+	}
+	return resp.StatusCode, resp.Header.Get(TraceHeader), ok, bad
+}
+
+// rawTraced issues an arbitrary request to /check (malformed bodies,
+// wrong methods) and returns the status, trace header, and error body.
+func rawTraced(t *testing.T, method, url, body string) (int, string, ErrorResponse) {
+	t.Helper()
+	req, err := http.NewRequest(method, url+"/check", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var er ErrorResponse
+	if err := json.NewDecoder(resp.Body).Decode(&er); err != nil {
+		t.Fatalf("decode %d body: %v", resp.StatusCode, err)
+	}
+	return resp.StatusCode, resp.Header.Get(TraceHeader), er
+}
+
+// waitTrace polls the tracer ring for id: the handler writes the HTTP
+// response before filing the finished trace, so the client can observe
+// the response a beat before the ring does.
+func waitTrace(t *testing.T, tracer *rtrace.Tracer, id string) *rtrace.TraceData {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if td, ok := tracer.Find(id); ok {
+			return td
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("trace %s never reached the ring", id)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// checkTiling asserts the reconciliation contract: phases start at zero,
+// each begins exactly where its predecessor ends, the last ends at the
+// trace duration, and so their durations sum to the request duration.
+func checkTiling(t *testing.T, td *rtrace.TraceData) {
+	t.Helper()
+	if len(td.Phases) == 0 {
+		t.Fatalf("trace %s has no phases", td.TraceID)
+	}
+	var sum, prev int64
+	for i, p := range td.Phases {
+		if p.StartUs != prev {
+			t.Errorf("trace %s phase %d (%s) starts at %dus, want %dus (contiguous tiling)",
+				td.TraceID, i, p.Name, p.StartUs, prev)
+		}
+		if p.EndUs < p.StartUs {
+			t.Errorf("trace %s phase %s ends (%dus) before it starts (%dus)", td.TraceID, p.Name, p.EndUs, p.StartUs)
+		}
+		sum += p.EndUs - p.StartUs
+		prev = p.EndUs
+	}
+	if prev != td.DurationUs {
+		t.Errorf("trace %s last phase ends at %dus, want the trace duration %dus", td.TraceID, prev, td.DurationUs)
+	}
+	if sum != td.DurationUs {
+		t.Errorf("trace %s phase durations sum to %dus, want %dus", td.TraceID, sum, td.DurationUs)
+	}
+}
+
+func findPhase(td *rtrace.TraceData, name string) *rtrace.SpanData {
+	for i := range td.Phases {
+		if td.Phases[i].Name == name {
+			return &td.Phases[i]
+		}
+	}
+	return nil
+}
+
+func attrValue(attrs []rtrace.Attr, key string) string {
+	v := ""
+	for _, a := range attrs {
+		if a.K == key {
+			v = a.V
+		}
+	}
+	return v
+}
+
+func hasEvent(sp *rtrace.SpanData, name string) *rtrace.EventData {
+	for i := range sp.Events {
+		if sp.Events[i].Name == name {
+			return &sp.Events[i]
+		}
+	}
+	return nil
+}
+
+// jsonlIDs parses the tracer's JSONL sink into the set of exported
+// trace IDs, failing on any malformed line.
+func jsonlIDs(t *testing.T, out *syncBuffer) map[string]bool {
+	t.Helper()
+	ids := map[string]bool{}
+	for _, line := range strings.Split(strings.TrimSpace(out.String()), "\n") {
+		if line == "" {
+			continue
+		}
+		var td rtrace.TraceData
+		if err := json.Unmarshal([]byte(line), &td); err != nil {
+			t.Fatalf("malformed JSONL line %q: %v", line, err)
+		}
+		ids[td.TraceID] = true
+	}
+	return ids
+}
+
+// TestTraceIDOnEveryStatus is the acceptance sweep: every response the
+// service can produce — 200 and each 4xx/5xx — carries a trace ID in
+// both the X-Rats-Trace-Id header and the JSON body, and that ID
+// resolves in the ring (/tracez) and in the JSONL export.
+func TestTraceIDOnEveryStatus(t *testing.T) {
+	s, srv, tracer, out := newTracedServer(t,
+		Options{Workers: 2, MaxBodyBytes: 4 << 10}, rtrace.Options{})
+
+	var got []struct {
+		status int
+		id     string
+	}
+	note := func(status int, headerID, bodyID string) {
+		t.Helper()
+		if headerID == "" {
+			t.Errorf("status %d: missing %s header", status, TraceHeader)
+		}
+		if bodyID != headerID {
+			t.Errorf("status %d: body trace_id %q != header %q", status, bodyID, headerID)
+		}
+		got = append(got, struct {
+			status int
+			id     string
+		}{status, headerID})
+	}
+
+	st, id, ok, _ := postTraced(t, srv.URL, CheckRequest{Program: catalogSrc(t, "MP_paired")})
+	if st != http.StatusOK {
+		t.Fatalf("healthy check: status %d", st)
+	}
+	note(st, id, ok.TraceID)
+
+	st, id, er := rawTraced(t, http.MethodPost, srv.URL, "{not json")
+	if st != http.StatusBadRequest {
+		t.Fatalf("bad JSON: status %d", st)
+	}
+	note(st, id, er.TraceID)
+
+	st, id, er = rawTraced(t, http.MethodGet, srv.URL, "")
+	if st != http.StatusMethodNotAllowed {
+		t.Fatalf("GET: status %d", st)
+	}
+	note(st, id, er.TraceID)
+
+	st, id, er = rawTraced(t, http.MethodPost, srv.URL, strings.Repeat("x", 8<<10))
+	if st != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized body: status %d", st)
+	}
+	note(st, id, er.TraceID)
+
+	st, id, _, bad := postTraced(t, srv.URL, CheckRequest{Program: contendedSrc(7, 3), DeadlineMs: 100})
+	if st != http.StatusUnprocessableEntity || bad.Kind != "deadline" {
+		t.Fatalf("intractable check: %d/%q, want 422/deadline", st, bad.Kind)
+	}
+	note(st, id, bad.TraceID)
+
+	// Draining flips one-way, so the 503 goes last.
+	s.BeginDrain()
+	st, id, _, bad = postTraced(t, srv.URL, CheckRequest{Program: catalogSrc(t, "IRIW")})
+	if st != http.StatusServiceUnavailable || bad.Kind != "draining" {
+		t.Fatalf("draining check: %d/%q, want 503/draining", st, bad.Kind)
+	}
+	note(st, id, bad.TraceID)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := tracer.Shutdown(ctx); err != nil {
+		t.Fatalf("tracer shutdown: %v", err)
+	}
+	exported := jsonlIDs(t, out)
+	for _, g := range got {
+		if _, ok := tracer.Find(g.id); !ok {
+			t.Errorf("status %d: trace %s not resolvable in the ring", g.status, g.id)
+		}
+		if !exported[g.id] {
+			t.Errorf("status %d: trace %s missing from the JSONL export", g.status, g.id)
+		}
+	}
+}
+
+// TestTraceIDOnRateLimit covers the remaining status: a 429 carries and
+// exports its trace ID like every other response.
+func TestTraceIDOnRateLimit(t *testing.T) {
+	now := time.Unix(1000, 0)
+	var mu sync.Mutex
+	clock := func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	}
+	out := &syncBuffer{}
+	tracer := rtrace.New(rtrace.Options{Out: out})
+	s := New(Options{RatePerSec: 1, RateBurst: 1, CacheSize: -1, now: clock, Tracer: tracer})
+	srv := httptest.NewServer(s.Handler())
+	defer srv.Close()
+
+	if st, _, _, bad := postTraced(t, srv.URL, CheckRequest{Program: catalogSrc(t, "MP_paired")}); st != http.StatusOK {
+		t.Fatalf("first request: status %d (%s)", st, bad.Error)
+	}
+	st, id, _, bad := postTraced(t, srv.URL, CheckRequest{Program: catalogSrc(t, "IRIW")})
+	if st != http.StatusTooManyRequests || bad.Kind != "rate_limited" {
+		t.Fatalf("over-budget request: %d/%q, want 429/rate_limited", st, bad.Kind)
+	}
+	if id == "" || bad.TraceID != id {
+		t.Fatalf("429 trace ID: header %q, body %q", id, bad.TraceID)
+	}
+	td := waitTrace(t, tracer, id)
+	checkTiling(t, td)
+	gates := findPhase(td, "gates")
+	if gates == nil {
+		t.Fatal("429 trace has no gates phase")
+	}
+	ev := hasEvent(gates, "rate_limit")
+	if ev == nil {
+		t.Fatal("gates phase has no rate_limit event")
+	}
+	if v := attrValue(ev.Attrs, "allowed"); v != "false" {
+		t.Errorf("rate_limit event allowed=%q, want false", v)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	tracer.Shutdown(ctx)
+	if !jsonlIDs(t, out)[id] {
+		t.Errorf("429 trace %s missing from JSONL export", id)
+	}
+}
+
+// TestTraceCacheHitReconciles: a cache-hit response's trace tiles
+// exactly (decode/validate/cache/serialize) and records the hit.
+func TestTraceCacheHitReconciles(t *testing.T) {
+	_, srv, tracer, _ := newTracedServer(t, Options{}, rtrace.Options{})
+	src := catalogSrc(t, "MP_paired")
+	if st, _, _, bad := postTraced(t, srv.URL, CheckRequest{Program: src}); st != http.StatusOK {
+		t.Fatalf("warm-up check: status %d (%s)", st, bad.Error)
+	}
+	st, id, ok, _ := postTraced(t, srv.URL, CheckRequest{Program: src})
+	if st != http.StatusOK || !ok.Cached {
+		t.Fatalf("resubmission: status %d cached=%v, want 200 from cache", st, ok.Cached)
+	}
+	td := waitTrace(t, tracer, id)
+	checkTiling(t, td)
+	if td.Status != http.StatusOK {
+		t.Errorf("trace status %d, want 200", td.Status)
+	}
+	cache := findPhase(td, "cache")
+	if cache == nil {
+		t.Fatal("cache-hit trace has no cache phase")
+	}
+	if v := attrValue(cache.Attrs, "hit"); v != "true" {
+		t.Errorf("cache phase hit=%q, want true", v)
+	}
+	if v := attrValue(td.Attrs, "outcome"); v != "cache_hit" {
+		t.Errorf("trace outcome=%q, want cache_hit", v)
+	}
+	// The fast path never opens flight/witness phases.
+	if findPhase(td, "flight") != nil {
+		t.Error("cache-hit trace opened a flight phase")
+	}
+	if findPhase(td, "serialize") == nil {
+		t.Error("cache-hit trace has no serialize phase")
+	}
+}
+
+// TestTraceFlightRolesReconcile: under concurrent identical submissions
+// the leader's flight phase hosts the queue and check children while a
+// follower's flight phase is a bare wait marked role=follower — and both
+// trace shapes tile to their request durations.
+func TestTraceFlightRolesReconcile(t *testing.T) {
+	_, srv, tracer, _ := newTracedServer(t,
+		Options{Workers: 1, QueueDepth: 64, CacheSize: -1, Registry: telemetry.NewRegistry()},
+		rtrace.Options{RingSize: 256})
+	src := catalogSrc(t, "IRIW")
+
+	// Pin the single worker on an intractable check so the IRIW leader
+	// queues behind it: the burst below arrives while the leader is still
+	// waiting, which makes follower coalescing deterministic rather than
+	// a race against a sub-millisecond check.
+	var slow sync.WaitGroup
+	slow.Add(1)
+	go func() {
+		defer slow.Done()
+		postTraced(t, srv.URL, CheckRequest{Program: contendedSrc(7, 3), DeadlineMs: 400})
+	}()
+	time.Sleep(100 * time.Millisecond)
+
+	const n = 8
+	ids := make([]string, n)
+	coalesced := make([]bool, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st, id, ok, _ := postTraced(t, srv.URL, CheckRequest{Program: src})
+			if st == http.StatusOK {
+				ids[i], coalesced[i] = id, ok.Coalesced
+			}
+		}(i)
+	}
+	wg.Wait()
+	slow.Wait()
+
+	var leaderID, followerID string
+	for i := range ids {
+		if ids[i] == "" {
+			continue
+		}
+		if coalesced[i] && followerID == "" {
+			followerID = ids[i]
+		}
+		if !coalesced[i] && leaderID == "" {
+			leaderID = ids[i]
+		}
+	}
+	if leaderID == "" || followerID == "" {
+		t.Fatalf("no leader/follower pair in the burst (leader=%q follower=%q)", leaderID, followerID)
+	}
+
+	lead := waitTrace(t, tracer, leaderID)
+	checkTiling(t, lead)
+	lf := findPhase(lead, "flight")
+	if lf == nil {
+		t.Fatal("leader trace has no flight phase")
+	}
+	if v := attrValue(lf.Attrs, "role"); v != "leader" {
+		t.Errorf("leader flight role=%q, want leader", v)
+	}
+	var sawQueue, sawCheck bool
+	for _, c := range lf.Children {
+		switch c.Name {
+		case "queue":
+			sawQueue = true
+		case "check":
+			sawCheck = true
+			if hasEvent(&c, "enumerated") == nil {
+				t.Error("leader check span has no enumerated event")
+			}
+		}
+	}
+	if !sawQueue || !sawCheck {
+		t.Errorf("leader flight children queue=%v check=%v, want both", sawQueue, sawCheck)
+	}
+
+	fol := waitTrace(t, tracer, followerID)
+	checkTiling(t, fol)
+	ff := findPhase(fol, "flight")
+	if ff == nil {
+		t.Fatal("follower trace has no flight phase")
+	}
+	if v := attrValue(ff.Attrs, "role"); v != "follower" {
+		t.Errorf("follower flight role=%q, want follower", v)
+	}
+	if len(ff.Children) != 0 {
+		t.Errorf("follower flight has %d children, want a bare wait", len(ff.Children))
+	}
+}
+
+// TestTraceDeadlineReconciles: a deadline-cancelled enumeration still
+// produces a fully-tiled trace ending in serialize, stamped 422/deadline.
+func TestTraceDeadlineReconciles(t *testing.T) {
+	_, srv, tracer, _ := newTracedServer(t,
+		Options{Workers: 1, Registry: telemetry.NewRegistry()}, rtrace.Options{})
+	st, id, _, bad := postTraced(t, srv.URL, CheckRequest{Program: contendedSrc(7, 3), DeadlineMs: 100})
+	if st != http.StatusUnprocessableEntity || bad.Kind != "deadline" {
+		t.Fatalf("intractable check: %d/%q, want 422/deadline", st, bad.Kind)
+	}
+	td := waitTrace(t, tracer, id)
+	checkTiling(t, td)
+	if td.Status != http.StatusUnprocessableEntity || td.Kind != "deadline" {
+		t.Errorf("trace stamped %d/%q, want 422/deadline", td.Status, td.Kind)
+	}
+	fl := findPhase(td, "flight")
+	if fl == nil {
+		t.Fatal("deadline trace has no flight phase")
+	}
+	if last := td.Phases[len(td.Phases)-1]; last.Name != "serialize" {
+		t.Errorf("last phase %q, want serialize", last.Name)
+	}
+}
+
+// TestTraceWitnessDroppedOnDrain: a cached verdict served during drain
+// records why its witness search was skipped, and the trace still tiles.
+func TestTraceWitnessDroppedOnDrain(t *testing.T) {
+	s, srv, tracer, _ := newTracedServer(t, Options{}, rtrace.Options{})
+	src := catalogSrc(t, "MPData")
+	if st, _, ok, bad := postTraced(t, srv.URL, CheckRequest{Program: src}); st != http.StatusOK || ok.Legal {
+		t.Fatalf("warm-up: status %d legal=%v (%s)", st, ok.Legal, bad.Error)
+	}
+	s.BeginDrain()
+	st, id, ok, _ := postTraced(t, srv.URL, CheckRequest{Program: src, Witness: true})
+	if st != http.StatusOK || !ok.Cached || ok.Witness != "" {
+		t.Fatalf("drain-time witness request: %d cached=%v witness=%q, want witness-less cache hit", st, ok.Cached, ok.Witness)
+	}
+	td := waitTrace(t, tracer, id)
+	checkTiling(t, td)
+	gates := findPhase(td, "gates")
+	if gates == nil {
+		t.Fatal("trace has no gates phase")
+	}
+	ev := hasEvent(gates, "witness_dropped")
+	if ev == nil {
+		t.Fatal("gates phase has no witness_dropped event")
+	}
+	if v := attrValue(ev.Attrs, "reason"); v != "draining" {
+		t.Errorf("witness_dropped reason=%q, want draining", v)
+	}
+}
+
+// TestNoTraceLeakPastShutdown: after a mixed workload — successes,
+// rejects, and a deadline-cancelled check whose singleflight ran
+// detached — Drain + tracer.Shutdown leaves zero active traces and
+// every started trace accounted finished.
+func TestNoTraceLeakPastShutdown(t *testing.T) {
+	s, srv, tracer, _ := newTracedServer(t,
+		Options{Workers: 2, Registry: telemetry.NewRegistry()}, rtrace.Options{})
+
+	var requests int64
+	post := func(req CheckRequest) {
+		postTraced(t, srv.URL, req)
+		requests++
+	}
+	post(CheckRequest{Program: catalogSrc(t, "MP_paired")})
+	post(CheckRequest{Program: catalogSrc(t, "MP_paired")}) // cache hit
+	post(CheckRequest{Program: contendedSrc(7, 3), DeadlineMs: 100})
+	rawTraced(t, http.MethodPost, srv.URL, "{not json")
+	requests++
+	rawTraced(t, http.MethodGet, srv.URL, "")
+	requests++
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("Drain: %v", err)
+	}
+	if err := tracer.Shutdown(ctx); err != nil {
+		t.Fatalf("tracer.Shutdown: %v", err)
+	}
+	st := tracer.Stats()
+	if st.Active != 0 {
+		t.Errorf("%d traces still active after shutdown", st.Active)
+	}
+	if st.Started != st.Finished {
+		t.Errorf("started=%d finished=%d, want equal", st.Started, st.Finished)
+	}
+	if st.Started != requests {
+		t.Errorf("started=%d, want one trace per request (%d)", st.Started, requests)
+	}
+}
+
+// TestMetricsExemplars: the OpenMetrics exposition carries trace-ID
+// exemplars on the request counters while the classic exposition stays
+// byte-for-byte free of them.
+func TestMetricsExemplars(t *testing.T) {
+	s, srv, _, _ := newTracedServer(t, Options{}, rtrace.Options{})
+	st, id, _, _ := postTraced(t, srv.URL, CheckRequest{Program: catalogSrc(t, "MP_paired")})
+	if st != http.StatusOK {
+		t.Fatalf("check: status %d", st)
+	}
+
+	var classic bytes.Buffer
+	s.WriteMetrics(&classic)
+	if strings.Contains(classic.String(), "trace_id") {
+		t.Error("classic exposition leaks exemplars")
+	}
+	if !strings.Contains(classic.String(), "rats_serve_requests_total 1") {
+		t.Errorf("classic exposition missing request counter:\n%s", classic.String())
+	}
+
+	var om bytes.Buffer
+	s.WriteMetricsTo(&om, true)
+	want := `rats_serve_requests_total 1 # {trace_id="` + id + `"} 1 `
+	if !strings.Contains(om.String(), want) {
+		t.Errorf("OpenMetrics exposition missing exemplar %q:\n%s", want, om.String())
+	}
+}
