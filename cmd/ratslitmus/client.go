@@ -66,14 +66,16 @@ func classifyRemote(kind string) int {
 type serveClient struct {
 	url        string // base URL, e.g. http://127.0.0.1:8080
 	client     *http.Client
-	deadlineMs int64 // per-check deadline forwarded to the server; 0 = server default
+	deadlineMs int64  // per-check deadline forwarded to the server; 0 = server default
+	mode       string // backend mode forwarded to the server; "" = enumeration
 }
 
-func newServeClient(url string, deadline time.Duration) *serveClient {
+func newServeClient(url string, deadline time.Duration, mode memmodel.Mode) *serveClient {
 	return &serveClient{
 		url:        strings.TrimRight(url, "/"),
 		client:     &http.Client{Timeout: 2 * time.Minute},
 		deadlineMs: deadline.Milliseconds(),
+		mode:       string(mode),
 	}
 }
 
@@ -98,7 +100,7 @@ const checkRetryFor = 90 * time.Second
 // returns the decoded ErrorResponse as the error and the matching exit
 // code.
 func (c *serveClient) check(src, model string, witness bool) (*serve.CheckResponse, int, error) {
-	body, err := json.Marshal(serve.CheckRequest{Program: src, Model: model, Witness: witness, DeadlineMs: c.deadlineMs})
+	body, err := json.Marshal(serve.CheckRequest{Program: src, Model: model, Witness: witness, DeadlineMs: c.deadlineMs, Mode: c.mode})
 	if err != nil {
 		return nil, exitCheck, err
 	}
@@ -190,13 +192,38 @@ func diffText(name, model string, legal bool, races map[string][]string, sc []st
 }
 
 // localDiffText checks prog locally under model m and renders diffText.
+// Under -mode solve it is also the differential harness the solver is
+// shipped with: the same program is checked again on the streaming
+// enumeration pipeline, and any difference in the rendered verdict is a
+// hard error (exit 1) — so a `-mode solve -diff` catalog run both prints
+// byte-identical output to a streaming run and proves it.
 func localDiffText(prog *litmus.Program, m core.Model, deadline time.Duration, opts memmodel.CheckOptions) (string, int, error) {
-	opts, cancel := withDeadline(opts, deadline)
-	defer cancel()
-	v, err := memmodel.CheckProgramWith(prog, m, opts)
+	copts, cancel := withDeadline(opts, deadline)
+	v, err := memmodel.CheckProgramWith(prog, m, copts)
+	cancel()
 	if err != nil {
 		return "", classifyLocal(err, false), err
 	}
+	out := renderDiff(prog.Name, m, v)
+	if opts.Mode == memmodel.ModeSolve {
+		eopts := opts
+		eopts.Mode = memmodel.ModeEnumerate
+		eopts, cancel := withDeadline(eopts, deadline)
+		ev, err := memmodel.CheckProgramWith(prog, m, eopts)
+		cancel()
+		if err != nil {
+			return "", classifyLocal(err, false), err
+		}
+		if eout := renderDiff(prog.Name, m, ev); eout != out {
+			return "", exitCheck, fmt.Errorf("solver diverges from enumeration on %s under %s:\n--- solve ---\n%s--- enumerate ---\n%s",
+				prog.Name, m, out, eout)
+		}
+	}
+	return out, exitOK, nil
+}
+
+// renderDiff renders a local verdict in diffText form.
+func renderDiff(name string, m core.Model, v *memmodel.Verdict) string {
 	races := make(map[string][]string, len(v.Races))
 	for k, descs := range v.Races {
 		races[k.String()] = descs
@@ -205,7 +232,7 @@ func localDiffText(prog *litmus.Program, m core.Model, deadline time.Duration, o
 	for r := range v.SCResults {
 		sc = append(sc, r)
 	}
-	return diffText(prog.Name, m.String(), v.Legal, races, sc), exitOK, nil
+	return diffText(name, m.String(), v.Legal, races, sc)
 }
 
 // caseResult is one catalog case's rendered output (all models).
@@ -236,7 +263,7 @@ func runCatalog(caseName, serveURL string, jobs int, diffMode bool, deadline tim
 
 	var cl *serveClient
 	if serveURL != "" {
-		cl = newServeClient(serveURL, deadline)
+		cl = newServeClient(serveURL, deadline, opts.Mode)
 	}
 	if jobs < 1 {
 		jobs = 1

@@ -8,6 +8,10 @@
 //	ratslitmus                   # full suite
 //	ratslitmus -j 8              # suite with 8 parallel checkers
 //	ratslitmus -mode materialize # two-phase reference pipeline
+//	ratslitmus -mode solve       # constraint-solving backend; with -diff
+//	                             # every verdict is cross-checked against
+//	                             # streaming enumeration (exit 1 on any
+//	                             # divergence)
 //	ratslitmus -http :6060       # serve live /checks + /metrics during
 //	                             # the suite run
 //	ratslitmus -telemetry-out f  # write deterministic per-check JSONL
@@ -42,6 +46,9 @@ import (
 	"rats/internal/memmodel"
 	"rats/internal/memmodel/telemetry"
 	"rats/internal/obs"
+
+	// Registers the constraint-solving backend behind -mode solve.
+	_ "rats/internal/memmodel/solve"
 )
 
 func main() {
@@ -52,7 +59,7 @@ func main() {
 		witness  = flag.Bool("witness", false, "with -file: print a witness execution for the first illegal race")
 		infer    = flag.Bool("infer", false, "with -file: infer the cheapest legal atomic labelling")
 		jobs     = flag.Int("j", runtime.GOMAXPROCS(0), "suite-level parallelism (test cases checked concurrently)")
-		mode     = flag.String("mode", "streaming", "analysis pipeline: streaming|materialize")
+		mode     = flag.String("mode", "streaming", "analysis pipeline: streaming|materialize|solve")
 		httpAddr = flag.String("http", "", "serve live observability (/checks, /metrics, /progress, /buildinfo) on this address during the suite run")
 		linger   = flag.Duration("http-linger", 0, "with -http: keep serving this long after the suite finishes")
 		telOut   = flag.String("telemetry-out", "", "write deterministic per-check telemetry JSONL to this file")
@@ -172,8 +179,10 @@ func pipelineOptions(mode string) (memmodel.CheckOptions, error) {
 		return memmodel.CheckOptions{}, nil
 	case "materialize":
 		return memmodel.CheckOptions{Materialize: true}, nil
+	case "solve":
+		return memmodel.CheckOptions{Mode: memmodel.ModeSolve}, nil
 	}
-	return memmodel.CheckOptions{}, fmt.Errorf("unknown -mode %q (want streaming or materialize)", mode)
+	return memmodel.CheckOptions{}, fmt.Errorf("unknown -mode %q (want streaming, materialize, or solve)", mode)
 }
 
 // renderCase formats one sweep result as the per-case report, returning
@@ -233,7 +242,7 @@ func checkFile(path string, witness, infer bool, serveURL string, diffMode bool,
 		return exitCheck
 	}
 	if serveURL != "" {
-		cl := newServeClient(serveURL, deadline)
+		cl := newServeClient(serveURL, deadline, opts.Mode)
 		for _, m := range core.Models() {
 			resp, code, err := cl.check(string(src), m.String(), witness)
 			if err != nil {

@@ -122,6 +122,43 @@ func BenchmarkCheckProgram(b *testing.B) {
 	}
 }
 
+// BenchmarkSolve compares the constraint-solving backend (Mode: solve)
+// against the streaming enumeration pipeline on contention-dominated
+// programs — the shape POR cannot reduce, because every increment
+// conflicts with every other. contended(5,2) is the ratio pair the CI
+// gate pins at >=10x; contended(7,3) has too many interleavings to
+// enumerate at all, so only the solver runs there (the absolute-latency
+// evidence). Flags_2 prices the solver on an ordinary catalog case
+// where POR already collapses the space.
+func BenchmarkSolve(b *testing.B) {
+	run := func(b *testing.B, p *litmus.Program, opts CheckOptions) {
+		b.Helper()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := CheckProgramWith(p, core.DRFrlx, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	c52 := contendedProgram(5, 2)
+	b.Run("contended_5x2/enumerate", func(b *testing.B) {
+		run(b, c52, CheckOptions{})
+	})
+	b.Run("contended_5x2/solve", func(b *testing.B) {
+		run(b, c52, CheckOptions{Mode: ModeSolve})
+	})
+	b.Run("contended_7x3/solve", func(b *testing.B) {
+		run(b, contendedProgram(7, 3), CheckOptions{Mode: ModeSolve})
+	})
+	tc := litmus.ByName("Flags_2")
+	if tc == nil {
+		b.Fatal("no suite program named Flags_2")
+	}
+	b.Run("Flags_2/solve", func(b *testing.B) {
+		run(b, tc.Prog, CheckOptions{Mode: ModeSolve})
+	})
+}
+
 // BenchmarkSystemResults pins the memoized system-model search on the
 // theorem fuzzer's worst case shape (every interleaving of a 3×3
 // program converges onto few distinct states).

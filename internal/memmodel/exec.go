@@ -82,6 +82,13 @@ func (e *Execution) ResultKey() string {
 	return e.key
 }
 
+// FinalResultKey serializes a final memory state exactly as
+// Execution.ResultKey does ("loc=val;" segments sorted by location
+// name), so backends that derive final states without materializing
+// executions — the solve package's memoized state search — produce keys
+// comparable to the enumerator's SCResults sets.
+func FinalResultKey(final map[litmus.Loc]int64) string { return resultKey(final) }
+
 func resultKey(final map[litmus.Loc]int64) string {
 	locs := make([]string, 0, len(final))
 	for l := range final {

@@ -63,6 +63,10 @@ type InferOptions struct {
 	// guarantee to "any value" — whether the program tolerates that is a
 	// judgement inference cannot make, so quantum is opt-in.
 	Candidates []core.Class
+	// Mode selects the checking backend for each candidate labelling.
+	// ModeSolve is a natural fit here: inference only consumes Legal, so
+	// the solver's verdict-only fast path pays off on every probe.
+	Mode Mode
 }
 
 // InferLabels finds every minimum-cost legal labelling of the program's
@@ -105,7 +109,7 @@ func InferLabels(p *litmus.Program, opts InferOptions) ([]Labelling, error) {
 			for si, s := range sites {
 				q.Threads[s.thread].Ops[s.op].Class = assign[si]
 			}
-			v, err := CheckProgram(q, core.DRFrlx)
+			v, err := CheckProgramWith(q, core.DRFrlx, CheckOptions{Mode: opts.Mode})
 			if err != nil {
 				return err
 			}

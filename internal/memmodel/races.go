@@ -240,8 +240,42 @@ type Verdict struct {
 	SCResults map[string]bool
 }
 
+// Mode selects the analysis backend CheckProgramWith runs.
+type Mode string
+
+const (
+	// ModeEnumerate is the default: enumerate every SC execution (with
+	// partial-order reduction) and classify races per execution.
+	ModeEnumerate Mode = ""
+	// ModeSolve routes the check through the constraint-solving backend
+	// (internal/memmodel/solve): race candidates are decided statically
+	// where possible and only the residue is searched, so heavily
+	// contended programs whose interleaving count is intractable still
+	// get exact verdicts. The backend must be registered by importing the
+	// solve package; it is verdict-only, so Materialize requests fall
+	// back to the enumerator.
+	ModeSolve Mode = "solve"
+)
+
+// solveBackend is the registered constraint-solving checker. The solve
+// package imports memmodel, so the dependency has to point this way:
+// memmodel dispatches through this hook and the solve package's init
+// registers itself into it.
+var solveBackend func(*litmus.Program, core.Model, CheckOptions) (*Verdict, error)
+
+// RegisterSolveBackend installs the ModeSolve implementation. Called by
+// the solve package's init; last registration wins.
+func RegisterSolveBackend(fn func(*litmus.Program, core.Model, CheckOptions) (*Verdict, error)) {
+	solveBackend = fn
+}
+
 // CheckOptions configures CheckProgram's analysis pipeline.
 type CheckOptions struct {
+	// Mode selects the backend: ModeEnumerate (default) enumerates and
+	// classifies every SC execution; ModeSolve solves for racy executions
+	// instead, falling back to the enumerator when Materialize is set
+	// (the solver produces verdicts, not execution lists).
+	Mode Mode
 	// Materialize switches from the default streaming pipeline (POR
 	// enumeration feeding a pool of Analyze workers through a bounded
 	// channel) to the two-phase mode that first collects every execution
@@ -296,6 +330,15 @@ func CheckProgram(p0 *litmus.Program, m core.Model) (*Verdict, error) {
 // every aggregated field is an order-independent set union finished by a
 // sort.
 func CheckProgramWith(p0 *litmus.Program, m core.Model, opts CheckOptions) (*Verdict, error) {
+	if opts.Mode == ModeSolve && !opts.Materialize {
+		if solveBackend == nil {
+			return nil, fmt.Errorf("memmodel: CheckOptions.Mode %q requires the solve backend: import rats/internal/memmodel/solve", opts.Mode)
+		}
+		return solveBackend(p0, m, opts)
+	}
+	if opts.Mode != ModeEnumerate && opts.Mode != ModeSolve {
+		return nil, fmt.Errorf("memmodel: unknown CheckOptions.Mode %q", opts.Mode)
+	}
 	p := p0.Under(m)
 	kinds := []RaceKind{DataRace}
 	if m == core.DRFrlx {

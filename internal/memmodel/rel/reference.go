@@ -48,9 +48,9 @@ func boolCross(a, b []bool) boolRel {
 	return r
 }
 
-func (r boolRel) Size() int        { return r.n }
-func (r boolRel) Set(i, j int)     { r.m[i*r.n+j] = true }
-func (r boolRel) Clear(i, j int)   { r.m[i*r.n+j] = false }
+func (r boolRel) Size() int         { return r.n }
+func (r boolRel) Set(i, j int)      { r.m[i*r.n+j] = true }
+func (r boolRel) Clear(i, j int)    { r.m[i*r.n+j] = false }
 func (r boolRel) Has(i, j int) bool { return r.m[i*r.n+j] }
 
 func (r boolRel) Clone() boolRel {

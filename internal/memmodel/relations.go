@@ -275,6 +275,66 @@ func (a *Analyzer) ensure(p *litmus.Program) {
 	}
 }
 
+// StaticTables is the per-program, execution-independent slice of the
+// analysis arena: the event numbering, access-kind flags, class masks,
+// synchronization candidate sets, and the observability precompute that
+// ensure computes once per program. The solve backend reuses it as its
+// constraint store — candidate race pairs and the static happens-before
+// over-approximation are derived from these tables with the same
+// word-parallel rel kernels the per-execution analysis uses, instead of
+// being rebuilt per execution.
+//
+// The slices alias the arena: they are valid until the Analyzer is next
+// fed a different program, and must not be mutated.
+type StaticTables struct {
+	// N is the event count; ID[t][i] is the event ID of thread t's op i
+	// (-1 for branch markers).
+	N  int
+	ID [][]int
+	// Thread and Loc give each event's issuing thread and location index
+	// (into Locs); Writes/Reads/Class are the event's static access facts.
+	Thread []int
+	Loc    []int
+	Locs   []litmus.Loc
+	Writes []bool
+	Reads  []bool
+	Class  []core.Class
+	// ClassBits[c] is the event set of class c; PW/PR are the so1 edge
+	// candidates (paired/release writes, paired/acquire reads); Atomic is
+	// the atomic event set.
+	ClassBits []rel.Bits
+	PW, PR    rel.Bits
+	Atomic    rel.Bits
+	// ObsAlways marks events whose loaded value feeds a later branch
+	// condition or guard (observed whenever present); ObsUse lists the
+	// later same-thread events whose address/data/expected inputs read
+	// the destination register (observed only when that user is present).
+	ObsAlways []bool
+	ObsUse    [][]int
+}
+
+// Static re-dimensions the arena for p and exposes its static tables.
+// Repeated calls for the same program are pointer-compare cheap.
+func (a *Analyzer) Static(p *litmus.Program) StaticTables {
+	a.ensure(p)
+	return StaticTables{
+		N:         a.n,
+		ID:        a.lay.id,
+		Thread:    a.evThread,
+		Loc:       a.evLoc,
+		Locs:      a.lay.locs,
+		Writes:    a.evWrites,
+		Reads:     a.evReads,
+		Class:     a.evClass,
+		ClassBits: a.classBits,
+		PW:        a.pwStatic,
+		PR:        a.prStatic,
+		Atomic:    a.atomicStatic,
+		ObsAlways: a.obsAlways,
+		ObsUse:    a.obsUse,
+	}
+}
+
 // boolBuf resizes a reusable []bool buffer.
 func boolBuf(b []bool, n int) []bool {
 	if cap(b) < n {

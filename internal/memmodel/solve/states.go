@@ -1,0 +1,359 @@
+package solve
+
+import (
+	"context"
+	"sort"
+	"strconv"
+	"time"
+
+	"rats/internal/core"
+	"rats/internal/litmus"
+	"rats/internal/memmodel"
+	"rats/internal/memmodel/telemetry"
+)
+
+// checkStride mirrors the enumerator's cancellation/budget polling
+// stride: cheap enough to vanish from profiles, frequent enough that
+// deadlines are honored promptly.
+const checkStride = 256
+
+// oneChoice is the value-choice list of non-quantum accesses.
+var oneChoice = []int64{0}
+
+// stateSearch computes the SC result set of the quantum-equivalent
+// program by memoized DFS over (pc vector, memory, registers) states —
+// the solver's replacement for enumerating executions when only final
+// states (not race witnesses) are needed. Unlike the enumerator, which
+// distinguishes interleavings, states that converge are explored once:
+// heavily contended programs whose interleaving count is factorial
+// collapse to a polynomial state count.
+//
+// Memo keys are canonicalized under thread symmetry: threads with
+// identical op lists contribute their (pc, registers) sub-keys as a
+// sorted multiset, which is sound for final-memory sets because
+// permuting identical threads is a program automorphism that fixes
+// memory.
+//
+// DPLL vocabulary for the telemetry counters: a state with more than
+// one enabled (thread, value-choice) move is a decision; a forced
+// single-move state is a propagation; a memo hit is a conflict (the
+// branch closes without new information); each memoized state is a
+// learned entry.
+type stateSearch struct {
+	p      *litmus.Program
+	tel    *telemetry.Check
+	ctx    context.Context
+	start  time.Time
+	domain []int64
+
+	// budgetLeft implements EnumOptions.TransitionLimit for this search
+	// phase: debited in checkStride-sized strides, <= 0 trips a
+	// *LimitError with Phase "solve". hasBudget gates it.
+	budgetLeft  int64
+	budgetLimit int64
+	hasBudget   bool
+
+	locs   []litmus.Loc
+	sorted []int   // location indices in name order (ResultKey order)
+	locIdx [][]int // [t][opIndex] location index, -1 for branches
+
+	classThreads [][]int
+
+	pc   []int
+	mem  []int64
+	regs [][]int64
+
+	seen    map[string]struct{}
+	results map[string]bool
+
+	keyBuf []byte
+	resBuf []byte
+	subs   []string
+
+	decisions, propagations, memoHits, learned int64
+	moves                                      int64
+	sinceCheck                                 int
+	err                                        error
+}
+
+func newStateSearch(p *litmus.Program, opts memmodel.CheckOptions, classThreads [][]int, tel *telemetry.Check) *stateSearch {
+	s := &stateSearch{
+		p: p, tel: tel, ctx: opts.Ctx, start: time.Now(),
+		domain:       memmodel.QuantumDomain(p),
+		classThreads: classThreads,
+		pc:           make([]int, len(p.Threads)),
+		regs:         make([][]int64, len(p.Threads)),
+		seen:         map[string]struct{}{},
+		results:      map[string]bool{},
+	}
+	if opts.TransitionLimit > 0 {
+		s.hasBudget = true
+		s.budgetLeft = opts.TransitionLimit
+		s.budgetLimit = opts.TransitionLimit
+	}
+	s.locs = p.Locs()
+	idx := make(map[litmus.Loc]int, len(s.locs))
+	for i, l := range s.locs {
+		idx[l] = i
+	}
+	s.sorted = make([]int, len(s.locs))
+	for i := range s.sorted {
+		s.sorted[i] = i
+	}
+	sort.Slice(s.sorted, func(a, b int) bool { return s.locs[s.sorted[a]] < s.locs[s.sorted[b]] })
+	s.mem = make([]int64, len(s.locs))
+	for i, l := range s.locs {
+		s.mem[i] = p.Init[l]
+	}
+	s.locIdx = make([][]int, len(p.Threads))
+	for t := range p.Threads {
+		th := p.Threads[t]
+		s.regs[t] = make([]int64, th.NumRegs())
+		s.locIdx[t] = make([]int, len(th.Ops))
+		for oi := range th.Ops {
+			if th.Ops[oi].IsBranch {
+				s.locIdx[t][oi] = -1
+			} else {
+				s.locIdx[t][oi] = idx[th.Ops[oi].Loc]
+			}
+		}
+	}
+	return s
+}
+
+// flush folds the search's counter shards into the telemetry block.
+func (s *stateSearch) flush() {
+	s.tel.AddTransitions(s.moves)
+	s.tel.AddMemoHits(s.memoHits)
+	s.moves = 0
+}
+
+// checkpoint polls the cancellation context and debits the transition
+// budget; it reports whether the search may continue.
+func (s *stateSearch) checkpoint() bool {
+	if s.ctx != nil {
+		if cerr := s.ctx.Err(); cerr != nil {
+			s.err = &memmodel.CancelError{
+				Prog: s.p.Name, Phase: "solve",
+				Elapsed: time.Since(s.start), Err: cerr,
+			}
+			return false
+		}
+	}
+	if s.hasBudget {
+		s.budgetLeft -= checkStride
+		if s.budgetLeft <= 0 {
+			s.flush()
+			le := &memmodel.LimitError{
+				Prog: s.p.Name, Phase: "solve",
+				Limit:   int(s.budgetLimit),
+				Elapsed: time.Since(s.start),
+			}
+			if s.tel != nil {
+				rec := s.tel.Record()
+				le.Telemetry = &rec
+			}
+			s.err = le
+			return false
+		}
+	}
+	return true
+}
+
+// run is the DFS over states. Branch markers and failed-guard ops are
+// consumed eagerly exactly as the enumerator's step does (guard
+// outcomes depend only on the thread's own registers, fixed once the
+// thread reaches the op), so they never multiply states.
+func (s *stateSearch) run() {
+	if s.err != nil {
+		return
+	}
+	s.sinceCheck++
+	if s.sinceCheck >= checkStride {
+		s.sinceCheck = 0
+		if !s.checkpoint() {
+			return
+		}
+	}
+	done := true
+	for t := range s.p.Threads {
+		ops := s.p.Threads[t].Ops
+		if s.pc[t] < len(ops) {
+			done = false
+			op := &ops[s.pc[t]]
+			if op.IsBranch || (len(op.Guards) > 0 && !op.GuardsHold(s.regs[t])) {
+				s.pc[t]++
+				s.run()
+				s.pc[t]--
+				return
+			}
+		}
+	}
+	if done {
+		s.results[s.resultKey()] = true
+		return
+	}
+
+	// The state is normalized (every thread head is a visible op):
+	// memoize it.
+	key := s.stateKey()
+	if _, ok := s.seen[key]; ok {
+		s.memoHits++
+		return
+	}
+	s.seen[key] = struct{}{}
+	s.learned++
+
+	// Count the enabled (thread, value-choice) moves to classify the
+	// state as a decision (branching) or a propagation (forced).
+	enabled := 0
+	for t := range s.p.Threads {
+		ops := s.p.Threads[t].Ops
+		if s.pc[t] >= len(ops) {
+			continue
+		}
+		nl, ns := s.choiceCounts(&ops[s.pc[t]])
+		enabled += nl * ns
+	}
+	if enabled > 1 {
+		s.decisions++
+	} else {
+		s.propagations++
+	}
+
+	for t := range s.p.Threads {
+		ops := s.p.Threads[t].Ops
+		if s.pc[t] >= len(ops) {
+			continue
+		}
+		oi := s.pc[t]
+		op := &ops[oi]
+		loads, stores := oneChoice, oneChoice
+		if op.Class == core.Quantum {
+			if op.Reads() {
+				loads = s.domain
+			}
+			if op.Writes() {
+				stores = s.domain
+			}
+		}
+		for _, lv := range loads {
+			for _, sv := range stores {
+				s.execOne(t, oi, op, lv, sv)
+				if s.err != nil {
+					return
+				}
+			}
+		}
+	}
+}
+
+// choiceCounts returns the quantum value-choice fan-out of op.
+func (s *stateSearch) choiceCounts(op *litmus.Op) (loads, stores int) {
+	loads, stores = 1, 1
+	if op.Class == core.Quantum {
+		if op.Reads() {
+			loads = len(s.domain)
+		}
+		if op.Writes() {
+			stores = len(s.domain)
+		}
+	}
+	return loads, stores
+}
+
+// execOne applies one (thread, value-choice) move, recurses, and
+// undoes it — value semantics identical to the enumerator's execOne.
+func (s *stateSearch) execOne(t, oi int, op *litmus.Op, qload, qstore int64) {
+	s.moves++
+	loc := s.locIdx[t][oi]
+	oldMem := s.mem[loc]
+	var oldReg int64
+	if op.Dst != litmus.NoReg {
+		oldReg = s.regs[t][op.Dst]
+	}
+	quantum := op.Class == core.Quantum
+	loaded := oldMem
+	if quantum && op.Reads() {
+		loaded = qload
+	}
+	if op.Dst != litmus.NoReg {
+		s.regs[t][op.Dst] = loaded
+	}
+	if op.Writes() {
+		var newVal int64
+		if quantum {
+			newVal = qstore
+		} else {
+			operand := op.Operand.Eval(s.regs[t])
+			expected := op.Expected.Eval(s.regs[t])
+			newVal = op.AOp.Apply(oldMem, operand, expected)
+		}
+		s.mem[loc] = newVal
+	}
+	s.pc[t]++
+
+	s.run()
+
+	s.pc[t]--
+	if op.Writes() {
+		s.mem[loc] = oldMem
+	}
+	if op.Dst != litmus.NoReg {
+		s.regs[t][op.Dst] = oldReg
+	}
+}
+
+// stateKey serializes the normalized state, canonicalizing thread
+// symmetry: within each class of identical threads the per-thread
+// (pc, registers) sub-keys are sorted, so states that differ only by a
+// permutation of interchangeable threads share one memo entry.
+func (s *stateSearch) stateKey() string {
+	b := s.keyBuf[:0]
+	for _, v := range s.mem {
+		b = strconv.AppendInt(b, v, 10)
+		b = append(b, ',')
+	}
+	for _, ts := range s.classThreads {
+		b = append(b, '|')
+		if len(ts) == 1 {
+			b = s.appendThread(b, ts[0])
+			continue
+		}
+		s.subs = s.subs[:0]
+		for _, t := range ts {
+			s.subs = append(s.subs, string(s.appendThread(nil, t)))
+		}
+		sort.Strings(s.subs)
+		for _, sub := range s.subs {
+			b = append(b, ';')
+			b = append(b, sub...)
+		}
+	}
+	s.keyBuf = b
+	return string(b)
+}
+
+// appendThread serializes one thread's (pc, registers) sub-key.
+func (s *stateSearch) appendThread(b []byte, t int) []byte {
+	b = strconv.AppendInt(b, int64(s.pc[t]), 10)
+	for _, r := range s.regs[t] {
+		b = append(b, ':')
+		b = strconv.AppendInt(b, r, 10)
+	}
+	return b
+}
+
+// resultKey serializes the final memory exactly as
+// Execution.ResultKey/memmodel.FinalResultKey do.
+func (s *stateSearch) resultKey() string {
+	b := s.resBuf[:0]
+	for _, li := range s.sorted {
+		b = append(b, s.locs[li]...)
+		b = append(b, '=')
+		b = strconv.AppendInt(b, s.mem[li], 10)
+		b = append(b, ';')
+	}
+	s.resBuf = b
+	return string(b)
+}

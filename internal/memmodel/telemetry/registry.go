@@ -114,6 +114,11 @@ type Totals struct {
 	Allocated   int64
 	RacePairs   int64
 	SCResults   int64
+
+	SolveDecisions    int64
+	SolvePropagations int64
+	SolveConflicts    int64
+	SolveLearned      int64
 }
 
 // RegistrySnapshot is the /checks JSON payload.
@@ -207,6 +212,10 @@ func (r *Registry) Totals() Totals {
 		t.Allocated += c.allocated.Load()
 		t.RacePairs += c.racePairs.Load()
 		t.SCResults += c.scResults.Load()
+		t.SolveDecisions += c.solveDecisions.Load()
+		t.SolvePropagations += c.solvePropagations.Load()
+		t.SolveConflicts += c.solveConflicts.Load()
+		t.SolveLearned += c.solveLearned.Load()
 	}
 	return t
 }

@@ -90,6 +90,12 @@ type Check struct {
 	mergedRaces atomic.Int64 // union-merge inputs (sum of shard set sizes)
 	scResults   atomic.Int64 // distinct final memory states
 
+	// Solver counter block (Mode: solve checks only; zero otherwise).
+	solveDecisions    atomic.Int64 // branching points: states/pairs with >1 choice
+	solvePropagations atomic.Int64 // forced moves + statically implied pairs
+	solveConflicts    atomic.Int64 // memo hits + statically refuted candidates
+	solveLearned      atomic.Int64 // distinct states memoized
+
 	mu       sync.Mutex
 	workers  []*Worker
 	onFinish func(*Check)
@@ -298,6 +304,22 @@ func (c *Check) SetUnion(racePairs, mergedRaces, scResults int64) {
 	c.scResults.Store(scResults)
 }
 
+// AddSolve folds in the solve backend's counters: decisions (branching
+// points with more than one choice), propagations (forced moves and
+// statically implied race pairs), conflicts (memo hits and statically
+// refuted candidate pairs), and learned (distinct states memoized). The
+// solver is sequential and deterministic, so these land in Record and
+// stay byte-identical across runs.
+func (c *Check) AddSolve(decisions, propagations, conflicts, learned int64) {
+	if c == nil {
+		return
+	}
+	c.solveDecisions.Add(decisions)
+	c.solvePropagations.Add(propagations)
+	c.solveConflicts.Add(conflicts)
+	c.solveLearned.Add(learned)
+}
+
 // Enumerated returns the live executions-recorded counter (0 on nil).
 func (c *Check) Enumerated() int64 {
 	if c == nil {
@@ -351,27 +373,31 @@ type WorkerSnapshot struct {
 // Record has plus wall-clock timing, pool recycle counts, union-merge
 // input sizes, and per-worker attribution.
 type Snapshot struct {
-	Program        string           `json:"program"`
-	Model          string           `json:"model"`
-	State          string           `json:"state"`
-	SuiteWorker    int64            `json:"suite_worker"`
-	Limit          int64            `json:"limit"`
-	Executions     int64            `json:"executions"`
-	Transitions    int64            `json:"transitions"`
-	SleepSkips     int64            `json:"sleep_skips"`
-	PrunedPct      float64          `json:"pruned_pct"`
-	MemoHits       int64            `json:"memo_hits"`
-	Analyzed       int64            `json:"analyzed"`
-	Recycled       int64            `json:"recycled"`
-	Allocated      int64            `json:"allocated"`
-	RacePairs      int64            `json:"race_pairs"`
-	MergedRaces    int64            `json:"merged_races"`
-	SCResults      int64            `json:"sc_results"`
-	BudgetFraction float64          `json:"budget_fraction"`
-	StartedAt      string           `json:"started_at,omitempty"`
-	ElapsedMs      float64          `json:"elapsed_ms"`
-	ExecsPerSec    float64          `json:"execs_per_sec"`
-	Workers        []WorkerSnapshot `json:"workers,omitempty"`
+	Program           string           `json:"program"`
+	Model             string           `json:"model"`
+	State             string           `json:"state"`
+	SuiteWorker       int64            `json:"suite_worker"`
+	Limit             int64            `json:"limit"`
+	Executions        int64            `json:"executions"`
+	Transitions       int64            `json:"transitions"`
+	SleepSkips        int64            `json:"sleep_skips"`
+	PrunedPct         float64          `json:"pruned_pct"`
+	MemoHits          int64            `json:"memo_hits"`
+	Analyzed          int64            `json:"analyzed"`
+	Recycled          int64            `json:"recycled"`
+	Allocated         int64            `json:"allocated"`
+	RacePairs         int64            `json:"race_pairs"`
+	MergedRaces       int64            `json:"merged_races"`
+	SCResults         int64            `json:"sc_results"`
+	BudgetFraction    float64          `json:"budget_fraction"`
+	SolveDecisions    int64            `json:"solve_decisions,omitempty"`
+	SolvePropagations int64            `json:"solve_propagations,omitempty"`
+	SolveConflicts    int64            `json:"solve_conflicts,omitempty"`
+	SolveLearned      int64            `json:"solve_learned,omitempty"`
+	StartedAt         string           `json:"started_at,omitempty"`
+	ElapsedMs         float64          `json:"elapsed_ms"`
+	ExecsPerSec       float64          `json:"execs_per_sec"`
+	Workers           []WorkerSnapshot `json:"workers,omitempty"`
 }
 
 // Record is the deterministic subset of a finished check's counters:
@@ -391,6 +417,13 @@ type Record struct {
 	RacePairs      int64   `json:"race_pairs"`
 	SCResults      int64   `json:"sc_results"`
 	BudgetFraction float64 `json:"budget_fraction"`
+
+	// Solver counters; omitempty keeps enumeration-mode records (and
+	// their byte-identical JSONL goldens) unchanged.
+	SolveDecisions    int64 `json:"solve_decisions,omitempty"`
+	SolvePropagations int64 `json:"solve_propagations,omitempty"`
+	SolveConflicts    int64 `json:"solve_conflicts,omitempty"`
+	SolveLearned      int64 `json:"solve_learned,omitempty"`
 }
 
 // prunedPct is the share of candidate transitions the sleep set
@@ -429,6 +462,11 @@ func (c *Check) Record() Record {
 		RacePairs:      c.racePairs.Load(),
 		SCResults:      c.scResults.Load(),
 		BudgetFraction: budgetFraction(enum, c.limit.Load()),
+
+		SolveDecisions:    c.solveDecisions.Load(),
+		SolvePropagations: c.solvePropagations.Load(),
+		SolveConflicts:    c.solveConflicts.Load(),
+		SolveLearned:      c.solveLearned.Load(),
 	}
 }
 
@@ -456,6 +494,11 @@ func (c *Check) Snapshot() Snapshot {
 		MergedRaces:    c.mergedRaces.Load(),
 		SCResults:      rec.SCResults,
 		BudgetFraction: rec.BudgetFraction,
+
+		SolveDecisions:    rec.SolveDecisions,
+		SolvePropagations: rec.SolvePropagations,
+		SolveConflicts:    rec.SolveConflicts,
+		SolveLearned:      rec.SolveLearned,
 	}
 	if start := c.startNS.Load(); start != 0 {
 		s.StartedAt = time.Unix(0, start).UTC().Format(time.RFC3339Nano)

@@ -260,6 +260,10 @@ func (s *Server) writeMetrics(w io.Writer, om bool) {
 			{"allocated", "Executions freshly allocated by the enumerator.", tot.Allocated},
 			{"race_pairs", "Distinct racy pairs across final verdicts.", tot.RacePairs},
 			{"sc_results", "Distinct SC results across final verdicts.", tot.SCResults},
+			{"solver_decisions", "Solve-mode branching states (DPLL decisions).", tot.SolveDecisions},
+			{"solver_propagations", "Solve-mode forced moves and statically implied pairs (unit propagations).", tot.SolvePropagations},
+			{"solver_conflicts", "Solve-mode memo hits and statically refuted pairs (conflicts).", tot.SolveConflicts},
+			{"solver_learned", "Solve-mode memoized states (learned entries).", tot.SolveLearned},
 		}
 		for _, c := range counters {
 			if om {

@@ -28,6 +28,10 @@ import (
 	"rats/internal/memmodel"
 	"rats/internal/memmodel/telemetry"
 	"rats/internal/rtrace"
+
+	// Registers the constraint-solving backend so requests may opt into
+	// "mode": "solve".
+	_ "rats/internal/memmodel/solve"
 )
 
 // TraceHeader is the response header carrying the request's trace ID.
@@ -176,6 +180,10 @@ type CheckRequest struct {
 	// Witness asks for a human-readable witness execution when the
 	// program is illegal.
 	Witness bool `json:"witness,omitempty"`
+	// Mode selects the checking backend: empty for the default streaming
+	// enumeration, "solve" for the constraint-solving backend (exact,
+	// verdict-only; typically far faster on contended programs).
+	Mode string `json:"mode,omitempty"`
 }
 
 // CheckResponse is the POST /check success payload. Verdict fields are
@@ -365,6 +373,13 @@ func (s *Service) handleCheck(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	mode := memmodel.Mode(req.Mode)
+	if mode != memmodel.ModeEnumerate && mode != memmodel.ModeSolve {
+		s.hit(&s.m.rejectedInput, tid)
+		s.reject(w, tr, http.StatusBadRequest, "validate",
+			"unknown mode "+strconv.Quote(req.Mode)+`; use "" or "solve"`)
+		return
+	}
 	prog, err := litmus.Parse(req.Program)
 	if err != nil {
 		s.hit(&s.m.rejectedInput, tid)
@@ -397,11 +412,20 @@ func (s *Service) handleCheck(w http.ResponseWriter, r *http.Request) {
 		s.reject(w, tr, http.StatusBadRequest, "validate", err.Error())
 		return
 	}
+	// The backends produce identical verdicts, but they are cached and
+	// coalesced separately: a solve verdict must never satisfy (or join)
+	// an enumeration request's flight, whose Execs count differs.
 	key := canon.Key + "|" + model.String()
+	if mode == memmodel.ModeSolve {
+		key += "|solve"
+	}
 	if tid != "" {
 		tr.SetAttr("program", prog.Name)
 		tr.SetAttr("model", model.String())
 		tr.SetAttr("canonical", canon.Key)
+		if mode != memmodel.ModeEnumerate {
+			tr.SetAttr("mode", string(mode))
+		}
 	}
 
 	// 4. Cache: verdict hits cost no enumeration and are served
@@ -489,10 +513,16 @@ func (s *Service) handleCheck(w http.ResponseWriter, r *http.Request) {
 	// the closure below); a follower's span only measures its wait, and
 	// its role attribute says so.
 	if v == nil {
-		flight := tr.Phase("flight")
+		// Solve-mode checks surface as their own top-level trace phase so
+		// /tracez distinguishes solver time from enumeration flights.
+		phase := "flight"
+		if mode == memmodel.ModeSolve {
+			phase = "solve"
+		}
+		flight := tr.Phase(phase)
 		var err error
 		v, coalesced, err = s.group.do(ctx, key, func(cctx context.Context) (*memmodel.Verdict, error) {
-			return s.admitAndCheck(cctx, canon, model, flight)
+			return s.admitAndCheck(cctx, canon, model, mode, key, flight)
 		})
 		flight.SetAttr("role", flightRole(coalesced))
 		if err != nil {
@@ -565,11 +595,12 @@ func (s *Service) admit(ctx context.Context, traceID string) (func(), error) {
 }
 
 // admitAndCheck acquires a worker slot (respecting the bounded queue)
-// and runs the canonical program's check. sp is the singleflight
-// leader's flight span (nil when its request already finished): queue
-// dwell and the check itself become children under it, and the engine's
-// telemetry block is linked to the leader's trace ID.
-func (s *Service) admitAndCheck(ctx context.Context, canon *memmodel.Canonical, model core.Model, sp *rtrace.Span) (*memmodel.Verdict, error) {
+// and runs the canonical program's check on the requested backend. sp is
+// the singleflight leader's flight span (nil when its request already
+// finished): queue dwell and the check itself become children under it,
+// and the engine's telemetry block is linked to the leader's trace ID.
+// key is the cache/singleflight key (mode-suffixed for solve requests).
+func (s *Service) admitAndCheck(ctx context.Context, canon *memmodel.Canonical, model core.Model, mode memmodel.Mode, key string, sp *rtrace.Span) (*memmodel.Verdict, error) {
 	tid := sp.TraceID()
 	qs := sp.Child("queue")
 	release, err := s.admit(ctx, tid)
@@ -599,6 +630,7 @@ func (s *Service) admitAndCheck(ctx context.Context, canon *memmodel.Canonical, 
 		Ctx:             ctx,
 		Telemetry:       tel,
 		Span:            cs,
+		Mode:            mode,
 	})
 	if tel != nil {
 		snap := tel.Snapshot()
@@ -617,7 +649,7 @@ func (s *Service) admitAndCheck(ctx context.Context, canon *memmodel.Canonical, 
 	}
 	s.hit(&s.m.checked, tid)
 	if s.cache != nil {
-		s.cache.put(canon.Key+"|"+model.String(), v)
+		s.cache.put(key, v)
 	}
 	return v, nil
 }

@@ -767,3 +767,101 @@ func TestMetricsExposition(t *testing.T) {
 		}
 	}
 }
+
+// TestModeSolveVerdictsMatch: a request with mode "solve" routes through
+// the constraint-solving backend and must report the same legality,
+// races, SC results, and canonical key the default enumeration reports
+// (Execs legitimately differs: the solver only enumerates during its
+// confirmation phase).
+func TestModeSolveVerdictsMatch(t *testing.T) {
+	_, srv := newTestServer(t, Options{CacheSize: -1})
+	for _, c := range []struct {
+		name, model string
+	}{
+		{"MP_paired", "DRFrlx"},
+		{"MPData", "DRFrlx"},
+		{"EventCounterObserved", "DRFrlx"},
+		{"MP_unpaired", "DRF1"},
+	} {
+		src := catalogSrc(t, c.name)
+		st, enum, bad := postCheck(t, srv.URL, CheckRequest{Program: src, Model: c.model})
+		if st != http.StatusOK {
+			t.Fatalf("%s enumeration: status %d (%s)", c.name, st, bad.Error)
+		}
+		st, solved, bad := postCheck(t, srv.URL, CheckRequest{Program: src, Model: c.model, Mode: "solve"})
+		if st != http.StatusOK {
+			t.Fatalf("%s mode=solve: status %d (%s)", c.name, st, bad.Error)
+		}
+		if solved.Legal != enum.Legal {
+			t.Errorf("%s: legal=%v under solve, %v under enumeration", c.name, solved.Legal, enum.Legal)
+		}
+		if fmt.Sprint(solved.Races) != fmt.Sprint(enum.Races) {
+			t.Errorf("%s: races diverge:\nsolve: %v\nenum:  %v", c.name, solved.Races, enum.Races)
+		}
+		if fmt.Sprint(solved.SCResults) != fmt.Sprint(enum.SCResults) {
+			t.Errorf("%s: sc_results diverge:\nsolve: %v\nenum:  %v", c.name, solved.SCResults, enum.SCResults)
+		}
+		if solved.Canonical != enum.Canonical {
+			t.Errorf("%s: canonical keys diverge: %s vs %s", c.name, solved.Canonical, enum.Canonical)
+		}
+	}
+}
+
+// TestModeSolveContendedWithinDeadline is the served form of the
+// tentpole claim: the contended 7-thread program that blows a deadline
+// under enumeration (see TestTraceDeadlineReconciles) completes through
+// mode=solve well inside the same order of deadline.
+func TestModeSolveContendedWithinDeadline(t *testing.T) {
+	_, srv := newTestServer(t, Options{})
+	st, ok, bad := postCheck(t, srv.URL, CheckRequest{
+		Program: contendedSrc(7, 3), Mode: "solve", DeadlineMs: 2000,
+	})
+	if st != http.StatusOK {
+		t.Fatalf("mode=solve on contended(7,3): status %d (%s: %s)", st, bad.Kind, bad.Error)
+	}
+	if !ok.Legal {
+		t.Error("contended unpaired increments are race-free")
+	}
+	if len(ok.SCResults) != 1 || ok.SCResults[0] != "X=21;" {
+		t.Errorf("sc_results: got %v, want [X=21;]", ok.SCResults)
+	}
+}
+
+// TestModeUnknownRejected: a mode the dispatcher does not know is a
+// validation error, rejected before any parsing of the program.
+func TestModeUnknownRejected(t *testing.T) {
+	_, srv := newTestServer(t, Options{})
+	st, _, bad := postCheck(t, srv.URL, CheckRequest{Program: catalogSrc(t, "IRIW"), Mode: "dpll"})
+	if st != http.StatusBadRequest || bad.Kind != "validate" {
+		t.Fatalf("unknown mode: %d/%q, want 400/validate", st, bad.Kind)
+	}
+	if !strings.Contains(bad.Error, "dpll") {
+		t.Errorf("error %q does not name the rejected mode", bad.Error)
+	}
+}
+
+// TestModeSolveCachedSeparately: the two backends report different Execs
+// counts, so a solve request must not be served from an enumeration
+// request's cache entry (and vice versa) — but repeated solve requests
+// share one.
+func TestModeSolveCachedSeparately(t *testing.T) {
+	_, srv := newTestServer(t, Options{})
+	src := catalogSrc(t, "MP_paired")
+	if st, _, bad := postCheck(t, srv.URL, CheckRequest{Program: src}); st != http.StatusOK {
+		t.Fatalf("enumeration warm-up: status %d (%s)", st, bad.Error)
+	}
+	st, first, bad := postCheck(t, srv.URL, CheckRequest{Program: src, Mode: "solve"})
+	if st != http.StatusOK {
+		t.Fatalf("first solve: status %d (%s)", st, bad.Error)
+	}
+	if first.Cached {
+		t.Error("solve request was served from the enumeration cache entry")
+	}
+	st, second, bad := postCheck(t, srv.URL, CheckRequest{Program: src, Mode: "solve"})
+	if st != http.StatusOK {
+		t.Fatalf("second solve: status %d (%s)", st, bad.Error)
+	}
+	if !second.Cached {
+		t.Error("repeated solve request missed the cache")
+	}
+}

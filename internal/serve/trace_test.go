@@ -557,3 +557,57 @@ func TestMetricsExemplars(t *testing.T) {
 		t.Errorf("OpenMetrics exposition missing exemplar %q:\n%s", want, om.String())
 	}
 }
+
+// TestTraceSolveReconciles: a mode=solve check opens a top-level "solve"
+// phase (never "flight"), tiles exactly like every other trace, and its
+// check span carries the solver's own child spans (solve.static and, for
+// this statically-decided program, solve.states).
+func TestTraceSolveReconciles(t *testing.T) {
+	_, srv, tracer, _ := newTracedServer(t,
+		Options{Registry: telemetry.NewRegistry()}, rtrace.Options{})
+	st, id, ok, bad := postTraced(t, srv.URL, CheckRequest{
+		Program: contendedSrc(7, 3), Mode: "solve", DeadlineMs: 5000,
+	})
+	if st != http.StatusOK {
+		t.Fatalf("mode=solve check: status %d (%s: %s)", st, bad.Kind, bad.Error)
+	}
+	if !ok.Legal {
+		t.Fatal("contended unpaired increments are race-free")
+	}
+	td := waitTrace(t, tracer, id)
+	checkTiling(t, td)
+	if v := attrValue(td.Attrs, "mode"); v != "solve" {
+		t.Errorf("trace mode=%q, want solve", v)
+	}
+	if findPhase(td, "flight") != nil {
+		t.Error("solve-mode trace opened a flight phase")
+	}
+	sol := findPhase(td, "solve")
+	if sol == nil {
+		t.Fatal("solve-mode trace has no solve phase")
+	}
+	if v := attrValue(sol.Attrs, "role"); v != "leader" {
+		t.Errorf("solve phase role=%q, want leader", v)
+	}
+	var check *rtrace.SpanData
+	for i := range sol.Children {
+		if sol.Children[i].Name == "check" {
+			check = &sol.Children[i]
+		}
+	}
+	if check == nil {
+		t.Fatal("solve phase has no check child")
+	}
+	var sawStatic, sawStates bool
+	for _, c := range check.Children {
+		switch c.Name {
+		case "solve.static":
+			sawStatic = true
+		case "solve.states":
+			sawStates = true
+		}
+	}
+	if !sawStatic || !sawStates {
+		t.Errorf("check span children static=%v states=%v, want both", sawStatic, sawStates)
+	}
+}

@@ -47,6 +47,12 @@ Usage:
           stay >= 4x faster than the []bool reference at every size.
         * BenchmarkCheckProgram/<prog>/streaming must not be slower than
           the materializing two-phase pipeline (5% tolerance).
+      Solver gates (applied when BenchmarkSolve is present in NEW;
+      machine-independent ratios within one run):
+        * BenchmarkSolve/<prog>/solve must be >= 10x faster than the
+          sibling /enumerate variant wherever both ran (the
+          constraint-solving backend's acceptance floor on
+          contention-dominated programs).
 """
 
 import json
@@ -65,6 +71,13 @@ MAX_ARENA_ALLOCS = 2.0
 MIN_ARENA_ALLOC_RATIO = 10.0
 MIN_KERNEL_SPEEDUP = 4.0
 STREAMING_TOLERANCE = 0.05
+
+# Constraint-solving backend floor: on contention-dominated programs the
+# solver must beat full enumeration by at least this much. The measured
+# gap is orders of magnitude larger (enumeration is super-exponential in
+# thread count where the solver's memoized state space is polynomial),
+# so 10x is a conservative machine-independent floor, not a target.
+MIN_SOLVE_SPEEDUP = 10.0
 
 # Disabled-telemetry overhead ceiling on the semantics-engine hot paths.
 # The 2% ceiling applies to the MEDIAN normalized regression across the
@@ -189,6 +202,7 @@ def check(new, base):
             )
 
     failures += check_raceclass(newm)
+    failures += check_solve(newm)
 
     for f in failures:
         print(f"REGRESSION: {f}", file=sys.stderr)
@@ -254,6 +268,29 @@ def check_raceclass(newm):
                 f"materialize {mat:.0f} ns/op (>{STREAMING_TOLERANCE:.0%})"
             )
 
+    return failures
+
+
+def check_solve(newm):
+    """Machine-independent floor for the constraint-solving backend:
+    wherever BenchmarkSolve ran a program in both modes, solving must
+    beat enumerating by MIN_SOLVE_SPEEDUP. Fires only when the solver
+    benchmarks are present, so older baselines pass unchanged."""
+    failures = []
+    for name, metrics in sorted(newm.items()):
+        if not (name.startswith("BenchmarkSolve/") and name.endswith("/solve")):
+            continue
+        enum_ns = newm.get(name[: -len("/solve")] + "/enumerate", {}).get("ns/op")
+        got = metrics.get("ns/op")
+        if not enum_ns or not got:
+            continue
+        speedup = enum_ns / got
+        prog = name[len("BenchmarkSolve/"):-len("/solve")]
+        print(f"solve vs enumerate [{prog}]: {speedup:.0f}x")
+        if speedup < MIN_SOLVE_SPEEDUP:
+            failures.append(
+                f"{name}: {speedup:.1f}x vs enumeration < {MIN_SOLVE_SPEEDUP:.0f}x floor"
+            )
     return failures
 
 
